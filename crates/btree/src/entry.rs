@@ -1,0 +1,179 @@
+//! Two-dimensional entry ordering and internal-node entry encoding.
+
+use ccdb_common::{ByteReader, ByteWriter, Error, PageNo, Result, Timestamp};
+use ccdb_storage::{TupleVersion, WriteTime};
+
+/// The total order on version times used by the tree: stamped versions order
+/// by commit time; pending versions order after *all* stamped versions, by
+/// transaction id. (A pending version is by construction the newest version
+/// of its key, and transaction ids increase monotonically, so this agrees
+/// with eventual commit-time order.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimeRank {
+    kind: u8,
+    value: u64,
+}
+
+impl TimeRank {
+    /// The minimal rank (orders before every real version).
+    pub const MIN: TimeRank = TimeRank { kind: 0, value: 0 };
+    /// The maximal rank (orders after every real version).
+    pub const MAX: TimeRank = TimeRank { kind: 1, value: u64::MAX };
+
+    /// Rank of a stamped commit time.
+    pub fn committed(t: Timestamp) -> TimeRank {
+        TimeRank { kind: 0, value: t.0 }
+    }
+
+    /// Rank of a pending (unstamped) version.
+    pub fn pending(txn: ccdb_common::TxnId) -> TimeRank {
+        TimeRank { kind: 1, value: txn.0 }
+    }
+
+    /// Encodes to 9 bytes.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(self.kind);
+        w.put_u64(self.value);
+    }
+
+    /// Decodes from a reader.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<TimeRank> {
+        let kind = r.get_u8()?;
+        if kind > 1 {
+            return Err(Error::corruption(format!("bad time-rank kind {kind}")));
+        }
+        Ok(TimeRank { kind, value: r.get_u64()? })
+    }
+}
+
+impl From<WriteTime> for TimeRank {
+    fn from(t: WriteTime) -> TimeRank {
+        match t {
+            WriteTime::Committed(ts) => TimeRank::committed(ts),
+            WriteTime::Pending(txn) => TimeRank::pending(txn),
+        }
+    }
+}
+
+/// The tree's composite ordering key for a tuple version.
+pub fn version_order(t: &TupleVersion) -> (&[u8], TimeRank) {
+    (&t.key, TimeRank::from(t.time))
+}
+
+/// An internal-node entry: the lower bound `(key, rank)` of the child's key
+/// space, plus the child page number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Lower-bound key (inclusive).
+    pub key: Vec<u8>,
+    /// Lower-bound time rank (inclusive).
+    pub rank: TimeRank,
+    /// The child page.
+    pub child: PageNo,
+}
+
+impl IndexEntry {
+    /// The entry covering the start of the key space.
+    pub fn minimal(child: PageNo) -> IndexEntry {
+        IndexEntry { key: Vec::new(), rank: TimeRank::MIN, child }
+    }
+
+    /// The entry's ordering key.
+    pub fn order(&self) -> (&[u8], TimeRank) {
+        (&self.key, self.rank)
+    }
+
+    /// Encodes the entry as an internal-page cell.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(self.key.len() + 24);
+        w.put_len_bytes(&self.key);
+        self.rank.encode(&mut w);
+        w.put_u64(self.child.0);
+        w.into_vec()
+    }
+
+    /// Decodes an internal-page cell. Defensive (auditor parses raw pages).
+    pub fn decode(cell: &[u8]) -> Result<IndexEntry> {
+        let mut r = ByteReader::new(cell);
+        let key = r.get_len_bytes()?.to_vec();
+        let rank = TimeRank::decode(&mut r)?;
+        let child = PageNo(r.get_u64()?);
+        if !r.is_exhausted() {
+            return Err(Error::corruption("trailing bytes after index entry"));
+        }
+        Ok(IndexEntry { key, rank, child })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_common::TxnId;
+
+    #[test]
+    fn rank_ordering_matches_paper() {
+        let c5 = TimeRank::committed(Timestamp(5));
+        let c9 = TimeRank::committed(Timestamp(9));
+        let p1 = TimeRank::pending(TxnId(1));
+        let p2 = TimeRank::pending(TxnId(2));
+        assert!(TimeRank::MIN <= c5);
+        assert!(c5 < c9);
+        assert!(c9 < p1, "pending versions order after all stamped versions");
+        assert!(p1 < p2);
+    }
+
+    #[test]
+    fn version_order_key_major() {
+        let a = TupleVersion {
+            rel: ccdb_common::RelId(1),
+            key: b"a".to_vec(),
+            time: WriteTime::Committed(Timestamp(100)),
+            seq: 0,
+            end_of_life: false,
+            value: vec![],
+        };
+        let b = TupleVersion { key: b"b".to_vec(), time: WriteTime::Committed(Timestamp(1)), ..a.clone() };
+        assert!(version_order(&a) < version_order(&b));
+    }
+
+    #[test]
+    fn index_entry_roundtrip() {
+        let e = IndexEntry {
+            key: b"warehouse-7".to_vec(),
+            rank: TimeRank::committed(Timestamp(42)),
+            child: PageNo(9),
+        };
+        assert_eq!(IndexEntry::decode(&e.encode()).unwrap(), e);
+        let m = IndexEntry::minimal(PageNo(3));
+        assert_eq!(IndexEntry::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn rank_roundtrip() {
+        for r in [TimeRank::MIN, TimeRank::committed(Timestamp(7)), TimeRank::pending(TxnId(9))] {
+            let mut w = ByteWriter::new();
+            r.encode(&mut w);
+            let v = w.into_vec();
+            let mut rd = ByteReader::new(&v);
+            assert_eq!(TimeRank::decode(&mut rd).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn bad_rank_kind_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u64(1);
+        let v = w.into_vec();
+        let mut rd = ByteReader::new(&v);
+        assert!(TimeRank::decode(&mut rd).is_err());
+    }
+
+    #[test]
+    fn malformed_entry_rejected() {
+        assert!(IndexEntry::decode(&[]).is_err());
+        let mut enc = IndexEntry::minimal(PageNo(1)).encode();
+        enc.push(9);
+        assert!(IndexEntry::decode(&enc).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Structure-modification hooks: how the tree tells the compliance plugin
+//! about splits and index maintenance *before* pages reach disk.
+
+use ccdb_common::PageNo;
+use ccdb_storage::{Page, TupleVersion};
+
+/// Whether a leaf split partitioned on key or on time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitKind {
+    /// Ordinary B+-tree split on the `(key, rank)` order.
+    Key,
+    /// TSB time split: `right` is the live page, `left` the historical page
+    /// (destined for WORM), split at the time recorded in `left.aux()`.
+    Time,
+    /// Internal-node split.
+    Inner,
+}
+
+/// Callbacks the compliance plugin implements. Every callback fires while the
+/// affected pages are still only in the buffer pool, so the plugin can put
+/// its log records on WORM before any pwrite of those pages happens.
+///
+/// The default implementations do nothing, so the tree runs un-instrumented
+/// (the "Regular TPC-C" baseline of Figure 3) when no plugin is installed.
+pub trait StructureHooks: Send + Sync {
+    /// A page split happened: `old` was retired, its content partitioned into
+    /// `left` and `right` (post-split images). `intermediates` are tuple
+    /// versions *created by* the split (the TSB "intermediate version at time
+    /// t" for spanning tuples) — genuinely new tuples that must appear in the
+    /// compliance log as insertions.
+    fn on_split(
+        &self,
+        _kind: SplitKind,
+        _old: &Page,
+        _left: &Page,
+        _right: &Page,
+        _intermediates: &[TupleVersion],
+    ) {
+    }
+
+    /// An entry was inserted into internal page `parent`.
+    fn on_index_insert(&self, _parent: PageNo, _entry_cell: &[u8]) {}
+
+    /// An entry was removed from internal page `parent`.
+    fn on_index_remove(&self, _parent: PageNo, _entry_cell: &[u8]) {}
+
+    /// A new root page came into service (`entries` are its initial cells).
+    fn on_new_root(&self, _root: PageNo, _entries: &[Vec<u8>]) {}
+}
+
+/// The do-nothing hook set.
+pub struct NoopHooks;
+
+impl StructureHooks for NoopHooks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_hooks_are_callable() {
+        use ccdb_common::RelId;
+        use ccdb_storage::PageType;
+        let h = NoopHooks;
+        let p = Page::new(PageNo(1), PageType::Leaf, RelId(1));
+        h.on_split(SplitKind::Key, &p, &p, &p, &[]);
+        h.on_index_insert(PageNo(1), b"cell");
+        h.on_index_remove(PageNo(1), b"cell");
+        h.on_new_root(PageNo(2), &[]);
+    }
+}

@@ -1,0 +1,913 @@
+//! The versioned B+-tree / time-split B+-tree.
+
+use std::sync::Arc;
+
+use ccdb_common::{ClockRef, Error, PageNo, RelId, Result, Timestamp, TxnId};
+use ccdb_storage::{BufferPool, Page, PageType, TupleVersion, WriteTime};
+use ccdb_wal::{PageOp, PageOpSink, RelMetaOp};
+use parking_lot::Mutex;
+
+use crate::entry::{version_order, IndexEntry, TimeRank};
+use crate::hooks::{SplitKind, StructureHooks};
+
+/// How leaves split when full.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SplitPolicy {
+    /// Always split on the `(key, time)` order — an ordinary B+-tree.
+    KeyOnly,
+    /// TSB policy: a leaf whose distinct-key fraction is below `threshold`
+    /// (and which holds at least one dead version) splits on time, moving
+    /// historical versions to a WORM-destined page; otherwise on key.
+    TimeSplit {
+        /// The split-threshold parameter of Section VI.
+        threshold: f64,
+    },
+}
+
+/// Split counters for the Figure 4 experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Leaf key splits performed.
+    pub key_splits: u64,
+    /// Leaf time splits performed.
+    pub time_splits: u64,
+    /// Internal-node splits performed.
+    pub inner_splits: u64,
+}
+
+/// A versioned B+-tree over one relation.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    clock: ClockRef,
+    rel: RelId,
+    policy: SplitPolicy,
+    root: Mutex<PageNo>,
+    hooks: Mutex<Option<Arc<dyn StructureHooks>>>,
+    sink: Mutex<Option<Arc<dyn PageOpSink>>>,
+    historical: Mutex<Vec<PageNo>>,
+    stats: Mutex<TreeStats>,
+}
+
+fn decode_tuples(page: &Page) -> Result<Vec<TupleVersion>> {
+    page.cells().map(TupleVersion::decode_cell).collect()
+}
+
+fn decode_entries(page: &Page) -> Result<Vec<IndexEntry>> {
+    page.cells().map(IndexEntry::decode).collect()
+}
+
+/// Whether `cells` (plus per-cell overhead) fit on one empty page.
+fn cells_fit(cells: &[Vec<u8>]) -> bool {
+    let need: usize = cells.iter().map(|c| c.len() + 2 + 2).sum();
+    need <= ccdb_storage::PAGE_SIZE - ccdb_storage::page_header_size()
+}
+
+impl BTree {
+    /// Creates a new empty tree (allocates its root leaf).
+    pub fn create(
+        pool: Arc<BufferPool>,
+        clock: ClockRef,
+        rel: RelId,
+        policy: SplitPolicy,
+    ) -> Result<BTree> {
+        let (root, _frame) = pool.new_page(PageType::Leaf, rel)?;
+        Ok(BTree {
+            pool,
+            clock,
+            rel,
+            policy,
+            root: Mutex::new(root),
+            hooks: Mutex::new(None),
+            sink: Mutex::new(None),
+            historical: Mutex::new(Vec::new()),
+            stats: Mutex::new(TreeStats::default()),
+        })
+    }
+
+    /// Reopens a tree whose root and historical-page list were persisted by
+    /// the catalog.
+    pub fn open(
+        pool: Arc<BufferPool>,
+        clock: ClockRef,
+        rel: RelId,
+        policy: SplitPolicy,
+        root: PageNo,
+        historical: Vec<PageNo>,
+    ) -> BTree {
+        BTree {
+            pool,
+            clock,
+            rel,
+            policy,
+            root: Mutex::new(root),
+            hooks: Mutex::new(None),
+            sink: Mutex::new(None),
+            historical: Mutex::new(historical),
+            stats: Mutex::new(TreeStats::default()),
+        }
+    }
+
+    /// Installs structure-modification hooks (the compliance plugin).
+    pub fn set_hooks(&self, hooks: Arc<dyn StructureHooks>) {
+        *self.hooks.lock() = Some(hooks);
+    }
+
+    /// Installs the redo-log sink (the engine's WAL).
+    pub fn set_sink(&self, sink: Arc<dyn PageOpSink>) {
+        *self.sink.lock() = Some(sink);
+    }
+
+    fn log_op(&self, txn: TxnId, page: &mut Page, op: PageOp) -> Result<()> {
+        if let Some(s) = self.sink.lock().clone() {
+            let lsn = s.log_page_op(txn, &op)?;
+            page.set_lsn(lsn);
+        }
+        Ok(())
+    }
+
+    fn log_image(&self, page: &mut Page) -> Result<()> {
+        let op = PageOp::SetImage { pgno: page.pgno(), image: page.as_bytes().to_vec() };
+        self.log_op(TxnId::NONE, page, op)
+    }
+
+    fn log_meta(&self, meta: RelMetaOp) -> Result<()> {
+        if let Some(s) = self.sink.lock().clone() {
+            s.log_rel_meta(self.rel, &meta)?;
+        }
+        Ok(())
+    }
+
+    /// The relation this tree stores.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// The current root page.
+    pub fn root(&self) -> PageNo {
+        *self.root.lock()
+    }
+
+    /// Pages produced by time splits, in creation order (WORM-migration
+    /// candidates; the engine persists and migrates them).
+    pub fn historical_pages(&self) -> Vec<PageNo> {
+        self.historical.lock().clone()
+    }
+
+    /// Removes pages from the historical list (after WORM migration).
+    pub fn forget_historical(&self, pgnos: &[PageNo]) {
+        self.historical.lock().retain(|p| !pgnos.contains(p));
+    }
+
+    /// Adds a page to the historical list (re-migration from WORM).
+    pub fn adopt_historical(&self, pgno: PageNo) {
+        let mut h = self.historical.lock();
+        if !h.contains(&pgno) {
+            h.push(pgno);
+        }
+    }
+
+    /// Split counters.
+    pub fn stats(&self) -> TreeStats {
+        *self.stats.lock()
+    }
+
+    fn with_hooks(&self, f: impl FnOnce(&dyn StructureHooks)) {
+        if let Some(h) = self.hooks.lock().clone() {
+            f(h.as_ref());
+        }
+    }
+
+    // --- search ---------------------------------------------------------
+
+    /// Descends to the leaf that owns `(key, rank)`, returning the inner-node
+    /// path as `(pgno, entry index taken)` plus the leaf page number.
+    fn find_leaf(&self, key: &[u8], rank: TimeRank) -> Result<(Vec<(PageNo, usize)>, PageNo)> {
+        let mut path = Vec::new();
+        let mut cur = self.root();
+        for _depth in 0..64 {
+            let frame = self.pool.fetch(cur)?;
+            let page = frame.read();
+            match page.page_type() {
+                PageType::Leaf => return Ok((path, cur)),
+                PageType::Inner => {
+                    let entries = decode_entries(&page)?;
+                    if entries.is_empty() {
+                        return Err(Error::corruption(format!("inner page {cur} has no entries")));
+                    }
+                    let mut idx = 0;
+                    for (i, e) in entries.iter().enumerate() {
+                        if e.order() <= (key, rank) {
+                            idx = i;
+                        } else {
+                            break;
+                        }
+                    }
+                    path.push((cur, idx));
+                    cur = entries[idx].child;
+                }
+                t => {
+                    return Err(Error::corruption(format!(
+                        "page {cur} of type {t:?} reached during descent"
+                    )))
+                }
+            }
+        }
+        Err(Error::corruption("tree deeper than 64 levels (cycle?)"))
+    }
+
+    /// Collects `(path, leaf)` for every leaf whose range intersects
+    /// `[lo, hi]` (used by exact-match mutations, which must tolerate
+    /// separator bounds that went stale when lazy stamping lowered ranks).
+    #[allow(clippy::type_complexity)]
+    fn leaf_paths_for_range(
+        &self,
+        lo: (&[u8], TimeRank),
+        hi: (&[u8], TimeRank),
+    ) -> Result<Vec<(Vec<(PageNo, usize)>, PageNo)>> {
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        self.collect_leaf_paths(self.root(), lo, hi, &mut path, &mut out)?;
+        Ok(out)
+    }
+
+    fn collect_leaf_paths(
+        &self,
+        pgno: PageNo,
+        lo: (&[u8], TimeRank),
+        hi: (&[u8], TimeRank),
+        path: &mut Vec<(PageNo, usize)>,
+        out: &mut Vec<(Vec<(PageNo, usize)>, PageNo)>,
+    ) -> Result<()> {
+        let frame = self.pool.fetch(pgno)?;
+        let page = frame.read();
+        match page.page_type() {
+            PageType::Leaf => {
+                out.push((path.clone(), pgno));
+                Ok(())
+            }
+            PageType::Inner => {
+                let entries = decode_entries(&page)?;
+                drop(page);
+                for (i, e) in entries.iter().enumerate() {
+                    let upper_excludes =
+                        entries.get(i + 1).map(|n| n.order() < lo).unwrap_or(false);
+                    let lower_excludes = i > 0 && e.order() > hi;
+                    if !upper_excludes && !lower_excludes {
+                        path.push((pgno, i));
+                        self.collect_leaf_paths(e.child, lo, hi, path, out)?;
+                        path.pop();
+                    }
+                }
+                Ok(())
+            }
+            t => Err(Error::corruption(format!("unexpected page type {t:?} in locate"))),
+        }
+    }
+
+    /// Calls `f` on every live tuple version with order in `[lo, hi]`
+    /// (inclusive), in order.
+    pub fn scan_range(
+        &self,
+        lo: (&[u8], TimeRank),
+        hi: (&[u8], TimeRank),
+        f: &mut dyn FnMut(&TupleVersion) -> Result<()>,
+    ) -> Result<()> {
+        self.scan_node(self.root(), lo, hi, f)
+    }
+
+    fn scan_node(
+        &self,
+        pgno: PageNo,
+        lo: (&[u8], TimeRank),
+        hi: (&[u8], TimeRank),
+        f: &mut dyn FnMut(&TupleVersion) -> Result<()>,
+    ) -> Result<()> {
+        let frame = self.pool.fetch(pgno)?;
+        let page = frame.read();
+        match page.page_type() {
+            PageType::Leaf => {
+                for cell in page.cells() {
+                    let t = TupleVersion::decode_cell(cell)?;
+                    let o = version_order(&t);
+                    if o >= lo && o <= hi {
+                        f(&t)?;
+                    }
+                }
+                Ok(())
+            }
+            PageType::Inner => {
+                let entries = decode_entries(&page)?;
+                drop(page);
+                for (i, e) in entries.iter().enumerate() {
+                    // Child i covers [bound_i, bound_{i+1}). Strict `<` on
+                    // the upper bound deliberately over-visits one child
+                    // when bound == lo — insurance against boundaries that
+                    // coincide with the probe.
+                    let upper_excludes =
+                        entries.get(i + 1).map(|n| n.order() < lo).unwrap_or(false);
+                    let lower_excludes = i > 0 && e.order() > hi;
+                    if !upper_excludes && !lower_excludes {
+                        self.scan_node(e.child, lo, hi, f)?;
+                    }
+                }
+                Ok(())
+            }
+            t => Err(Error::corruption(format!("unexpected page type {t:?} in scan"))),
+        }
+    }
+
+    /// All live versions of `key`, in time order (live tree only; historical
+    /// pages are the engine's to search).
+    pub fn versions(&self, key: &[u8]) -> Result<Vec<TupleVersion>> {
+        let mut out = Vec::new();
+        self.scan_range((key, TimeRank::MIN), (key, TimeRank::MAX), &mut |t| {
+            out.push(t.clone());
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Every live tuple version in the tree, in `(key, time)` order.
+    pub fn scan_all(&self, f: &mut dyn FnMut(&TupleVersion) -> Result<()>) -> Result<()> {
+        for leaf in self.leaf_pgnos()? {
+            let frame = self.pool.fetch(leaf)?;
+            let page = frame.read();
+            for cell in page.cells() {
+                let t = TupleVersion::decode_cell(cell)?;
+                f(&t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The leaf pages of the live tree, in key order.
+    pub fn leaf_pgnos(&self) -> Result<Vec<PageNo>> {
+        let mut out = Vec::new();
+        self.collect_leaves(self.root(), &mut out)?;
+        Ok(out)
+    }
+
+    fn collect_leaves(&self, pgno: PageNo, out: &mut Vec<PageNo>) -> Result<()> {
+        let frame = self.pool.fetch(pgno)?;
+        let page = frame.read();
+        match page.page_type() {
+            PageType::Leaf => {
+                out.push(pgno);
+                Ok(())
+            }
+            PageType::Inner => {
+                let entries = decode_entries(&page)?;
+                drop(page);
+                for e in entries {
+                    self.collect_leaves(e.child, out)?;
+                }
+                Ok(())
+            }
+            t => Err(Error::corruption(format!("unexpected page type {t:?} in tree"))),
+        }
+    }
+
+    /// Number of inner pages in the live tree.
+    pub fn inner_page_count(&self) -> Result<usize> {
+        fn walk(tree: &BTree, pgno: PageNo, acc: &mut usize) -> Result<()> {
+            let frame = tree.pool.fetch(pgno)?;
+            let page = frame.read();
+            if page.page_type() == PageType::Inner {
+                *acc += 1;
+                let entries = decode_entries(&page)?;
+                drop(page);
+                for e in entries {
+                    walk(tree, e.child, acc)?;
+                }
+            }
+            Ok(())
+        }
+        let mut n = 0;
+        walk(self, self.root(), &mut n)?;
+        Ok(n)
+    }
+
+    // --- mutation ---------------------------------------------------------
+
+    /// Inserts a new tuple version. Every call creates a distinct physical
+    /// version (transaction-time semantics: nothing is overwritten).
+    pub fn insert(
+        &self,
+        key: &[u8],
+        time: WriteTime,
+        end_of_life: bool,
+        value: Vec<u8>,
+    ) -> Result<()> {
+        let rank = TimeRank::from(time);
+        let mut tuple = TupleVersion {
+            rel: self.rel,
+            key: key.to_vec(),
+            time,
+            seq: 0,
+            end_of_life,
+            value,
+        };
+        let probe_len = tuple.encode_cell().len();
+        for _attempt in 0..16 {
+            let (path, leaf) = self.find_leaf(key, rank)?;
+            let frame = self.pool.fetch(leaf)?;
+            let mut page = frame.write();
+            if page.can_fit(probe_len) {
+                // Position: after every entry ≤ (key, rank).
+                let mut pos = page.cell_count();
+                for i in 0..page.cell_count() {
+                    let t = TupleVersion::decode_cell(page.cell(i))?;
+                    if version_order(&t) > (key, rank) {
+                        pos = i;
+                        break;
+                    }
+                }
+                tuple.seq = page.alloc_seq();
+                let cell = tuple.encode_cell();
+                page.insert_cell(pos, &cell)?;
+                let txn_attr = tuple.time.pending().unwrap_or(TxnId::NONE);
+                self.log_op(
+                    txn_attr,
+                    &mut page,
+                    PageOp::InsertCell { pgno: leaf, idx: pos as u32, cell },
+                )?;
+                self.pool.mark_dirty(&mut page);
+                return Ok(());
+            }
+            drop(page);
+            drop(frame);
+            self.split_leaf(&path, leaf)?;
+        }
+        Err(Error::Invalid("B+-tree insert made no progress after 16 splits".into()))
+    }
+
+    /// Stamps every pending version written by `txn` under `key` with its
+    /// commit time (lazy timestamping). Returns how many were stamped.
+    ///
+    /// Stamping can *lower* a version's rank (pending ranks order above all
+    /// committed ranks); if the stamped version is a leaf's minimum entry,
+    /// any parent separator derived from it (a within-group split bound)
+    /// must be lowered too, recursively. The engine stamps in commit order,
+    /// so everything left of the stamped version is already committed and
+    /// the lowered bound stays above the left sibling's maximum.
+    pub fn stamp(&self, key: &[u8], txn: TxnId, commit: Timestamp) -> Result<usize> {
+        let rank = TimeRank::pending(txn);
+        let mut stamped = 0;
+        for (path, leaf) in self.leaf_paths_for_range((key, rank), (key, rank))? {
+            let frame = self.pool.fetch(leaf)?;
+            let mut page = frame.write();
+            let mut here = 0;
+            let mut min_changed = false;
+            for i in 0..page.cell_count() {
+                let t = TupleVersion::decode_cell(page.cell(i))?;
+                if t.key == key && t.time == WriteTime::Pending(txn) {
+                    let new = t.stamped(commit);
+                    let cell = new.encode_cell();
+                    page.replace_cell(i, &cell)?;
+                    self.log_op(
+                        TxnId::NONE,
+                        &mut page,
+                        PageOp::ReplaceCell { pgno: leaf, idx: i as u32, cell },
+                    )?;
+                    here += 1;
+                    if i == 0 {
+                        min_changed = true;
+                    }
+                }
+            }
+            if here > 0 {
+                self.pool.mark_dirty(&mut page);
+            }
+            drop(page);
+            drop(frame);
+            if min_changed {
+                self.refresh_parent_bounds(&path, leaf)?;
+            }
+            stamped += here;
+        }
+        Ok(stamped)
+    }
+
+    /// Lowers parent separators along `path` to match `child`'s (possibly
+    /// just-reduced) minimum entry.
+    fn refresh_parent_bounds(&self, path: &[(PageNo, usize)], child: PageNo) -> Result<()> {
+        let mut child = child;
+        let mut first: Option<(Vec<u8>, TimeRank)> = {
+            let frame = self.pool.fetch(child)?;
+            let page = frame.read();
+            if page.cell_count() == 0 {
+                return Ok(());
+            }
+            let t = TupleVersion::decode_cell(page.cell(0))?;
+            Some((t.key.clone(), TimeRank::from(t.time)))
+        };
+        for (parent_pgno, idx) in path.iter().rev() {
+            let Some((fk, fr)) = first.take() else { break };
+            let frame = self.pool.fetch(*parent_pgno)?;
+            let mut page = frame.write();
+            let mut entries = decode_entries(&page)?;
+            let Some(e) = entries.get_mut(*idx) else { break };
+            if e.child != child || e.order() <= (fk.as_slice(), fr) {
+                break; // bound already consistent (or stale path: give up)
+            }
+            e.key = fk;
+            e.rank = fr;
+            let cells: Vec<Vec<u8>> = entries.iter().map(IndexEntry::encode).collect();
+            page.clear_cells();
+            for c in &cells {
+                page.append_cell(c)?;
+            }
+            self.log_image(&mut page)?;
+            self.pool.mark_dirty(&mut page);
+            if *idx != 0 {
+                break; // only a first-entry change propagates upward
+            }
+            child = *parent_pgno;
+            first = Some((entries[0].key.clone(), entries[0].rank));
+        }
+        Ok(())
+    }
+
+    /// Physically removes one version with exactly `(key, rank)` (rollback of
+    /// an aborted write, or vacuuming of an expired version). Returns the
+    /// removed version.
+    pub fn remove_version(&self, key: &[u8], rank: TimeRank) -> Result<Option<TupleVersion>> {
+        for (_path, leaf) in self.leaf_paths_for_range((key, rank), (key, rank))? {
+            let frame = self.pool.fetch(leaf)?;
+            let mut page = frame.write();
+            for i in 0..page.cell_count() {
+                let t = TupleVersion::decode_cell(page.cell(i))?;
+                if t.key == key && TimeRank::from(t.time) == rank {
+                    page.remove_cell(i);
+                    self.log_op(
+                        TxnId::NONE,
+                        &mut page,
+                        PageOp::RemoveCell { pgno: leaf, idx: i as u32 },
+                    )?;
+                    self.pool.mark_dirty(&mut page);
+                    return Ok(Some(t));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    // --- splitting --------------------------------------------------------
+
+    fn decide_split(&self, tuples: &[TupleVersion]) -> SplitKind {
+        match self.policy {
+            SplitPolicy::KeyOnly => SplitKind::Key,
+            SplitPolicy::TimeSplit { threshold } => {
+                let mut distinct = 0usize;
+                let mut dead = 0usize;
+                for (i, t) in tuples.iter().enumerate() {
+                    if i == 0 || tuples[i - 1].key != t.key {
+                        distinct += 1;
+                    }
+                    // A version is dead if a *stamped* successor of the same
+                    // key exists (its validity ended at the successor's start).
+                    if let Some(next) = tuples.get(i + 1) {
+                        if next.key == t.key && next.time.committed().is_some() {
+                            dead += 1;
+                        }
+                    }
+                }
+                if dead > 0 && (distinct as f64) < threshold * (tuples.len() as f64) {
+                    SplitKind::Time
+                } else {
+                    SplitKind::Key
+                }
+            }
+        }
+    }
+
+    fn fill_leaf(&self, page: &mut Page, tuples: &[TupleVersion], inherit_seq: u16) -> Result<()> {
+        for t in tuples {
+            page.append_cell(&t.encode_cell())?;
+        }
+        page.bump_seq_to(inherit_seq);
+        Ok(())
+    }
+
+    fn split_leaf(&self, path: &[(PageNo, usize)], leaf: PageNo) -> Result<()> {
+        let frame = self.pool.fetch(leaf)?;
+        let mut old = frame.write();
+        let tuples = decode_tuples(&old)?;
+        if tuples.len() < 2 {
+            return Err(Error::TupleTooLarge {
+                size: ccdb_storage::PAGE_USABLE,
+                max: ccdb_storage::PAGE_USABLE,
+            });
+        }
+        let inherit_seq = old.next_seq();
+        let mut kind = self.decide_split(&tuples);
+
+        if kind == SplitKind::Time {
+            match self.time_split(&mut old, &tuples, inherit_seq, leaf, path)? {
+                true => return Ok(()),
+                false => kind = SplitKind::Key, // degenerate time split: fall back
+            }
+        }
+        debug_assert_eq!(kind, SplitKind::Key);
+        self.key_split(&mut old, &tuples, inherit_seq, leaf, path)
+    }
+
+    fn key_split(
+        &self,
+        old: &mut Page,
+        tuples: &[TupleVersion],
+        inherit_seq: u16,
+        leaf: PageNo,
+        path: &[(PageNo, usize)],
+    ) -> Result<()> {
+        // Split point: the key-group boundary nearest the middle, so that
+        // (a) all versions of a key share a leaf (exact searches descend
+        // once) and (b) parent separators can use the rank-stable form
+        // `(key, MIN)` — a separator carrying a *pending* version's rank
+        // would be invalidated when lazy timestamping later rewrites that
+        // version's time.
+        let half = tuples.len() / 2;
+        let fwd = (half..tuples.len()).find(|&j| tuples[j].key != tuples[j - 1].key);
+        let back = (1..=half).rev().find(|&j| tuples[j].key != tuples[j - 1].key);
+        let (mid, within_group) = match (fwd, back) {
+            (Some(f), Some(b)) => {
+                if f - half <= half - b {
+                    (f, false)
+                } else {
+                    (b, false)
+                }
+            }
+            (Some(f), None) => (f, false),
+            (None, Some(b)) => (b, false),
+            (None, None) => {
+                // Degenerate single-key page: split inside the version
+                // group. The boundary must separate *distinct* orders (a
+                // transaction writing the same key twice creates equal-rank
+                // versions, which must stay on one leaf), and prefers a
+                // committed boundary tuple (committed ranks never change).
+                let distinct =
+                    |j: usize| version_order(&tuples[j]) != version_order(&tuples[j - 1]);
+                let j = (1..=half)
+                    .rev()
+                    .find(|&j| distinct(j) && tuples[j].time.committed().is_some())
+                    .or_else(|| {
+                        (half..tuples.len())
+                            .find(|&j| distinct(j) && tuples[j].time.committed().is_some())
+                    })
+                    .or_else(|| (1..=half).rev().find(|&j| distinct(j)))
+                    .or_else(|| (half..tuples.len()).find(|&j| distinct(j)))
+                    .unwrap_or(half);
+                (j.clamp(1, tuples.len() - 1), true)
+            }
+        };
+        let (lp, l_frame) = self.pool.new_page(PageType::Leaf, self.rel)?;
+        let (rp, r_frame) = self.pool.new_page(PageType::Leaf, self.rel)?;
+        {
+            let mut left = l_frame.write();
+            let mut right = r_frame.write();
+            self.fill_leaf(&mut left, &tuples[..mid], inherit_seq)?;
+            self.fill_leaf(&mut right, &tuples[mid..], inherit_seq)?;
+            self.log_image(&mut left)?;
+            self.log_image(&mut right)?;
+            self.pool.mark_dirty(&mut left);
+            self.pool.mark_dirty(&mut right);
+            self.with_hooks(|h| h.on_split(SplitKind::Key, old, &left, &right, &[]));
+        }
+        // Retire the input page.
+        old.clear_cells();
+        old.set_page_type(PageType::Free);
+        self.log_image(old)?;
+        self.pool.mark_dirty(old);
+        self.stats.lock().key_splits += 1;
+
+        // Separators: rank-stable `(key, MIN)` at key boundaries. A split
+        // *inside* one key's version group must instead use real ranks on
+        // both sides — two `(key, MIN)` bounds would be indistinguishable,
+        // and a scan treats the span between equal bounds as empty.
+        let e_left = IndexEntry {
+            key: tuples[0].key.clone(),
+            rank: if within_group { TimeRank::from(tuples[0].time) } else { TimeRank::MIN },
+            child: lp,
+        };
+        let e_right = IndexEntry {
+            key: tuples[mid].key.clone(),
+            rank: if within_group { TimeRank::from(tuples[mid].time) } else { TimeRank::MIN },
+            child: rp,
+        };
+        self.replace_in_parent(path, leaf, vec![e_left, e_right])
+    }
+
+    /// Performs a time split; returns `false` (and does nothing) if the split
+    /// would not shrink the live page.
+    fn time_split(
+        &self,
+        old: &mut Page,
+        tuples: &[TupleVersion],
+        inherit_seq: u16,
+        leaf: PageNo,
+        path: &[(PageNo, usize)],
+    ) -> Result<bool> {
+        let t_split = self.clock.now();
+        let mut historical: Vec<TupleVersion> = Vec::new();
+        let mut live: Vec<TupleVersion> = Vec::new();
+        let mut intermediates: Vec<TupleVersion> = Vec::new();
+        for (i, v) in tuples.iter().enumerate() {
+            let next_commit = tuples
+                .get(i + 1)
+                .filter(|n| n.key == v.key)
+                .and_then(|n| n.time.committed());
+            match v.time {
+                WriteTime::Pending(_) => live.push(v.clone()), // in-flight: stays live as-is
+                WriteTime::Committed(_start) => {
+                    match next_commit {
+                        Some(nc) if nc <= t_split => historical.push(v.clone()), // dead before t
+                        _ => {
+                            // Current version: validity spans t_split.
+                            // Original goes to the historical page; an
+                            // intermediate version starting at t_split joins
+                            // the live page (the paper's "(31,5)" example).
+                            historical.push(v.clone());
+                            intermediates.push(TupleVersion {
+                                rel: v.rel,
+                                key: v.key.clone(),
+                                time: WriteTime::Committed(t_split),
+                                seq: 0, // assigned on the live page below
+                                end_of_life: v.end_of_life,
+                                value: v.value.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if historical.is_empty() {
+            return Ok(false);
+        }
+        // Merge intermediates into the live list in (key, rank) order.
+        let live_count = live.len() + intermediates.len();
+        if live_count >= tuples.len() {
+            return Ok(false); // no progress: the live page would be as full
+        }
+        let (hp, h_frame) = self.pool.new_page(PageType::Leaf, self.rel)?;
+        let (vp, v_frame) = self.pool.new_page(PageType::Leaf, self.rel)?;
+        {
+            let mut hist = h_frame.write();
+            let mut livep = v_frame.write();
+            self.fill_leaf(&mut hist, &historical, inherit_seq)?;
+            hist.set_historical(true);
+            hist.set_aux(t_split.0);
+            livep.bump_seq_to(inherit_seq);
+            // Interleave original live versions and intermediates in order;
+            // the bool marks split-created intermediates, which need fresh
+            // tuple-order numbers from the live page.
+            let mut merged: Vec<(TupleVersion, bool)> = Vec::with_capacity(live_count);
+            let mut a = live.into_iter().peekable();
+            let mut b = intermediates.into_iter().peekable();
+            loop {
+                match (a.peek(), b.peek()) {
+                    (Some(x), Some(y)) => {
+                        if version_order(x) <= version_order(y) {
+                            merged.push((a.next().expect("peeked"), false));
+                        } else {
+                            merged.push((b.next().expect("peeked"), true));
+                        }
+                    }
+                    (Some(_), None) => merged.push((a.next().expect("peeked"), false)),
+                    (None, Some(_)) => merged.push((b.next().expect("peeked"), true)),
+                    (None, None) => break,
+                }
+            }
+            let mut assigned = Vec::new();
+            for (mut t, is_intermediate) in merged {
+                if is_intermediate {
+                    t.seq = livep.alloc_seq();
+                    assigned.push(t.clone());
+                }
+                livep.append_cell(&t.encode_cell())?;
+            }
+            self.log_image(&mut hist)?;
+            self.log_image(&mut livep)?;
+            self.pool.mark_dirty(&mut hist);
+            self.pool.mark_dirty(&mut livep);
+            self.with_hooks(|h| h.on_split(SplitKind::Time, old, &hist, &livep, &assigned));
+        }
+        old.clear_cells();
+        old.set_page_type(PageType::Free);
+        self.log_image(old)?;
+        self.pool.mark_dirty(old);
+        self.stats.lock().time_splits += 1;
+        self.historical.lock().push(hp);
+        self.log_meta(RelMetaOp::HistoricalAdd(hp))?;
+
+        let e_live =
+            IndexEntry { key: tuples[0].key.clone(), rank: TimeRank::MIN, child: vp };
+        self.replace_in_parent(path, leaf, vec![e_live])?;
+        Ok(true)
+    }
+
+    fn replace_in_parent(
+        &self,
+        path: &[(PageNo, usize)],
+        old_child: PageNo,
+        new_entries: Vec<IndexEntry>,
+    ) -> Result<()> {
+        if path.is_empty() {
+            // The old child was the root.
+            if new_entries.len() == 1 {
+                *self.root.lock() = new_entries[0].child;
+                self.log_meta(RelMetaOp::Root(new_entries[0].child))?;
+                return Ok(());
+            }
+            let (root_pgno, root_frame) = self.pool.new_page(PageType::Inner, self.rel)?;
+            {
+                let mut root = root_frame.write();
+                let mut cells = Vec::new();
+                for e in &new_entries {
+                    let c = e.encode();
+                    root.append_cell(&c)?;
+                    cells.push(c);
+                }
+                self.log_image(&mut root)?;
+                self.pool.mark_dirty(&mut root);
+                self.with_hooks(|h| h.on_new_root(root_pgno, &cells));
+            }
+            *self.root.lock() = root_pgno;
+            self.log_meta(RelMetaOp::Root(root_pgno))?;
+            return Ok(());
+        }
+        let (parent_pgno, idx) = *path.last().expect("non-empty path");
+        let frame = self.pool.fetch(parent_pgno)?;
+        let mut page = frame.write();
+        let mut entries = decode_entries(&page)?;
+        if entries.get(idx).map(|e| e.child) != Some(old_child) {
+            return Err(Error::corruption(format!(
+                "parent {parent_pgno} entry {idx} does not reference split child {old_child}"
+            )));
+        }
+        let old_cell = entries[idx].encode();
+        self.with_hooks(|h| h.on_index_remove(parent_pgno, &old_cell));
+        entries.remove(idx);
+        for (k, e) in new_entries.iter().enumerate() {
+            let cell = e.encode();
+            self.with_hooks(|h| h.on_index_insert(parent_pgno, &cell));
+            entries.insert(idx + k, e.clone());
+        }
+        let cells: Vec<Vec<u8>> = entries.iter().map(IndexEntry::encode).collect();
+        if cells_fit(&cells) {
+            page.clear_cells();
+            for c in &cells {
+                page.append_cell(c)?;
+            }
+            self.log_image(&mut page)?;
+            self.pool.mark_dirty(&mut page);
+            return Ok(());
+        }
+        // Inner split: retire the parent, create two new inner pages.
+        let mid = entries.len() / 2;
+        let (lp, l_frame) = self.pool.new_page(PageType::Inner, self.rel)?;
+        let (rp, r_frame) = self.pool.new_page(PageType::Inner, self.rel)?;
+        {
+            let mut left = l_frame.write();
+            let mut right = r_frame.write();
+            for e in &entries[..mid] {
+                left.append_cell(&e.encode())?;
+            }
+            for e in &entries[mid..] {
+                right.append_cell(&e.encode())?;
+            }
+            self.log_image(&mut left)?;
+            self.log_image(&mut right)?;
+            self.pool.mark_dirty(&mut left);
+            self.pool.mark_dirty(&mut right);
+            self.with_hooks(|h| h.on_split(SplitKind::Inner, &page, &left, &right, &[]));
+        }
+        page.clear_cells();
+        page.set_page_type(PageType::Free);
+        self.log_image(&mut page)?;
+        self.pool.mark_dirty(&mut page);
+        drop(page);
+        self.stats.lock().inner_splits += 1;
+        let e_left = IndexEntry {
+            key: entries[0].key.clone(),
+            rank: entries[0].rank,
+            child: lp,
+        };
+        let e_right = IndexEntry {
+            key: entries[mid].key.clone(),
+            rank: entries[mid].rank,
+            child: rp,
+        };
+        self.replace_in_parent(&path[..path.len() - 1], parent_pgno, vec![e_left, e_right])
+    }
+}
+
+impl core::fmt::Debug for BTree {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BTree")
+            .field("rel", &self.rel)
+            .field("root", &self.root())
+            .field("policy", &self.policy)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

@@ -1,0 +1,194 @@
+//! Model-based property tests: the versioned B+-tree against a
+//! `BTreeMap<(key, rank), version>` reference model, under inserts, aborts
+//! (version removal), lazy stamping, and both split policies.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ccdb_btree::{check_tree, BTree, SplitPolicy, TimeRank};
+use ccdb_common::{Clock, Duration, RelId, Timestamp, TxnId, VirtualClock};
+use ccdb_storage::{BufferPool, DiskManager, WriteTime};
+use proptest::prelude::*;
+
+struct TempFile(PathBuf);
+impl TempFile {
+    fn new() -> TempFile {
+        TempFile(std::env::temp_dir().join(format!(
+            "ccdb-prop-btree-{}-{}.db",
+            std::process::id(),
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        )))
+    }
+}
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Insert a committed version of key `k`.
+    Insert(u8, Vec<u8>),
+    /// Insert a pending version of key `k` under a fresh txn, then either
+    /// stamp it or remove it (commit vs rollback).
+    PendingThen(u8, Vec<u8>, bool),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48), any::<bool>())
+            .prop_map(|(k, v, commit)| Op::PendingThen(k, v, commit)),
+    ]
+}
+
+fn run_model(ops: Vec<Op>, policy: SplitPolicy) -> Result<(), TestCaseError> {
+    let tf = TempFile::new();
+    let dm = Arc::new(DiskManager::open(&tf.0).unwrap());
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(3)));
+    let pool = Arc::new(BufferPool::new(dm, clock.clone(), 64));
+    let tree = BTree::create(pool.clone(), clock.clone(), RelId(1), policy).unwrap();
+    let mut model: BTreeMap<(Vec<u8>, u64), (bool, Vec<u8>)> = BTreeMap::new();
+    let mut next_txn = 1u64;
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                let key = vec![b'k', k];
+                let t = clock.now();
+                tree.insert(&key, WriteTime::Committed(t), false, v.clone()).unwrap();
+                model.insert((key, t.0), (false, v));
+            }
+            Op::PendingThen(k, v, commit) => {
+                let key = vec![b'k', k];
+                let txn = TxnId(next_txn);
+                next_txn += 1;
+                tree.insert(&key, WriteTime::Pending(txn), false, v.clone()).unwrap();
+                if commit {
+                    let t = clock.now();
+                    let stamped = tree.stamp(&key, txn, t).unwrap();
+                    prop_assert_eq!(stamped, 1, "the pending version must be stamped");
+                    model.insert((key, t.0), (false, v));
+                } else {
+                    let removed =
+                        tree.remove_version(&key, TimeRank::pending(txn)).unwrap();
+                    prop_assert!(removed.is_some(), "rollback must find the version");
+                }
+            }
+        }
+    }
+    // The live tree's committed contents equal the model, in order.
+    let mut got: Vec<(Vec<u8>, u64, Vec<u8>)> = Vec::new();
+    tree.scan_all(&mut |t| {
+        let ct = t.time.committed().expect("all versions resolved by now");
+        got.push((t.key.clone(), ct.0, t.value.clone()));
+        Ok(())
+    })
+    .unwrap();
+    let want: Vec<(Vec<u8>, u64, Vec<u8>)> = model
+        .iter()
+        .map(|((k, t), (_eol, v))| (k.clone(), *t, v.clone()))
+        .collect();
+    if matches!(policy, SplitPolicy::KeyOnly) {
+        // No migration, no intermediates: live contents are exactly the model.
+        prop_assert_eq!(&got, &want);
+    }
+    // Under either policy, every model version must be reachable (time
+    // splits move originals to historical pages and add intermediates,
+    // which are extra but never replace history).
+    for (k, t, v) in &want {
+        let vs = tree.versions(k).unwrap();
+        let hist = historical_versions(&pool, &tree, k);
+        let found = vs
+            .iter()
+            .chain(hist.iter())
+            .any(|tv| tv.time.committed().map(|c| c.0) == Some(*t) && &tv.value == v);
+        prop_assert!(found, "version ({k:?},{t}) lost");
+    }
+    // Physical integrity holds throughout.
+    let errs = check_tree(&pool, &tree).unwrap();
+    prop_assert!(errs.is_empty(), "{errs:?}");
+    Ok(())
+}
+
+fn historical_versions(
+    pool: &BufferPool,
+    tree: &BTree,
+    key: &[u8],
+) -> Vec<ccdb_storage::TupleVersion> {
+    let mut out = Vec::new();
+    for p in tree.historical_pages() {
+        if let Ok(f) = pool.fetch(p) {
+            for cell in f.read().cells() {
+                if let Ok(t) = ccdb_storage::TupleVersion::decode_cell(cell) {
+                    if t.key == key {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn key_only_tree_matches_model(ops in proptest::collection::vec(op_strategy(), 0..150)) {
+        run_model(ops, SplitPolicy::KeyOnly)?;
+    }
+
+    #[test]
+    fn scan_all_is_always_sorted(ops in proptest::collection::vec(op_strategy(), 0..150)) {
+        let tf = TempFile::new();
+        let dm = Arc::new(DiskManager::open(&tf.0).unwrap());
+        let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(3)));
+        let pool = Arc::new(BufferPool::new(dm, clock.clone(), 64));
+        let tree = BTree::create(pool.clone(), clock.clone(), RelId(1), SplitPolicy::KeyOnly).unwrap();
+        let mut txn = 1u64;
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    tree.insert(&[b'k', k], WriteTime::Committed(clock.now()), false, v).unwrap();
+                }
+                Op::PendingThen(k, v, _) => {
+                    tree.insert(&[b'k', k], WriteTime::Pending(TxnId(txn)), false, v).unwrap();
+                    txn += 1;
+                }
+            }
+        }
+        let mut prev: Option<(Vec<u8>, TimeRank)> = None;
+        tree.scan_all(&mut |t| {
+            let cur = (t.key.clone(), TimeRank::from(t.time));
+            if let Some(p) = &prev {
+                assert!(*p <= cur, "scan out of order: {p:?} then {cur:?}");
+            }
+            prev = Some(cur);
+            Ok(())
+        })
+        .unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The TSB policy preserves all committed versions across live +
+    /// historical pages, at any threshold.
+    #[test]
+    fn tsb_tree_preserves_versions(
+        ops in proptest::collection::vec(op_strategy(), 50..200),
+        threshold in 0.0f64..1.0,
+    ) {
+        run_model(ops, SplitPolicy::TimeSplit { threshold })?;
+    }
+}
+
+/// `Timestamp` helper used by the model comparisons above.
+#[allow(dead_code)]
+fn ts(v: u64) -> Timestamp {
+    Timestamp(v)
+}

@@ -1,0 +1,449 @@
+//! Behavioral tests for the versioned B+-tree and its TSB refinement.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ccdb_btree::{check_tree, BTree, IntegrityError, SplitKind, SplitPolicy, StructureHooks, TimeRank};
+use ccdb_common::{Clock, Duration, PageNo, RelId, Timestamp, TxnId, VirtualClock};
+use ccdb_storage::{BufferPool, DiskManager, Page, PageType, TupleVersion, WriteTime};
+
+struct TempFile(PathBuf);
+impl TempFile {
+    fn new(tag: &str) -> TempFile {
+        TempFile(std::env::temp_dir().join(format!(
+            "ccdb-btree-{}-{}-{}.db",
+            std::process::id(),
+            tag,
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        )))
+    }
+}
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn setup(tag: &str, policy: SplitPolicy) -> (Arc<BufferPool>, Arc<VirtualClock>, BTree, TempFile) {
+    let tf = TempFile::new(tag);
+    let dm = Arc::new(DiskManager::open(&tf.0).unwrap());
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(10)));
+    let pool = Arc::new(BufferPool::new(dm, clock.clone(), 256));
+    let tree = BTree::create(pool.clone(), clock.clone(), RelId(1), policy).unwrap();
+    (pool, clock, tree, tf)
+}
+
+fn committed(clock: &VirtualClock) -> WriteTime {
+    WriteTime::Committed(clock.now())
+}
+
+#[test]
+fn insert_and_lookup_single_version() {
+    let (_pool, clock, tree, _tf) = setup("single", SplitPolicy::KeyOnly);
+    tree.insert(b"alpha", committed(&clock), false, b"v1".to_vec()).unwrap();
+    let vs = tree.versions(b"alpha").unwrap();
+    assert_eq!(vs.len(), 1);
+    assert_eq!(vs[0].value, b"v1");
+    assert!(tree.versions(b"beta").unwrap().is_empty());
+}
+
+#[test]
+fn versions_accumulate_in_time_order() {
+    let (_pool, clock, tree, _tf) = setup("versions", SplitPolicy::KeyOnly);
+    for i in 0..5 {
+        tree.insert(b"k", committed(&clock), false, vec![i]).unwrap();
+    }
+    let vs = tree.versions(b"k").unwrap();
+    assert_eq!(vs.len(), 5);
+    for (i, v) in vs.iter().enumerate() {
+        assert_eq!(v.value, vec![i as u8]);
+    }
+    let times: Vec<_> = vs.iter().map(|v| v.time).collect();
+    let mut sorted = times.clone();
+    sorted.sort();
+    assert_eq!(times, sorted);
+}
+
+#[test]
+fn many_keys_split_and_stay_findable() {
+    let (pool, clock, tree, _tf) = setup("split", SplitPolicy::KeyOnly);
+    let n = 2000;
+    for i in 0..n {
+        let key = format!("key-{i:06}");
+        tree.insert(key.as_bytes(), committed(&clock), false, format!("val-{i}").into_bytes())
+            .unwrap();
+    }
+    for i in (0..n).step_by(37) {
+        let key = format!("key-{i:06}");
+        let vs = tree.versions(key.as_bytes()).unwrap();
+        assert_eq!(vs.len(), 1, "{key}");
+        assert_eq!(vs[0].value, format!("val-{i}").into_bytes());
+    }
+    assert!(tree.leaf_pgnos().unwrap().len() > 1);
+    assert!(tree.stats().key_splits > 0);
+    assert!(check_tree(&pool, &tree).unwrap().is_empty());
+}
+
+#[test]
+fn scan_all_is_sorted_and_complete() {
+    let (_pool, clock, tree, _tf) = setup("scan", SplitPolicy::KeyOnly);
+    let mut expected = Vec::new();
+    for i in (0..500).rev() {
+        let key = format!("{i:05}");
+        tree.insert(key.as_bytes(), committed(&clock), false, vec![]).unwrap();
+        expected.push(key);
+    }
+    expected.sort();
+    let mut got = Vec::new();
+    tree.scan_all(&mut |t| {
+        got.push(String::from_utf8(t.key.clone()).unwrap());
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn scan_range_bounds_inclusive() {
+    let (_pool, clock, tree, _tf) = setup("range", SplitPolicy::KeyOnly);
+    for i in 0..100 {
+        tree.insert(format!("{i:03}").as_bytes(), committed(&clock), false, vec![]).unwrap();
+    }
+    let mut got = Vec::new();
+    tree.scan_range(
+        (b"010", TimeRank::MIN),
+        (b"020", TimeRank::MAX),
+        &mut |t| {
+            got.push(String::from_utf8(t.key.clone()).unwrap());
+            Ok(())
+        },
+    )
+    .unwrap();
+    assert_eq!(got.len(), 11);
+    assert_eq!(got[0], "010");
+    assert_eq!(got[10], "020");
+}
+
+#[test]
+fn pending_versions_rank_after_committed_and_stamp_in_place() {
+    let (_pool, clock, tree, _tf) = setup("stamp", SplitPolicy::KeyOnly);
+    tree.insert(b"acct", committed(&clock), false, b"old".to_vec()).unwrap();
+    tree.insert(b"acct", WriteTime::Pending(TxnId(42)), false, b"new".to_vec()).unwrap();
+    let vs = tree.versions(b"acct").unwrap();
+    assert_eq!(vs.len(), 2);
+    assert_eq!(vs[1].time, WriteTime::Pending(TxnId(42)));
+    // Stamp it.
+    let commit = clock.now();
+    assert_eq!(tree.stamp(b"acct", TxnId(42), commit).unwrap(), 1);
+    let vs = tree.versions(b"acct").unwrap();
+    assert_eq!(vs[1].time, WriteTime::Committed(commit));
+    assert_eq!(vs[1].value, b"new");
+    // Stamping again finds nothing.
+    assert_eq!(tree.stamp(b"acct", TxnId(42), commit).unwrap(), 0);
+}
+
+#[test]
+fn multiple_writes_same_txn_same_key_all_stamped() {
+    let (_pool, clock, tree, _tf) = setup("multiwrite", SplitPolicy::KeyOnly);
+    tree.insert(b"k", WriteTime::Pending(TxnId(7)), false, b"a".to_vec()).unwrap();
+    tree.insert(b"k", WriteTime::Pending(TxnId(7)), false, b"b".to_vec()).unwrap();
+    let commit = clock.now();
+    assert_eq!(tree.stamp(b"k", TxnId(7), commit).unwrap(), 2);
+    let vs = tree.versions(b"k").unwrap();
+    assert_eq!(vs.len(), 2);
+    assert!(vs.iter().all(|v| v.time == WriteTime::Committed(commit)));
+    // Insertion order preserved via page order.
+    assert_eq!(vs[0].value, b"a");
+    assert_eq!(vs[1].value, b"b");
+}
+
+#[test]
+fn remove_version_rollback() {
+    let (_pool, clock, tree, _tf) = setup("rollback", SplitPolicy::KeyOnly);
+    tree.insert(b"k", committed(&clock), false, b"keep".to_vec()).unwrap();
+    tree.insert(b"k", WriteTime::Pending(TxnId(9)), false, b"doomed".to_vec()).unwrap();
+    let removed = tree.remove_version(b"k", TimeRank::pending(TxnId(9))).unwrap();
+    assert_eq!(removed.unwrap().value, b"doomed");
+    let vs = tree.versions(b"k").unwrap();
+    assert_eq!(vs.len(), 1);
+    assert_eq!(vs[0].value, b"keep");
+    // Removing again is a no-op.
+    assert!(tree.remove_version(b"k", TimeRank::pending(TxnId(9))).unwrap().is_none());
+}
+
+#[test]
+fn end_of_life_versions_stored() {
+    let (_pool, clock, tree, _tf) = setup("eol", SplitPolicy::KeyOnly);
+    tree.insert(b"k", committed(&clock), false, b"alive".to_vec()).unwrap();
+    tree.insert(b"k", committed(&clock), true, vec![]).unwrap();
+    let vs = tree.versions(b"k").unwrap();
+    assert_eq!(vs.len(), 2);
+    assert!(!vs[0].end_of_life);
+    assert!(vs[1].end_of_life);
+}
+
+#[test]
+fn time_split_moves_dead_versions_to_historical_pages() {
+    let (pool, clock, tree, _tf) = setup("tsb", SplitPolicy::TimeSplit { threshold: 0.9 });
+    // Few keys, many updates each: dead-version-heavy leaves.
+    for round in 0..200 {
+        for k in 0..10 {
+            tree.insert(
+                format!("hot-{k}").as_bytes(),
+                committed(&clock),
+                false,
+                format!("r{round}").into_bytes(),
+            )
+            .unwrap();
+        }
+    }
+    let stats = tree.stats();
+    assert!(stats.time_splits > 0, "expected time splits, got {stats:?}");
+    let hist = tree.historical_pages();
+    assert!(!hist.is_empty());
+    // Historical pages are flagged and carry their split time.
+    for pgno in &hist {
+        let frame = pool.fetch(*pgno).unwrap();
+        let page = frame.read();
+        assert!(page.is_historical());
+        assert!(page.aux() > 0);
+        assert_eq!(page.page_type(), PageType::Leaf);
+    }
+    // Current versions are still found in the live tree.
+    for k in 0..10 {
+        let vs = tree.versions(format!("hot-{k}").as_bytes()).unwrap();
+        assert!(!vs.is_empty(), "hot-{k} lost from live tree");
+        assert_eq!(vs.last().unwrap().value, b"r199");
+    }
+    assert!(check_tree(&pool, &tree).unwrap().is_empty());
+}
+
+#[test]
+fn key_only_policy_never_time_splits() {
+    let (_pool, clock, tree, _tf) = setup("keyonly", SplitPolicy::KeyOnly);
+    for round in 0..100 {
+        for k in 0..5 {
+            tree.insert(format!("k{k}").as_bytes(), committed(&clock), false, vec![round]).unwrap();
+        }
+    }
+    assert_eq!(tree.stats().time_splits, 0);
+    assert!(tree.historical_pages().is_empty());
+}
+
+#[test]
+fn uniform_single_update_workload_avoids_time_splits_below_half_threshold() {
+    // The ORDER_LINE shape of Figure 4(b): every key updated at most once, so
+    // distinct-key fraction ≥ 0.5 and thresholds < 0.5 never time-split.
+    let (_pool, clock, tree, _tf) = setup("orderline", SplitPolicy::TimeSplit { threshold: 0.4 });
+    for i in 0..1500 {
+        let key = format!("ol-{i:06}");
+        tree.insert(key.as_bytes(), committed(&clock), false, b"first".to_vec()).unwrap();
+        tree.insert(key.as_bytes(), committed(&clock), false, b"second".to_vec()).unwrap();
+    }
+    assert_eq!(tree.stats().time_splits, 0, "{:?}", tree.stats());
+    assert!(tree.stats().key_splits > 0);
+}
+
+#[test]
+fn hooks_fire_on_splits_and_root_growth() {
+    use parking_lot::Mutex;
+    #[derive(Default)]
+    struct Recorder {
+        #[allow(clippy::type_complexity)]
+        splits: Mutex<Vec<(SplitKind, PageNo, PageNo, PageNo, usize)>>,
+        index_inserts: Mutex<usize>,
+        index_removes: Mutex<usize>,
+        new_roots: Mutex<usize>,
+    }
+    impl StructureHooks for Recorder {
+        fn on_split(
+            &self,
+            kind: SplitKind,
+            old: &Page,
+            left: &Page,
+            right: &Page,
+            intermediates: &[TupleVersion],
+        ) {
+            self.splits.lock().push((kind, old.pgno(), left.pgno(), right.pgno(), intermediates.len()));
+        }
+        fn on_index_insert(&self, _parent: PageNo, _cell: &[u8]) {
+            *self.index_inserts.lock() += 1;
+        }
+        fn on_index_remove(&self, _parent: PageNo, _cell: &[u8]) {
+            *self.index_removes.lock() += 1;
+        }
+        fn on_new_root(&self, _root: PageNo, _entries: &[Vec<u8>]) {
+            *self.new_roots.lock() += 1;
+        }
+    }
+    let (_pool, clock, tree, _tf) = setup("hooks", SplitPolicy::KeyOnly);
+    let rec = Arc::new(Recorder::default());
+    tree.set_hooks(rec.clone());
+    for i in 0..1200 {
+        tree.insert(format!("{i:06}").as_bytes(), committed(&clock), false, vec![0u8; 16]).unwrap();
+    }
+    let splits = rec.splits.lock();
+    assert!(!splits.is_empty());
+    // Splits retire the old page: new pages always differ from the old.
+    for (kind, old, l, r, inter) in splits.iter() {
+        assert_ne!(old, l);
+        assert_ne!(old, r);
+        assert_ne!(l, r);
+        if *kind == SplitKind::Key {
+            assert_eq!(*inter, 0);
+        }
+    }
+    assert!(*rec.new_roots.lock() >= 1);
+    assert!(*rec.index_inserts.lock() > *rec.index_removes.lock());
+}
+
+#[test]
+fn retired_pages_become_free() {
+    let (pool, clock, tree, _tf) = setup("retire", SplitPolicy::KeyOnly);
+    let initial_root = tree.root();
+    for i in 0..500 {
+        tree.insert(format!("{i:05}").as_bytes(), committed(&clock), false, vec![0u8; 8]).unwrap();
+    }
+    assert_ne!(tree.root(), initial_root);
+    let frame = pool.fetch(initial_root).unwrap();
+    let page = frame.read();
+    assert_eq!(page.page_type(), PageType::Free);
+    assert_eq!(page.cell_count(), 0);
+}
+
+#[test]
+fn checker_detects_swapped_leaf_entries() {
+    // Figure 2(b): two leaf elements exchanged.
+    let (pool, clock, tree, _tf) = setup("fig2b", SplitPolicy::KeyOnly);
+    for i in 0..10 {
+        tree.insert(format!("k{i}").as_bytes(), committed(&clock), false, vec![]).unwrap();
+    }
+    let leaf = tree.leaf_pgnos().unwrap()[0];
+    {
+        let frame = pool.fetch(leaf).unwrap();
+        let mut page = frame.write();
+        let c2 = page.cell(2).to_vec();
+        let c5 = page.cell(5).to_vec();
+        page.replace_cell(2, &c5).unwrap();
+        page.replace_cell(5, &c2).unwrap();
+    }
+    let errs = check_tree(&pool, &tree).unwrap();
+    assert!(
+        errs.iter().any(|e| matches!(e, IntegrityError::LeafOutOfOrder { .. })),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn checker_detects_tampered_separator() {
+    // Figure 2(c): an internal-node key value altered.
+    let (pool, clock, tree, _tf) = setup("fig2c", SplitPolicy::KeyOnly);
+    for i in 0..1000 {
+        tree.insert(format!("{i:06}").as_bytes(), committed(&clock), false, vec![0u8; 16]).unwrap();
+    }
+    let root = tree.root();
+    {
+        let frame = pool.fetch(root).unwrap();
+        let mut page = frame.write();
+        assert_eq!(page.page_type(), PageType::Inner);
+        // Corrupt the second separator key upward so it exceeds its child's
+        // minimum entry.
+        let cell = page.cell(1).to_vec();
+        let mut e = ccdb_btree::IndexEntry::decode(&cell).unwrap();
+        e.key = {
+            let mut k = e.key.clone();
+            let last = k.len() - 1;
+            k[last] = k[last].saturating_add(9);
+            k
+        };
+        page.replace_cell(1, &e.encode()).unwrap();
+    }
+    let errs = check_tree(&pool, &tree).unwrap();
+    assert!(
+        errs.iter().any(|e| matches!(
+            e,
+            IntegrityError::SeparatorMismatch { .. } | IntegrityError::InnerOutOfOrder { .. }
+        )),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn checker_accepts_clean_tsb_tree() {
+    let (pool, clock, tree, _tf) = setup("clean-tsb", SplitPolicy::TimeSplit { threshold: 0.8 });
+    for round in 0..100 {
+        for k in 0..20 {
+            tree.insert(format!("key-{k:03}").as_bytes(), committed(&clock), false, vec![round])
+                .unwrap();
+        }
+    }
+    assert!(check_tree(&pool, &tree).unwrap().is_empty());
+}
+
+#[test]
+fn tree_survives_reopen_via_root_handoff() {
+    let tf = TempFile::new("reopen");
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(10)));
+    let root;
+    {
+        let dm = Arc::new(DiskManager::open(&tf.0).unwrap());
+        let pool = Arc::new(BufferPool::new(dm, clock.clone(), 64));
+        let tree = BTree::create(pool.clone(), clock.clone(), RelId(1), SplitPolicy::KeyOnly).unwrap();
+        for i in 0..300 {
+            tree.insert(format!("{i:04}").as_bytes(), WriteTime::Committed(clock.now()), false, vec![1])
+                .unwrap();
+        }
+        pool.flush_all().unwrap();
+        root = tree.root();
+    }
+    let dm = Arc::new(DiskManager::open(&tf.0).unwrap());
+    let pool = Arc::new(BufferPool::new(dm, clock.clone(), 64));
+    let tree = BTree::open(pool.clone(), clock.clone(), RelId(1), SplitPolicy::KeyOnly, root, vec![]);
+    for i in (0..300).step_by(17) {
+        assert_eq!(tree.versions(format!("{i:04}").as_bytes()).unwrap().len(), 1);
+    }
+    assert!(check_tree(&pool, &tree).unwrap().is_empty());
+}
+
+#[test]
+fn intermediates_reported_on_time_split() {
+    use parking_lot::Mutex;
+    struct Grab {
+        intermediates: Mutex<Vec<TupleVersion>>,
+    }
+    impl StructureHooks for Grab {
+        fn on_split(
+            &self,
+            kind: SplitKind,
+            _old: &Page,
+            _left: &Page,
+            _right: &Page,
+            intermediates: &[TupleVersion],
+        ) {
+            if kind == SplitKind::Time {
+                self.intermediates.lock().extend_from_slice(intermediates);
+            }
+        }
+    }
+    let (_pool, clock, tree, _tf) = setup("inter", SplitPolicy::TimeSplit { threshold: 0.95 });
+    let grab = Arc::new(Grab { intermediates: Mutex::new(Vec::new()) });
+    tree.set_hooks(grab.clone());
+    for round in 0..300u32 {
+        for k in 0..8 {
+            tree.insert(format!("x{k}").as_bytes(), committed(&clock), false, round.to_le_bytes().to_vec()).unwrap();
+        }
+    }
+    let inters = grab.intermediates.lock();
+    assert!(!inters.is_empty(), "time splits should create intermediate versions");
+    for t in inters.iter() {
+        // Intermediates are stamped with the split time and carry the
+        // current value of their key at that moment.
+        assert!(t.time.committed().is_some());
+    }
+}
+
+#[test]
+fn timestamp_value_visible_in_time_rank_roundtrip() {
+    let t = Timestamp(123);
+    assert_eq!(TimeRank::committed(t), TimeRank::from(WriteTime::Committed(t)));
+}

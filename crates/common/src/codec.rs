@@ -1,0 +1,276 @@
+//! Fixed-layout binary codec helpers.
+//!
+//! Every persistent structure in ccdb — slotted pages, WAL records,
+//! compliance-log records, snapshots — is encoded by hand with these helpers
+//! rather than a serialization framework. The compliance auditor must be able
+//! to parse raw bytes found on disk (possibly tampered bytes), so decoding is
+//! defensive throughout: every read is bounds-checked and returns
+//! [`Error::Corruption`] instead of panicking on malformed input.
+
+use crate::error::{Error, Result};
+
+/// An append-only byte buffer with explicit little-endian primitives.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// Creates a writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> ByteWriter {
+        ByteWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Appends a single byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    #[inline]
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes with no length prefix.
+    #[inline]
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes.
+    #[inline]
+    pub fn put_len_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.put_bytes(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    #[inline]
+    pub fn put_str(&mut self, v: &str) {
+        self.put_len_bytes(v.as_bytes());
+    }
+
+    /// Current encoded length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    #[inline]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// A bounds-checked cursor over an immutable byte slice.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current cursor position.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Returns `true` when all bytes have been consumed.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::corruption(format!(
+                "truncated record: wanted {n} bytes at offset {}, only {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    #[inline]
+    pub fn get_u16(&mut self) -> Result<u16> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    #[inline]
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    #[inline]
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    /// Reads exactly `n` raw bytes.
+    #[inline]
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a `u32`-length-prefixed byte string, validating the length
+    /// against the remaining input (so hostile lengths cannot over-allocate).
+    #[inline]
+    pub fn get_len_bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.get_u32()? as usize;
+        if n > self.remaining() {
+            return Err(Error::corruption(format!(
+                "length prefix {n} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let b = self.get_len_bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| Error::corruption("length-prefixed string is not valid UTF-8"))
+    }
+}
+
+/// A simple non-cryptographic 32-bit checksum (FNV-1a) used for page and log
+/// torn-write detection. This is *not* a tamper defense — tamper evidence
+/// comes from the cryptographic hashes on WORM — it exists only to catch
+/// accidental corruption, matching the "integrity checker" role the paper
+/// ascribes to the underlying DBMS.
+#[inline]
+pub fn checksum32(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_len_bytes(b"hello");
+        w.put_str("world");
+        let v = w.into_vec();
+        let mut r = ByteReader::new(&v);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_len_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_str().unwrap(), "world");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let v = vec![1u8, 2];
+        let mut r = ByteReader::new(&v);
+        assert!(r.get_u32().is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // claims 4 GiB follow
+        let v = w.into_vec();
+        let mut r = ByteReader::new(&v);
+        assert!(r.get_len_bytes().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_len_bytes(&[0xFF, 0xFE]);
+        let v = w.into_vec();
+        let mut r = ByteReader::new(&v);
+        assert!(r.get_str().is_err());
+    }
+
+    #[test]
+    fn checksum_differs_on_change() {
+        let a = checksum32(b"abc");
+        let b = checksum32(b"abd");
+        assert_ne!(a, b);
+        assert_eq!(checksum32(b"abc"), a);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let v = vec![0u8; 10];
+        let mut r = ByteReader::new(&v);
+        assert_eq!(r.position(), 0);
+        r.get_u32().unwrap();
+        assert_eq!(r.position(), 4);
+        assert_eq!(r.remaining(), 6);
+    }
+}

@@ -1,0 +1,102 @@
+//! The workspace error type.
+
+use core::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised anywhere in the ccdb stack.
+///
+/// The variants are deliberately coarse: the detailed, typed reporting of
+/// *tampering* lives in the auditor's `Violation` type, not here. `Error` is
+/// for operational failures (I/O, corrupt encodings, contract violations).
+#[derive(Debug)]
+pub enum Error {
+    /// An operating-system I/O failure, with the context in which it arose.
+    Io { context: String, source: std::io::Error },
+    /// A stored structure failed to decode or violated its own invariants.
+    Corruption(String),
+    /// An operation was rejected by the WORM server's immutability rules.
+    WormViolation(String),
+    /// An attempt to store a tuple/record that cannot fit in a page.
+    TupleTooLarge { size: usize, max: usize },
+    /// The requested item does not exist.
+    NotFound(String),
+    /// The operation conflicts with the current transaction state
+    /// (e.g. using a transaction handle after commit/abort).
+    InvalidTransactionState(String),
+    /// A lock could not be acquired (deadlock-avoidance abort).
+    LockConflict(String),
+    /// The operation violates a configuration or usage contract.
+    Invalid(String),
+    /// Compliance processing failed in a way that must halt transaction
+    /// processing (the paper: "if at any point we are unable to write to L,
+    /// transaction processing must halt until the problem is fixed").
+    ComplianceHalt(String),
+}
+
+impl Error {
+    /// Wraps an [`std::io::Error`] with a human-readable context string.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Error {
+        Error::Io { context: context.into(), source }
+    }
+
+    /// Builds a [`Error::Corruption`] from anything displayable.
+    pub fn corruption(msg: impl Into<String>) -> Error {
+        Error::Corruption(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { context, source } => write!(f, "I/O error ({context}): {source}"),
+            Error::Corruption(m) => write!(f, "corruption detected: {m}"),
+            Error::WormViolation(m) => write!(f, "WORM immutability violation: {m}"),
+            Error::TupleTooLarge { size, max } => {
+                write!(f, "tuple of {size} bytes exceeds page capacity {max}")
+            }
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::InvalidTransactionState(m) => write!(f, "invalid transaction state: {m}"),
+            Error::LockConflict(m) => write!(f, "lock conflict: {m}"),
+            Error::Invalid(m) => write!(f, "invalid operation: {m}"),
+            Error::ComplianceHalt(m) => write!(f, "compliance halt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::io("reading page 7", std::io::Error::other("x"));
+        let s = e.to_string();
+        assert!(s.contains("reading page 7"));
+    }
+
+    #[test]
+    fn corruption_constructor() {
+        let e = Error::corruption("bad magic");
+        assert!(matches!(e, Error::Corruption(_)));
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn source_chains_io() {
+        use std::error::Error as _;
+        let e = Error::io("ctx", std::io::Error::other("y"));
+        assert!(e.source().is_some());
+        assert!(Error::corruption("z").source().is_none());
+    }
+}

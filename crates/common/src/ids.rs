@@ -1,0 +1,142 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! Each id is a transparent newtype over an integer with an explicit
+//! byte-level encoding, so that on-disk formats and the compliance log can
+//! round-trip them without ambiguity.
+
+use core::fmt;
+
+/// A transaction identifier, assigned monotonically by the transaction
+/// manager. `TxnId(0)` is reserved and never assigned to a real transaction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// The reserved "no transaction" id.
+    pub const NONE: TxnId = TxnId(0);
+
+    /// Returns `true` if this is a real (assigned) transaction id.
+    #[inline]
+    pub fn is_real(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// A page number within a database file. Pages are never reused within a
+/// database lifetime (a requirement of the hash-page-on-read refinement: the
+/// auditor replays per-PGNO histories, so a PGNO must denote one page
+/// lineage).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNo(pub u64);
+
+impl PageNo {
+    /// Sentinel for "no page" (e.g. the end of a version chain).
+    pub const INVALID: PageNo = PageNo(u64::MAX);
+
+    /// Returns `true` unless this is the [`PageNo::INVALID`] sentinel.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != PageNo::INVALID
+    }
+}
+
+impl fmt::Debug for PageNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "pg{}", self.0)
+        } else {
+            write!(f, "pg-invalid")
+        }
+    }
+}
+
+impl fmt::Display for PageNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A relation (table or index) identifier, assigned by the catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RelId(pub u32);
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel{}", self.0)
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A log sequence number in the write-ahead log: the byte offset of a record
+/// in the logical log stream.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The LSN used for pages never touched by a logged operation.
+    pub const ZERO: Lsn = Lsn(0);
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lsn:{}", self.0)
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_none_is_not_real() {
+        assert!(!TxnId::NONE.is_real());
+        assert!(TxnId(1).is_real());
+    }
+
+    #[test]
+    fn page_no_invalid_sentinel() {
+        assert!(!PageNo::INVALID.is_valid());
+        assert!(PageNo(0).is_valid());
+        assert!(PageNo(12).is_valid());
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(TxnId(1) < TxnId(2));
+        assert!(Lsn(5) < Lsn(6));
+        assert!(PageNo(3) < PageNo(4));
+        assert!(RelId(1) < RelId(9));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", TxnId(7)), "txn#7");
+        assert_eq!(format!("{:?}", PageNo(7)), "pg7");
+        assert_eq!(format!("{:?}", PageNo::INVALID), "pg-invalid");
+        assert_eq!(format!("{:?}", RelId(7)), "rel7");
+        assert_eq!(format!("{:?}", Lsn(7)), "lsn:7");
+    }
+}

@@ -1,0 +1,237 @@
+//! Timestamps and the clock abstraction.
+//!
+//! Every time-dependent decision in the system — commit times, regret-interval
+//! sweeps, witness-file heartbeats, tuple expiry — reads time through the
+//! [`Clock`] trait. The default in tests and benchmarks is [`VirtualClock`],
+//! which only moves when told to, making regret-interval and expiry logic
+//! exactly reproducible. The WORM server holds its *own* trusted clock (the
+//! "compliance clock" of real WORM filers); the DBMS-side clock is untrusted
+//! in the threat model, which is why the auditor cross-checks DBMS-claimed
+//! times against WORM file create-times.
+
+use core::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point in time, in microseconds since an arbitrary epoch.
+///
+/// Microsecond resolution matches the paper's needs: regret intervals are
+/// minutes, commit times need only be strictly ordered.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+/// A span of time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp (the epoch).
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The maximum representable timestamp; used as "never expires".
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Saturating subtraction of a duration.
+    #[inline]
+    pub fn saturating_sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// The duration elapsed since `earlier` (zero if `earlier` is later).
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000)
+    }
+
+    /// Builds a duration from whole minutes.
+    #[inline]
+    pub const fn from_mins(m: u64) -> Duration {
+        Duration(m * 60 * 1_000_000)
+    }
+
+    /// Builds a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us)
+    }
+
+    /// Scales the duration by an integer factor, saturating on overflow.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> Duration {
+        Duration(self.0.saturating_mul(k))
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t@{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+/// A source of time. Implementations must be monotonic: successive `now()`
+/// calls never go backwards.
+pub trait Clock: Send + Sync {
+    /// The current time.
+    fn now(&self) -> Timestamp;
+}
+
+/// Shared handle to a clock.
+pub type ClockRef = Arc<dyn Clock>;
+
+/// A deterministic clock that advances only when told to, plus an optional
+/// automatic per-read tick so that successive reads are strictly increasing
+/// when strict ordering is required (commit-time assignment).
+pub struct VirtualClock {
+    now_us: AtomicU64,
+    tick_us: u64,
+}
+
+impl VirtualClock {
+    /// Creates a clock at time zero that does not auto-advance.
+    pub fn new() -> VirtualClock {
+        VirtualClock { now_us: AtomicU64::new(0), tick_us: 0 }
+    }
+
+    /// Creates a clock at time zero that advances by `tick` on every read,
+    /// guaranteeing strictly increasing observations.
+    pub fn ticking(tick: Duration) -> VirtualClock {
+        VirtualClock { now_us: AtomicU64::new(0), tick_us: tick.0.max(1) }
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.now_us.fetch_add(d.0, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to `t` if `t` is later than the current time
+    /// (monotonicity is preserved; earlier values are ignored).
+    pub fn advance_to(&self, t: Timestamp) {
+        self.now_us.fetch_max(t.0, Ordering::SeqCst);
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        VirtualClock::new()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Timestamp {
+        if self.tick_us == 0 {
+            Timestamp(self.now_us.load(Ordering::SeqCst))
+        } else {
+            Timestamp(self.now_us.fetch_add(self.tick_us, Ordering::SeqCst) + self.tick_us)
+        }
+    }
+}
+
+/// A wall-clock implementation backed by [`std::time::Instant`], anchored at
+/// process start so timestamps stay small and monotonic.
+pub struct SystemClock {
+    origin: std::time::Instant,
+}
+
+impl SystemClock {
+    /// Creates a clock anchored at "now".
+    pub fn new() -> SystemClock {
+        SystemClock { origin: std::time::Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.origin.elapsed().as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_manual() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Timestamp(0));
+        assert_eq!(c.now(), Timestamp(0));
+        c.advance(Duration::from_secs(3));
+        assert_eq!(c.now(), Timestamp(3_000_000));
+    }
+
+    #[test]
+    fn ticking_clock_is_strictly_increasing() {
+        let c = VirtualClock::ticking(Duration::from_micros(5));
+        let a = c.now();
+        let b = c.now();
+        assert!(b > a);
+        assert_eq!(b.0 - a.0, 5);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = VirtualClock::new();
+        c.advance_to(Timestamp(100));
+        assert_eq!(c.now(), Timestamp(100));
+        c.advance_to(Timestamp(50)); // ignored: would move backwards
+        assert_eq!(c.now(), Timestamp(100));
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(Duration::from_secs(2).0, 2_000_000);
+        assert_eq!(Duration::from_mins(1).0, 60_000_000);
+        assert_eq!(Duration::from_mins(5), Duration::from_secs(300));
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp(10);
+        assert_eq!(t.saturating_add(Duration(5)), Timestamp(15));
+        assert_eq!(t.saturating_sub(Duration(20)), Timestamp(0));
+        assert_eq!(Timestamp(30).since(Timestamp(10)), Duration(20));
+        assert_eq!(Timestamp(10).since(Timestamp(30)), Duration(0));
+    }
+
+    #[test]
+    fn system_clock_moves_forward() {
+        let c = SystemClock::new();
+        let a = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = c.now();
+        assert!(b > a);
+    }
+}

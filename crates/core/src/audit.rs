@@ -1,0 +1,1167 @@
+//! The auditor: one pass over the compliance log, the previous snapshot, and
+//! the final database state.
+//!
+//! The checks, keyed to the paper:
+//!
+//! * **Tuple completeness** (§IV): `Df = Ds ∪ L`, verified with the
+//!   commutative incremental ADD-HASH in a single pass — no sorting. A fold
+//!   identity is a tuple's canonical bytes (relation, key, commit time,
+//!   end-of-life flag, value) plus its tuple-order number; page splits and
+//!   recovery duplicates therefore never double-count.
+//! * **Status-record discipline** (§IV-B): at most one commit time per
+//!   transaction, never both `STAMP_TRANS` and `ABORT`, commit times
+//!   strictly increasing, no gap between consecutive stamps/heartbeats
+//!   longer than one regret interval except across a logged crash recovery,
+//!   a witness file for every interval the DBMS claims to have been alive.
+//! * **Page-read verification** (§V): the auditor replays every page's
+//!   content from `L` and checks each logged `READ` hash, resolving each
+//!   tuple's time by the offset rule — commit time iff the transaction's
+//!   `STAMP_TRANS` appears earlier in `L` than the `READ`.
+//! * **Split and migration verification** (§V–VI): the union of a split's
+//!   output pages must equal the input page plus the declared intermediate
+//!   versions; a migrated page's WORM copy must match its replayed state.
+//! * **Shred verification** (§VIII): every `UNDO` is justified by a prior
+//!   `ABORT` or `SHREDDED`; every shredded version had expired under the
+//!   retention period in force at shred time and was not under an active
+//!   litigation hold; everything listed as shredded is gone.
+//! * **Physical integrity** (§IV-C): slot structure, leaf sort order, and
+//!   parent/child separator consistency over every relation's tree — the
+//!   Figure 2 attacks.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ccdb_btree::{check_tree, BTree, IntegrityError, TimeRank};
+use ccdb_common::{Duration, PageNo, RelId, Result, Timestamp, TxnId};
+use ccdb_crypto::{sha256, AddHash, Digest};
+use ccdb_engine::Engine;
+use ccdb_storage::{BufferPool, Page, PageStore, PageType, TupleVersion, WriteTime};
+use ccdb_worm::WormServer;
+
+use crate::logger::{epoch_log_name, epoch_stamp_name, waltail_name, witness_name, StampIndexEntry};
+use crate::migrate::MigratedPage;
+use crate::plugin::{hs_element_bytes, inner_hs};
+use crate::records::{LogIter, LogRecord};
+use crate::shred::{Hold, HOLDS_RELATION};
+use crate::snapshot::{SnapPage, Snapshot, SnapshotManager};
+
+/// A specific piece of tamper evidence (or audit-process failure).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// `H(Ds ∪ L) ≠ H(Df)` — tuples were altered, removed, or inserted
+    /// outside the logged history.
+    CompletenessMismatch,
+    /// A tuple's writing transaction has neither a `STAMP_TRANS` nor an
+    /// `ABORT` on `L`.
+    UnstampedTransaction {
+        /// The unresolved transaction.
+        txn: TxnId,
+    },
+    /// A transaction has conflicting status records (two different commit
+    /// times, or both a stamp and an abort) — e.g. Mala appending spurious
+    /// `ABORT` records "to try to hide the existence of tuples that she
+    /// regrets".
+    ConflictingStatus {
+        /// The transaction with conflicting records.
+        txn: TxnId,
+    },
+    /// Commit times on `L` are not strictly increasing.
+    CommitTimesNotMonotonic {
+        /// Offset of the offending record.
+        offset: u64,
+    },
+    /// Consecutive stamps/heartbeats are more than one regret interval
+    /// apart with no crash recovery explaining the gap.
+    RegretGapExceeded {
+        /// Start of the gap.
+        from: Timestamp,
+        /// End of the gap.
+        to: Timestamp,
+    },
+    /// No witness file exists for a regret interval the system should have
+    /// been alive in.
+    MissingWitness {
+        /// The interval index.
+        interval: u64,
+    },
+    /// A logged page-read hash does not match the replayed page content —
+    /// the state-reversion attack.
+    ReadHashMismatch {
+        /// The page read.
+        pgno: PageNo,
+        /// Offset of the `READ` record.
+        offset: u64,
+    },
+    /// A page split's outputs do not partition its input (plus declared
+    /// intermediates).
+    SplitMismatch {
+        /// The split input page.
+        old: PageNo,
+    },
+    /// A physical tuple removal with no justifying `ABORT` or `SHREDDED`.
+    UnjustifiedUndo {
+        /// The affected page.
+        pgno: PageNo,
+    },
+    /// A page's final on-disk content differs from its replayed state.
+    StateMismatch {
+        /// The affected page.
+        pgno: PageNo,
+    },
+    /// An internal page's final content differs from the replayed index.
+    IndexMismatch {
+        /// The affected page.
+        pgno: PageNo,
+    },
+    /// A page failed structural validation or its checksum.
+    BadPage {
+        /// The affected page.
+        pgno: PageNo,
+        /// Why.
+        reason: String,
+    },
+    /// A B+-tree physical-integrity failure (Figure 2 attacks).
+    TreeIntegrity(IntegrityError),
+    /// A version listed in a `SHREDDED` record is still present.
+    ShredIncomplete {
+        /// Owning relation.
+        rel: RelId,
+        /// Tuple key.
+        key: Vec<u8>,
+    },
+    /// A shredded version had not expired under the retention policy.
+    ShredOfUnexpired {
+        /// Owning relation.
+        rel: RelId,
+        /// Tuple key.
+        key: Vec<u8>,
+    },
+    /// A shredded version was covered by an active litigation hold.
+    ShredOfHeld {
+        /// Owning relation.
+        rel: RelId,
+        /// Tuple key.
+        key: Vec<u8>,
+        /// The violated hold.
+        hold: String,
+    },
+    /// A migrated page's WORM copy does not match its replayed state.
+    MigrationMismatch {
+        /// The migrated page.
+        pgno: PageNo,
+    },
+    /// The previous snapshot failed to load or verify.
+    SnapshotInvalid {
+        /// Why.
+        reason: String,
+    },
+    /// The compliance log or stamp index is unreadable.
+    LogUnreadable {
+        /// Why.
+        reason: String,
+    },
+    /// The WORM WAL tail records a committed transaction that the
+    /// compliance log and database do not reflect — evidence the local WAL
+    /// was wiped within the regret window (the attack the WORM-resident
+    /// tail exists to defeat, Section IV-B).
+    WalTailInconsistent {
+        /// The transaction whose durable commit vanished.
+        txn: TxnId,
+    },
+}
+
+/// Timing and volume measurements (the audit-time table of Section VII-c).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AuditStats {
+    /// Time to load + fold the previous snapshot (µs wall).
+    pub snapshot_us: u64,
+    /// Time to scan `L` (µs wall).
+    pub log_scan_us: u64,
+    /// Time to scan + fold the final state (µs wall).
+    pub final_state_us: u64,
+    /// Records scanned in `L`.
+    pub records_scanned: u64,
+    /// Bytes of `L` scanned.
+    pub log_bytes: u64,
+    /// `READ` hashes verified.
+    pub reads_verified: u64,
+    /// Tuples folded from the final state.
+    pub tuples_final: u64,
+    /// Pages in the new snapshot.
+    pub snapshot_pages: u64,
+}
+
+/// A per-tuple forensic finding, localizing *what* was tampered where. The
+/// paper: storing the full snapshot "enables fine-grained forensic analysis
+/// if the next audit finds evidence of tampering."
+#[derive(Clone, Debug, PartialEq)]
+pub enum TupleFinding {
+    /// A tuple exists on disk with a different value/time than every logged
+    /// version at its position.
+    Altered {
+        /// Page holding the tuple.
+        pgno: PageNo,
+        /// Owning relation.
+        rel: RelId,
+        /// Tuple key.
+        key: Vec<u8>,
+        /// Tuple-order number.
+        seq: u16,
+        /// The value the log history predicts.
+        expected: Vec<u8>,
+        /// The value found on disk.
+        found: Vec<u8>,
+    },
+    /// A logged tuple version is gone from its page without an `UNDO` or
+    /// `SHREDDED` justification.
+    Missing {
+        /// Page that should hold the tuple.
+        pgno: PageNo,
+        /// Owning relation.
+        rel: RelId,
+        /// Tuple key.
+        key: Vec<u8>,
+        /// Tuple-order number.
+        seq: u16,
+    },
+    /// A tuple exists on disk that no logged insertion accounts for
+    /// (post-hoc insertion).
+    Forged {
+        /// Page holding the tuple.
+        pgno: PageNo,
+        /// Owning relation.
+        rel: RelId,
+        /// Tuple key.
+        key: Vec<u8>,
+        /// Tuple-order number.
+        seq: u16,
+    },
+}
+
+/// The outcome of an audit.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// The epoch audited.
+    pub epoch: u64,
+    /// Every violation found (empty for a compliant database).
+    pub violations: Vec<Violation>,
+    /// Per-tuple forensic localization of state mismatches (empty when
+    /// clean; complements the coarse [`Violation`] list).
+    pub forensics: Vec<TupleFinding>,
+    /// Measurements.
+    pub stats: AuditStats,
+}
+
+impl AuditReport {
+    /// Whether the database passed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Auditor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AuditConfig {
+    /// The regret interval the deployment promises.
+    pub regret_interval: Duration,
+    /// Verify logged `READ` hashes (hash-page-on-read refinement).
+    pub verify_reads: bool,
+    /// Enforce witness-file continuity.
+    pub check_witnesses: bool,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            regret_interval: Duration::from_mins(5),
+            verify_reads: true,
+            check_witnesses: true,
+        }
+    }
+}
+
+/// Replayed state of one page. (Some metadata fields are retained for
+/// forensic dumps and future checks even though the core audit path does
+/// not read them.)
+#[derive(Clone, Debug, Default)]
+#[allow(dead_code)]
+struct PageState {
+    rel: RelId,
+    kind: Option<PageType>,
+    historical: bool,
+    aux: u64,
+    /// Leaf: stored tuple versions. Inner: raw entry cells.
+    tuples: Vec<TupleVersion>,
+    cells: Vec<Vec<u8>>,
+}
+
+/// The auditor.
+pub struct Auditor {
+    worm: Arc<WormServer>,
+    snapshots: SnapshotManager,
+    config: AuditConfig,
+}
+
+/// Result of an audit, including the material to write the next snapshot.
+pub struct AuditOutcome {
+    /// The report.
+    pub report: AuditReport,
+    /// The verified final state, ready to become the next snapshot.
+    pub snapshot_pages: Vec<SnapPage>,
+    /// The fold over the final canonical tuple set.
+    pub tuple_hash: AddHash,
+}
+
+fn fold_identity(t: &TupleVersion, commit: Timestamp) -> Vec<u8> {
+    let mut b = t.canonical_bytes_with_time(commit);
+    b.extend_from_slice(&t.seq.to_le_bytes());
+    b
+}
+
+/// A tuple resolved for comparison: `(key, seq, commit-or-pending, eol, value)`.
+type ResolvedTuple = (Vec<u8>, u16, (u8, u64), bool, Vec<u8>);
+
+fn resolve_tuple(t: &TupleVersion, stamps: &HashMap<TxnId, (Timestamp, u64)>) -> ResolvedTuple {
+    let time = match t.time {
+        WriteTime::Committed(ct) => (1u8, ct.0),
+        WriteTime::Pending(txn) => match stamps.get(&txn) {
+            Some((ct, _)) => (1u8, ct.0),
+            None => (0u8, txn.0),
+        },
+    };
+    (t.key.clone(), t.seq, time, t.end_of_life, t.value.clone())
+}
+
+impl Auditor {
+    /// Creates an auditor over a WORM server with the given master seed
+    /// (snapshot signing lineage).
+    pub fn new(worm: Arc<WormServer>, master_seed: [u8; 32], config: AuditConfig) -> Auditor {
+        Auditor { worm: worm.clone(), snapshots: SnapshotManager::new(worm, master_seed), config }
+    }
+
+    /// The snapshot manager (exposed so the facade can write the post-audit
+    /// snapshot after a clean report).
+    pub fn snapshots(&self) -> &SnapshotManager {
+        &self.snapshots
+    }
+
+    /// Audits `epoch`: verifies the database's final state against the
+    /// previous snapshot and the epoch's compliance log. The engine must be
+    /// quiescent (checkpointed, no active transactions); the auditor reads
+    /// the final state from raw disk, bypassing the buffer cache and plugin.
+    pub fn audit(&self, engine: &Engine, epoch: u64) -> Result<AuditOutcome> {
+        let mut v: Vec<Violation> = Vec::new();
+        let mut stats = AuditStats::default();
+
+        // --- Phase A: previous snapshot -----------------------------------
+        let t0 = Instant::now();
+        let prev: Option<Snapshot> = if epoch == 0 {
+            None
+        } else {
+            match self.snapshots.load(epoch - 1) {
+                Ok(s) => s,
+                Err(e) => {
+                    v.push(Violation::SnapshotInvalid { reason: e.to_string() });
+                    None
+                }
+            }
+        };
+        let mut states: HashMap<PageNo, PageState> = HashMap::new();
+        let mut acc = AddHash::new();
+        let mut seen: HashSet<Vec<u8>> = HashSet::new();
+        if let Some(snap) = &prev {
+            let mut folded = AddHash::new();
+            for p in &snap.pages {
+                let mut st = PageState {
+                    rel: p.rel,
+                    kind: Some(p.kind),
+                    historical: p.historical,
+                    aux: p.aux,
+                    ..PageState::default()
+                };
+                match p.kind {
+                    PageType::Leaf => {
+                        for cell in &p.cells {
+                            match TupleVersion::decode_cell(cell) {
+                                Ok(t) => {
+                                    match t.time {
+                                        WriteTime::Committed(ct) => {
+                                            let id = fold_identity(&t, ct);
+                                            folded.add(&id);
+                                            seen.insert(id);
+                                        }
+                                        WriteTime::Pending(txn) => {
+                                            v.push(Violation::UnstampedTransaction { txn });
+                                        }
+                                    }
+                                    st.tuples.push(t);
+                                }
+                                Err(e) => v.push(Violation::BadPage {
+                                    pgno: p.pgno,
+                                    reason: format!("snapshot cell: {e}"),
+                                }),
+                            }
+                        }
+                    }
+                    _ => st.cells = p.cells.clone(),
+                }
+                states.insert(p.pgno, st);
+            }
+            if folded != snap.tuple_hash {
+                v.push(Violation::SnapshotInvalid {
+                    reason: "stored snapshot hash disagrees with snapshot content".into(),
+                });
+            }
+            acc = folded;
+        }
+        stats.snapshot_us = t0.elapsed().as_micros() as u64;
+
+        // --- Phase B: stamp index ------------------------------------------
+        let mut stamps: HashMap<TxnId, (Timestamp, u64)> = HashMap::new();
+        let mut aborts: HashMap<TxnId, u64> = HashMap::new();
+        let mut liveness: Vec<(Timestamp, u64)> = Vec::new();
+        match self.worm.read_all(&epoch_stamp_name(epoch)) {
+            Ok(bytes) => match StampIndexEntry::decode_all(&bytes) {
+                Ok(entries) => {
+                    for e in entries {
+                        match e {
+                            StampIndexEntry::Stamp { txn, time, offset } => {
+                                match stamps.get(&txn) {
+                                    Some((t0, _)) if *t0 != time => {
+                                        v.push(Violation::ConflictingStatus { txn });
+                                    }
+                                    Some(_) => {} // duplicate (recovery re-emission)
+                                    None => {
+                                        stamps.insert(txn, (time, offset));
+                                        liveness.push((time, offset));
+                                    }
+                                }
+                            }
+                            StampIndexEntry::Abort { txn, offset } => {
+                                aborts.entry(txn).or_insert(offset);
+                            }
+                            StampIndexEntry::Dummy { time, offset } => {
+                                liveness.push((time, offset));
+                            }
+                        }
+                    }
+                }
+                Err(e) => v.push(Violation::LogUnreadable { reason: e.to_string() }),
+            },
+            Err(e) => v.push(Violation::LogUnreadable { reason: e.to_string() }),
+        }
+        for txn in stamps.keys() {
+            if aborts.contains_key(txn) {
+                v.push(Violation::ConflictingStatus { txn: *txn });
+            }
+        }
+
+        // --- Phase C: main scan over L --------------------------------------
+        let t1 = Instant::now();
+        let log_bytes = self.worm.read_all(&epoch_log_name(epoch))?;
+        stats.log_bytes = log_bytes.len() as u64;
+        let mut recovery_windows: Vec<(u64, Timestamp)> = Vec::new();
+        // (rel, key, start) → (shred_time, pgno, consumed)
+        let mut shreds: BTreeMap<(RelId, Vec<u8>, Timestamp), (Timestamp, bool)> = BTreeMap::new();
+        let mut migrated: HashSet<PageNo> = HashSet::new();
+        // Versions verified to live on WORM after migration: (rel, key, ct).
+        let mut migrated_versions: HashSet<(RelId, Vec<u8>, Timestamp)> = HashSet::new();
+
+        for item in LogIter::new(&log_bytes) {
+            let (off, rec) = match item {
+                Ok(x) => x,
+                Err(e) => {
+                    v.push(Violation::LogUnreadable { reason: e.to_string() });
+                    break;
+                }
+            };
+            stats.records_scanned += 1;
+            match rec {
+                LogRecord::NewTuple { pgno, rel, cell } => {
+                    let t = match TupleVersion::decode_cell(&cell) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            v.push(Violation::LogUnreadable {
+                                reason: format!("NEW_TUPLE cell at {off}: {e}"),
+                            });
+                            continue;
+                        }
+                    };
+                    // Resolve the commit time (the auditor "must replace any
+                    // transaction ID by the commit time").
+                    let resolved = match t.time {
+                        WriteTime::Committed(ct) => Some(ct),
+                        WriteTime::Pending(txn) => stamps.get(&txn).map(|(ct, _)| *ct),
+                    };
+                    let aborted = t
+                        .time
+                        .pending()
+                        .map(|txn| aborts.contains_key(&txn))
+                        .unwrap_or(false);
+                    if let Some(ct) = resolved {
+                        let id = fold_identity(&t, ct);
+                        if seen.insert(id.clone()) {
+                            acc.add(&id);
+                        }
+                    } else if !aborted {
+                        if let Some(txn) = t.time.pending() {
+                            v.push(Violation::UnstampedTransaction { txn });
+                        }
+                    }
+                    // Page state: the physical tuple (stored form) joins the
+                    // page unless this NEW_TUPLE is a recovery duplicate of
+                    // something already there.
+                    let st = states.entry(pgno).or_insert_with(|| PageState {
+                        rel,
+                        kind: Some(PageType::Leaf),
+                        ..PageState::default()
+                    });
+                    if !st.tuples.iter().any(|e| e.key == t.key && e.seq == t.seq) {
+                        st.tuples.push(t);
+                    }
+                }
+                LogRecord::Undo { pgno, rel: _, cell } => {
+                    let t = match TupleVersion::decode_cell(&cell) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            v.push(Violation::LogUnreadable {
+                                reason: format!("UNDO cell at {off}: {e}"),
+                            });
+                            continue;
+                        }
+                    };
+                    let justified = match t.time {
+                        WriteTime::Pending(txn) => aborts.contains_key(&txn),
+                        WriteTime::Committed(ct) => {
+                            match shreds.get_mut(&(t.rel, t.key.clone(), ct)) {
+                                Some(entry) => {
+                                    if !entry.1 {
+                                        entry.1 = true;
+                                        // The shredded version leaves the
+                                        // completeness universe.
+                                        let id = fold_identity(&t, ct);
+                                        if seen.remove(&id) {
+                                            acc.remove(&id);
+                                        }
+                                    }
+                                    true
+                                }
+                                None => false,
+                            }
+                        }
+                    };
+                    if !justified {
+                        v.push(Violation::UnjustifiedUndo { pgno });
+                    }
+                    if let Some(st) = states.get_mut(&pgno) {
+                        if let Some(pos) =
+                            st.tuples.iter().position(|e| e.key == t.key && e.seq == t.seq)
+                        {
+                            st.tuples.remove(pos);
+                        }
+                        // Absent: a duplicate UNDO from crash recovery — the
+                        // paper tolerates these.
+                    }
+                }
+                LogRecord::Read { pgno, hs } => {
+                    if self.config.verify_reads {
+                        let expect = match states.get(&pgno) {
+                            Some(st) if st.kind == Some(PageType::Inner) => {
+                                inner_hs(st.cells.iter().map(|c| c.as_slice()))
+                            }
+                            Some(st) => {
+                                leaf_read_hash(&st.tuples, &stamps, off)
+                            }
+                            None => leaf_read_hash(&[], &stamps, off),
+                        };
+                        if expect != hs {
+                            v.push(Violation::ReadHashMismatch { pgno, offset: off });
+                        }
+                        stats.reads_verified += 1;
+                    }
+                }
+                LogRecord::PageSplit { old, rel, left, right, intermediates } => {
+                    let old_state = states.remove(&old).unwrap_or_default();
+                    let is_leaf = !matches!(old_state.kind, Some(PageType::Inner));
+                    if is_leaf {
+                        // Union check on resolved tuples.
+                        let mut input: Vec<ResolvedTuple> = old_state
+                            .tuples
+                            .iter()
+                            .map(|t| resolve_tuple(t, &stamps))
+                            .collect();
+                        let mut inters = Vec::new();
+                        for c in &intermediates {
+                            match TupleVersion::decode_cell(c) {
+                                Ok(t) => {
+                                    input.push(resolve_tuple(&t, &stamps));
+                                    inters.push(t);
+                                }
+                                Err(e) => v.push(Violation::LogUnreadable {
+                                    reason: format!("split intermediate at {off}: {e}"),
+                                }),
+                            }
+                        }
+                        let mut output: Vec<ResolvedTuple> = Vec::new();
+                        let mut install = |side: &crate::records::SplitSide,
+                                           states: &mut HashMap<PageNo, PageState>|
+                         -> Result<()> {
+                            let mut st = PageState {
+                                rel,
+                                kind: Some(PageType::Leaf),
+                                historical: side.historical,
+                                ..PageState::default()
+                            };
+                            for c in &side.cells {
+                                let t = TupleVersion::decode_cell(c)?;
+                                output.push(resolve_tuple(&t, &stamps));
+                                st.tuples.push(t);
+                            }
+                            states.insert(side.pgno, st);
+                            Ok(())
+                        };
+                        if install(&left, &mut states).is_err() || install(&right, &mut states).is_err()
+                        {
+                            v.push(Violation::SplitMismatch { old });
+                        } else {
+                            input.sort();
+                            output.sort();
+                            if input != output {
+                                if std::env::var("CCDB_AUDIT_DEBUG").is_ok() {
+                                    let only_in: Vec<_> = input.iter().filter(|x| !output.contains(x)).collect();
+                                    let only_out: Vec<_> = output.iter().filter(|x| !input.contains(x)).collect();
+                                    eprintln!("SPLIT MISMATCH old={old:?} in-not-out={only_in:?} out-not-in={only_out:?}");
+                                }
+                                v.push(Violation::SplitMismatch { old });
+                            }
+                        }
+                        // Intermediates are genuinely new tuples.
+                        for t in inters {
+                            if let WriteTime::Committed(ct) = t.time {
+                                let id = fold_identity(&t, ct);
+                                if seen.insert(id.clone()) {
+                                    acc.add(&id);
+                                }
+                            } else {
+                                v.push(Violation::SplitMismatch { old });
+                            }
+                        }
+                    } else {
+                        // Inner split: the record's content is authoritative.
+                        // (The tree rebuilds a parent's entry list in memory
+                        // — remove one child entry, add two — and splits the
+                        // *modified* list, so the physical input page never
+                        // holds the split's exact input; a union check would
+                        // be vacuous. Index integrity is enforced by the
+                        // final-state comparison plus the physical
+                        // parent/child checks, which is where the Figure 2(c)
+                        // attack is caught.)
+                        let _ = old_state;
+                        for side in [&left, &right] {
+                            states.insert(
+                                side.pgno,
+                                PageState {
+                                    rel,
+                                    kind: Some(PageType::Inner),
+                                    cells: side.cells.clone(),
+                                    ..PageState::default()
+                                },
+                            );
+                        }
+                    }
+                }
+                LogRecord::IndexInsert { pgno, cell } => {
+                    let st = states.entry(pgno).or_insert_with(|| PageState {
+                        kind: Some(PageType::Inner),
+                        ..PageState::default()
+                    });
+                    // Crash recovery regenerates index records at the next
+                    // pwrite; duplicates are skipped (entries are unique).
+                    if !st.cells.contains(&cell) {
+                        let pos = st
+                            .cells
+                            .iter()
+                            .position(|c| entry_order(c) > entry_order(&cell))
+                            .unwrap_or(st.cells.len());
+                        st.cells.insert(pos, cell);
+                    }
+                }
+                LogRecord::IndexRemove { pgno, cell } => {
+                    // Absent entries are tolerated (duplicate removals from
+                    // recovery); real index tampering is caught by the
+                    // final-state comparison.
+                    if let Some(st) = states.get_mut(&pgno) {
+                        if let Some(pos) = st.cells.iter().position(|c| *c == cell) {
+                            st.cells.remove(pos);
+                        }
+                    }
+                }
+                LogRecord::NewRoot { rel: _, pgno, cells } => {
+                    states.entry(pgno).or_insert_with(|| PageState {
+                        kind: Some(PageType::Inner),
+                        cells,
+                        ..PageState::default()
+                    });
+                }
+                LogRecord::Migrate { pgno, rel, worm_file, content_hash } => {
+                    let st = states.remove(&pgno).unwrap_or_default();
+                    match self.worm.read_all(&worm_file).and_then(|b| MigratedPage::decode(&b)) {
+                        Ok(mp) => {
+                            let stored_hash = crate::plugin::page_content_hash(&mp.cells);
+                            let mut copy: Vec<ResolvedTuple> = Vec::new();
+                            let mut ok = stored_hash == content_hash;
+                            for c in &mp.cells {
+                                match TupleVersion::decode_cell(c) {
+                                    Ok(t) => copy.push(resolve_tuple(&t, &stamps)),
+                                    Err(_) => ok = false,
+                                }
+                            }
+                            let mut orig: Vec<ResolvedTuple> =
+                                st.tuples.iter().map(|t| resolve_tuple(t, &stamps)).collect();
+                            copy.sort();
+                            orig.sort();
+                            if !ok || copy != orig {
+                                v.push(Violation::MigrationMismatch { pgno });
+                            } else {
+                                // Verified: the page's tuples leave the
+                                // auditing universe.
+                                for t in &st.tuples {
+                                    let ct = match t.time {
+                                        WriteTime::Committed(ct) => Some(ct),
+                                        WriteTime::Pending(txn) => {
+                                            stamps.get(&txn).map(|(c, _)| *c)
+                                        }
+                                    };
+                                    if let Some(ct) = ct {
+                                        let id = fold_identity(t, ct);
+                                        if seen.remove(&id) {
+                                            acc.remove(&id);
+                                        }
+                                        migrated_versions.insert((rel, t.key.clone(), ct));
+                                    }
+                                }
+                                migrated.insert(pgno);
+                            }
+                        }
+                        Err(e) => {
+                            v.push(Violation::MigrationMismatch { pgno });
+                            let _ = (e, rel);
+                        }
+                    }
+                }
+                LogRecord::Shredded { rel, key, start_time, pgno: _, content_hash: _, shred_time } => {
+                    shreds.insert((rel, key, start_time), (shred_time, false));
+                }
+                LogRecord::StartRecovery { time } => {
+                    recovery_windows.push((off, time));
+                }
+                LogRecord::StampTrans { .. }
+                | LogRecord::Abort { .. }
+                | LogRecord::DummyStamp { .. } => {}
+            }
+        }
+        stats.log_scan_us = t1.elapsed().as_micros() as u64;
+
+        // --- Liveness discipline ----------------------------------------------
+        // 1. Commit/heartbeat times are non-decreasing in log order — a
+        //    backdated record appended later in L is caught here.
+        // 2. Every liveness event falls in an interval with a *valid*
+        //    witness file: one whose trusted WORM create time lies in (or
+        //    just after) that interval. Mala cannot retro-create a witness —
+        //    the compliance clock stamps her file with the real time.
+        // 3. Every witnessed interval strictly between the first and last
+        //    event contains at least one liveness event (the system promises
+        //    a heartbeat per live interval, bounding the backdating window
+        //    to one regret interval).
+        liveness.sort_by_key(|(_, off)| *off);
+        let mut last: Option<Timestamp> = None;
+        for (time, off) in &liveness {
+            if let Some(pt) = last {
+                if *time < pt {
+                    v.push(Violation::CommitTimesNotMonotonic { offset: *off });
+                }
+            }
+            last = Some(*time);
+        }
+        let _ = &recovery_windows;
+        if self.config.check_witnesses && self.config.regret_interval.0 > 0 {
+            let r = self.config.regret_interval.0;
+            let valid_witness = |interval: u64| -> bool {
+                match self.worm.stat(&witness_name(epoch, interval)) {
+                    Ok(meta) => {
+                        let ct = meta.create_time.0;
+                        ct >= interval * r && ct < (interval + 2) * r
+                    }
+                    Err(_) => false,
+                }
+            };
+            let mut event_intervals: HashSet<u64> = HashSet::new();
+            for (time, _) in &liveness {
+                event_intervals.insert(time.0 / r);
+            }
+            for interval in &event_intervals {
+                if !valid_witness(*interval) {
+                    v.push(Violation::MissingWitness { interval: *interval });
+                }
+            }
+            if let (Some((first, _)), Some((last, _))) = (liveness.first(), liveness.last()) {
+                let lo = first.0 / r;
+                let hi = last.0 / r;
+                for interval in lo + 1..hi {
+                    if valid_witness(interval) && !event_intervals.contains(&interval) {
+                        v.push(Violation::RegretGapExceeded {
+                            from: Timestamp(interval * r),
+                            to: Timestamp((interval + 1) * r),
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- Shred legality ---------------------------------------------------
+        let holds = holds_as_of_now(engine).unwrap_or_default();
+        for ((rel, key, start), (shred_time, consumed)) in &shreds {
+            if !consumed {
+                v.push(Violation::ShredIncomplete { rel: *rel, key: key.clone() });
+            }
+            let rel_name = engine
+                .user_relations()
+                .into_iter()
+                .find(|(_, r)| r == rel)
+                .map(|(n, _)| n);
+            if let Some(name) = rel_name {
+                let retention = retention_as_of(engine, &name, *shred_time).unwrap_or(None);
+                match retention {
+                    Some(rho) => {
+                        if start.saturating_add(rho) > *shred_time {
+                            v.push(Violation::ShredOfUnexpired { rel: *rel, key: key.clone() });
+                        }
+                    }
+                    None => v.push(Violation::ShredOfUnexpired { rel: *rel, key: key.clone() }),
+                }
+                for h in &holds {
+                    if h.covers(&name, key) {
+                        v.push(Violation::ShredOfHeld {
+                            rel: *rel,
+                            key: key.clone(),
+                            hold: h.id.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- WAL-tail cross-check ---------------------------------------------
+        // "This is why we require the tail of the transaction log … to be on
+        // WORM, and that it be retained until the next audit": commits that
+        // are durable in the tail must be acknowledged by L (a STAMP_TRANS)
+        // and their writes present in the final state — a wiped local WAL
+        // cannot silently unwind recent commits.
+        if self.worm.exists(&waltail_name(epoch)) {
+            let tail_bytes = self.worm.read_all(&waltail_name(epoch))?;
+            let mut reader = ccdb_wal::WalReader::from_bytes(tail_bytes);
+            let mut tail_commits: HashSet<TxnId> = HashSet::new();
+            let mut tail_inserts: HashMap<TxnId, Vec<(RelId, Vec<u8>)>> = HashMap::new();
+            while let Some((_lsn, rec)) = reader.next_record() {
+                match rec {
+                    ccdb_wal::WalRecord::Commit { txn, .. } => {
+                        tail_commits.insert(txn);
+                    }
+                    ccdb_wal::WalRecord::Insert { txn, rel, key, .. } => {
+                        tail_inserts.entry(txn).or_default().push((rel, key));
+                    }
+                    _ => {}
+                }
+            }
+            for txn in &tail_commits {
+                if !stamps.contains_key(txn) {
+                    v.push(Violation::WalTailInconsistent { txn: *txn });
+                    continue;
+                }
+                let ct = stamps[txn].0;
+                for (rel, key) in tail_inserts.get(txn).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    let present = engine
+                        .tree(*rel)
+                        .ok()
+                        .and_then(|tree| tree.versions(key).ok())
+                        .map(|vs| {
+                            vs.iter().any(|t| {
+                                t.time == WriteTime::Committed(ct)
+                                    || t.time == WriteTime::Pending(*txn)
+                            })
+                        })
+                        .unwrap_or(false)
+                        || engine
+                            .historical_versions(*rel, key)
+                            .map(|vs| {
+                                vs.iter().any(|t| t.time == WriteTime::Committed(ct))
+                            })
+                            .unwrap_or(false);
+                    // Vacuumed (legally shredded) and WORM-migrated
+                    // versions are excused — they are accounted elsewhere.
+                    let shredded = shreds.contains_key(&(*rel, key.clone(), ct));
+                    let on_worm = migrated_versions.contains(&(*rel, key.clone(), ct));
+                    if !present && !shredded && !on_worm {
+                        if std::env::var("CCDB_AUDIT_DEBUG").is_ok() {
+                            eprintln!("TAIL MISS txn={txn:?} rel={rel:?} key={key:02x?} ct={ct:?}");
+                        }
+                        v.push(Violation::WalTailInconsistent { txn: *txn });
+                        break;
+                    }
+                }
+            }
+        }
+
+        // --- Phase D: final state ----------------------------------------------
+        let t2 = Instant::now();
+        let disk = engine.disk();
+        let mut h_final = AddHash::new();
+        let mut forensics: Vec<TupleFinding> = Vec::new();
+        let mut snapshot_pages: Vec<SnapPage> = Vec::new();
+        for i in 0..disk.page_count() {
+            let pgno = PageNo(i);
+            let raw = disk.read_raw(pgno)?;
+            if raw.iter().all(|b| *b == 0) {
+                continue; // allocated, never written
+            }
+            let page = match Page::from_bytes(&raw) {
+                Ok(p) => p,
+                Err(e) => {
+                    v.push(Violation::BadPage { pgno, reason: e.to_string() });
+                    continue;
+                }
+            };
+            if !page.verify_checksum() {
+                v.push(Violation::BadPage { pgno, reason: "checksum mismatch".into() });
+            }
+            match page.page_type() {
+                PageType::Free => continue,
+                PageType::Leaf => {
+                    let mut tuples = Vec::new();
+                    for cell in page.cells() {
+                        match TupleVersion::decode_cell(cell) {
+                            Ok(t) => tuples.push(t),
+                            Err(e) => v.push(Violation::BadPage {
+                                pgno,
+                                reason: format!("cell: {e}"),
+                            }),
+                        }
+                    }
+                    for t in &tuples {
+                        let ct = match t.time {
+                            WriteTime::Committed(ct) => Some(ct),
+                            WriteTime::Pending(txn) => {
+                                let r = stamps.get(&txn).map(|(c, _)| *c);
+                                if r.is_none() {
+                                    v.push(Violation::UnstampedTransaction { txn });
+                                }
+                                r
+                            }
+                        };
+                        if let Some(ct) = ct {
+                            h_final.add(&fold_identity(t, ct));
+                            stats.tuples_final += 1;
+                        }
+                    }
+                    // Replay comparison, with per-tuple forensic diffing on
+                    // mismatch: match disk vs replayed tuples by (key, seq);
+                    // value/time disagreements are alterations, replay-only
+                    // entries are missing tuples, disk-only entries are
+                    // forgeries.
+                    let replayed: &[TupleVersion] =
+                        states.get(&pgno).map(|st| st.tuples.as_slice()).unwrap_or(&[]);
+                    let mut a: Vec<ResolvedTuple> =
+                        tuples.iter().map(|t| resolve_tuple(t, &stamps)).collect();
+                    let mut b: Vec<ResolvedTuple> =
+                        replayed.iter().map(|t| resolve_tuple(t, &stamps)).collect();
+                    a.sort();
+                    b.sort();
+                    if a != b {
+                        v.push(Violation::StateMismatch { pgno });
+                        let rel = page.rel_id();
+                        use std::collections::HashMap as Map;
+                        let mut disk_by: Map<(Vec<u8>, u16), &TupleVersion> =
+                            tuples.iter().map(|t| ((t.key.clone(), t.seq), t)).collect();
+                        for r in replayed {
+                            match disk_by.remove(&(r.key.clone(), r.seq)) {
+                                Some(d) => {
+                                    if resolve_tuple(d, &stamps) != resolve_tuple(r, &stamps) {
+                                        forensics.push(TupleFinding::Altered {
+                                            pgno,
+                                            rel,
+                                            key: r.key.clone(),
+                                            seq: r.seq,
+                                            expected: r.value.clone(),
+                                            found: d.value.clone(),
+                                        });
+                                    }
+                                }
+                                None => forensics.push(TupleFinding::Missing {
+                                    pgno,
+                                    rel,
+                                    key: r.key.clone(),
+                                    seq: r.seq,
+                                }),
+                            }
+                        }
+                        for ((key, seq), _d) in disk_by {
+                            forensics.push(TupleFinding::Forged { pgno, rel, key, seq });
+                        }
+                    }
+                    snapshot_pages.push(SnapPage {
+                        pgno,
+                        rel: page.rel_id(),
+                        kind: PageType::Leaf,
+                        historical: page.is_historical(),
+                        aux: page.aux(),
+                        cells: page.cells().map(|c| c.to_vec()).collect(),
+                    });
+                }
+                PageType::Inner => {
+                    let cells: Vec<Vec<u8>> = page.cells().map(|c| c.to_vec()).collect();
+                    if let Some(st) = states.get(&pgno) {
+                        let mut a = cells.clone();
+                        let mut b = st.cells.clone();
+                        a.sort();
+                        b.sort();
+                        if a != b {
+                            v.push(Violation::IndexMismatch { pgno });
+                        }
+                    }
+                    snapshot_pages.push(SnapPage {
+                        pgno,
+                        rel: page.rel_id(),
+                        kind: PageType::Inner,
+                        historical: false,
+                        aux: page.aux(),
+                        cells,
+                    });
+                }
+                PageType::Meta => {}
+            }
+        }
+        // Replayed pages that no longer exist on disk (and were not
+        // migrated) indicate shredding of whole pages outside the protocol.
+        for (pgno, st) in &states {
+            if st.kind == Some(PageType::Leaf)
+                && !st.tuples.is_empty()
+                && !migrated.contains(pgno)
+                && pgno.0 >= disk.page_count()
+            {
+                v.push(Violation::StateMismatch { pgno: *pgno });
+            }
+        }
+        if acc != h_final {
+            v.push(Violation::CompletenessMismatch);
+        }
+        // Physical tree integrity (Figure 2 checks) over a fresh raw pool.
+        {
+            let raw_pool = Arc::new(BufferPool::new(
+                disk.clone() as Arc<dyn ccdb_storage::PageStore>,
+                engine.clock().clone(),
+                1024,
+            ));
+            for (_name, rel) in engine.user_relations() {
+                if let Ok(tree) = engine.tree(rel) {
+                    let shadow = BTree::open(
+                        raw_pool.clone(),
+                        engine.clock().clone(),
+                        rel,
+                        ccdb_btree::SplitPolicy::KeyOnly,
+                        tree.root(),
+                        vec![],
+                    );
+                    match check_tree(&raw_pool, &shadow) {
+                        Ok(errs) => v.extend(errs.into_iter().map(Violation::TreeIntegrity)),
+                        Err(e) => v.push(Violation::BadPage {
+                            pgno: tree.root(),
+                            reason: format!("tree walk: {e}"),
+                        }),
+                    }
+                }
+            }
+        }
+        stats.final_state_us = t2.elapsed().as_micros() as u64;
+        stats.snapshot_pages = snapshot_pages.len() as u64;
+
+        Ok(AuditOutcome {
+            report: AuditReport { epoch, violations: v, forensics, stats },
+            snapshot_pages,
+            tuple_hash: h_final,
+        })
+    }
+}
+
+/// Read-hash of a leaf page state at a given `READ` offset: each pending
+/// tuple is hashed with its commit time iff its `STAMP_TRANS` appears
+/// earlier in `L` than the read.
+fn leaf_read_hash(
+    tuples: &[TupleVersion],
+    stamps: &HashMap<TxnId, (Timestamp, u64)>,
+    read_offset: u64,
+) -> Digest {
+    let mut sorted: Vec<&TupleVersion> = tuples.iter().collect();
+    sorted.sort_by_key(|t| t.seq);
+    let mut chain = ccdb_crypto::HsChain::new();
+    for t in sorted {
+        let rc = t.time.pending().and_then(|txn| match stamps.get(&txn) {
+            Some((ct, soff)) if *soff < read_offset => Some(*ct),
+            _ => None,
+        });
+        chain.extend(&hs_element_bytes(t, rc));
+    }
+    chain.value()
+}
+
+/// The `(key, rank)` order of an encoded index entry; undecodable cells sort
+/// last (and will be flagged by the physical checks).
+fn entry_order(cell: &[u8]) -> (Vec<u8>, (u8, u64)) {
+    match ccdb_btree::IndexEntry::decode(cell) {
+        Ok(e) => {
+            let mut w = ccdb_common::ByteWriter::new();
+            e.rank.encode(&mut w);
+            let v = w.into_vec();
+            (e.key, (v[0], u64::from_le_bytes(v[1..9].try_into().expect("8"))))
+        }
+        Err(_) => (vec![0xFF; 64], (0xFF, u64::MAX)),
+    }
+}
+
+/// The litigation holds currently active (used for shred legality; holds
+/// are themselves version-tracked so a forensic auditor can also evaluate
+/// them as of the shred time).
+fn holds_as_of_now(engine: &Engine) -> Result<Vec<Hold>> {
+    let Some(rel) = engine.rel_id(HOLDS_RELATION) else {
+        return Ok(Vec::new());
+    };
+    let mut holds = Vec::new();
+    engine.range_current(TxnId::NONE, rel, &[], &[0xFF; 64], &mut |k, val| {
+        holds.push(Hold::decode(k, val)?);
+        Ok(())
+    })?;
+    Ok(holds)
+}
+
+/// Retention period for `rel_name` as of time `t`, read from the Expiry
+/// relation's version history.
+fn retention_as_of(engine: &Engine, rel_name: &str, t: Timestamp) -> Result<Option<Duration>> {
+    let Some(expiry) = engine.rel_id(ccdb_engine::engine::EXPIRY_RELATION) else {
+        return Ok(None);
+    };
+    Ok(engine.read_as_of(expiry, rel_name.as_bytes(), t)?.map(|val| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&val[..8]);
+        Duration(u64::from_le_bytes(b))
+    }))
+}
+
+/// Cheap helper used by tests: the rank ordering of a pending version.
+pub fn pending_rank(txn: TxnId) -> TimeRank {
+    TimeRank::pending(txn)
+}
+
+/// Content hash of a canonical tuple (shared with `SHREDDED` records).
+pub fn tuple_content_hash(t: &TupleVersion) -> Digest {
+    sha256(&t.canonical_bytes())
+}

@@ -1,0 +1,527 @@
+//! The compliance logger: the append path to the log `L` on WORM.
+//!
+//! `L` is epoch-structured: one file per audit period (`L/epoch-N`). At each
+//! audit the current file is permanently sealed and a new one opened ("the
+//! current file for L is permanently closed, a new one is opened"). Alongside
+//! `L` the logger maintains:
+//!
+//! * the **auxiliary stamp index** (`Lstamp/epoch-N`) listing every
+//!   `STAMP_TRANS` / `ABORT` / heartbeat with its offset in `L`, so the
+//!   auditor can build its transaction table without a pre-pass over the
+//!   (much larger) main log;
+//! * **witness files** (`witness/eN-iK`) — one empty file per regret
+//!   interval, whose trusted create time proves the DBMS was alive then;
+//! * heartbeat `DUMMY_STAMP` records when a regret interval would otherwise
+//!   pass without a transaction ending.
+//!
+//! Records are buffered in memory and reach WORM on [`ComplianceLogger::flush`]
+//! — which the plugin invokes before any data page is written, and the
+//! regret-interval tick invokes unconditionally. Transactions therefore never
+//! wait on WORM at commit, yet every `NEW_TUPLE` is on WORM within one regret
+//! interval of its page write, and every page write follows its records.
+
+use std::sync::Arc;
+
+use ccdb_common::{ByteReader, ByteWriter, ClockRef, Duration, Error, Result, Timestamp, TxnId};
+use ccdb_worm::{WormFile, WormServer};
+use parking_lot::Mutex;
+
+use crate::records::LogRecord;
+
+/// One entry of the auxiliary stamp index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StampIndexEntry {
+    /// A `STAMP_TRANS` at `offset` in `L`.
+    Stamp {
+        /// Committed transaction.
+        txn: TxnId,
+        /// Commit time.
+        time: Timestamp,
+        /// Offset of the record in `L`.
+        offset: u64,
+    },
+    /// An `ABORT` at `offset`.
+    Abort {
+        /// Aborted transaction.
+        txn: TxnId,
+        /// Offset of the record in `L`.
+        offset: u64,
+    },
+    /// A heartbeat at `offset`.
+    Dummy {
+        /// Heartbeat time.
+        time: Timestamp,
+        /// Offset of the record in `L`.
+        offset: u64,
+    },
+}
+
+impl StampIndexEntry {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(26);
+        match self {
+            StampIndexEntry::Stamp { txn, time, offset } => {
+                w.put_u8(1);
+                w.put_u64(txn.0);
+                w.put_u64(time.0);
+                w.put_u64(*offset);
+            }
+            StampIndexEntry::Abort { txn, offset } => {
+                w.put_u8(2);
+                w.put_u64(txn.0);
+                w.put_u64(*offset);
+            }
+            StampIndexEntry::Dummy { time, offset } => {
+                w.put_u8(3);
+                w.put_u64(time.0);
+                w.put_u64(*offset);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decodes one entry from the reader.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<StampIndexEntry> {
+        Ok(match r.get_u8()? {
+            1 => StampIndexEntry::Stamp {
+                txn: TxnId(r.get_u64()?),
+                time: Timestamp(r.get_u64()?),
+                offset: r.get_u64()?,
+            },
+            2 => StampIndexEntry::Abort { txn: TxnId(r.get_u64()?), offset: r.get_u64()? },
+            3 => StampIndexEntry::Dummy { time: Timestamp(r.get_u64()?), offset: r.get_u64()? },
+            t => return Err(Error::corruption(format!("bad stamp-index tag {t}"))),
+        })
+    }
+
+    /// Decodes a whole stamp-index file.
+    pub fn decode_all(bytes: &[u8]) -> Result<Vec<StampIndexEntry>> {
+        let mut r = ByteReader::new(bytes);
+        let mut out = Vec::new();
+        while !r.is_exhausted() {
+            out.push(StampIndexEntry::decode(&mut r)?);
+        }
+        Ok(out)
+    }
+}
+
+/// WORM file name of an `L` epoch.
+pub fn epoch_log_name(epoch: u64) -> String {
+    format!("L/epoch-{epoch}")
+}
+
+/// WORM file name of a stamp-index epoch.
+pub fn epoch_stamp_name(epoch: u64) -> String {
+    format!("Lstamp/epoch-{epoch}")
+}
+
+/// WORM file name of a witness file.
+pub fn witness_name(epoch: u64, interval: u64) -> String {
+    format!("witness/e{epoch}-i{interval}")
+}
+
+/// WORM file name of the WAL-tail mirror for an epoch.
+pub fn waltail_name(epoch: u64) -> String {
+    format!("waltail/epoch-{epoch}")
+}
+
+struct EpochState {
+    epoch: u64,
+    log: WormFile,
+    stamp: WormFile,
+    /// Durable length of the epoch log on WORM.
+    durable: u64,
+    /// Buffered (not yet on WORM) record bytes.
+    pending: Vec<u8>,
+    stamp_pending: Vec<u8>,
+    last_stamp_time: Timestamp,
+    last_witness_interval: Option<u64>,
+    records_appended: u64,
+}
+
+/// The compliance logger.
+pub struct ComplianceLogger {
+    worm: Arc<WormServer>,
+    clock: ClockRef,
+    regret: Duration,
+    /// Retention horizon applied to epoch artifacts at creation
+    /// (`Timestamp::MAX` = indefinite). The paper's lifecycle: "the
+    /// compliance log file can be deleted after every audit" — so artifacts
+    /// only need to outlive the *next* audit; deployments set this to a
+    /// comfortable multiple of the audit period.
+    artifact_retention: Mutex<Duration>,
+    state: Mutex<EpochState>,
+}
+
+impl ComplianceLogger {
+    /// Opens the logger for `epoch`, creating the epoch files if they do not
+    /// exist (re-opening after a crash continues the same epoch).
+    pub fn open(
+        worm: Arc<WormServer>,
+        clock: ClockRef,
+        regret: Duration,
+        epoch: u64,
+    ) -> Result<ComplianceLogger> {
+        let log_name = epoch_log_name(epoch);
+        let stamp_name = epoch_stamp_name(epoch);
+        let log = if worm.exists(&log_name) {
+            worm.handle(&log_name)?
+        } else {
+            worm.create(&log_name, Timestamp::MAX)?
+        };
+        let stamp = if worm.exists(&stamp_name) {
+            worm.handle(&stamp_name)?
+        } else {
+            worm.create(&stamp_name, Timestamp::MAX)?
+        };
+        let durable = worm.stat(&log_name)?.len;
+        let now = clock.now();
+        Ok(ComplianceLogger {
+            worm,
+            clock,
+            regret,
+            artifact_retention: Mutex::new(Duration(u64::MAX)),
+            state: Mutex::new(EpochState {
+                epoch,
+                log,
+                stamp,
+                durable,
+                pending: Vec::new(),
+                stamp_pending: Vec::new(),
+                last_stamp_time: now,
+                last_witness_interval: None,
+                records_appended: 0,
+            }),
+        })
+    }
+
+    /// The regret interval this logger enforces.
+    pub fn regret_interval(&self) -> Duration {
+        self.regret
+    }
+
+    /// Sets the retention horizon stamped on artifacts created from now on.
+    pub fn set_artifact_retention(&self, d: Duration) {
+        *self.artifact_retention.lock() = d;
+    }
+
+    fn artifact_expiry(&self) -> Timestamp {
+        let d = *self.artifact_retention.lock();
+        if d.0 == u64::MAX {
+            Timestamp::MAX
+        } else {
+            self.clock.now().saturating_add(d)
+        }
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Appends a record to the epoch log buffer, returning its offset in `L`.
+    /// `STAMP_TRANS`/`ABORT`/heartbeat records are mirrored into the stamp
+    /// index automatically.
+    pub fn append(&self, rec: &LogRecord) -> Result<u64> {
+        let mut st = self.state.lock();
+        let offset = st.durable + st.pending.len() as u64;
+        let framed = rec.encode_framed();
+        st.pending.extend_from_slice(&framed);
+        st.records_appended += 1;
+        match rec {
+            LogRecord::StampTrans { txn, commit_time } => {
+                let e = StampIndexEntry::Stamp { txn: *txn, time: *commit_time, offset };
+                st.stamp_pending.extend_from_slice(&e.encode());
+                st.last_stamp_time = st.last_stamp_time.max(*commit_time);
+            }
+            LogRecord::Abort { txn } => {
+                let e = StampIndexEntry::Abort { txn: *txn, offset };
+                st.stamp_pending.extend_from_slice(&e.encode());
+            }
+            LogRecord::DummyStamp { time } => {
+                let e = StampIndexEntry::Dummy { time: *time, offset };
+                st.stamp_pending.extend_from_slice(&e.encode());
+                st.last_stamp_time = st.last_stamp_time.max(*time);
+            }
+            _ => {}
+        }
+        Ok(offset)
+    }
+
+    /// Appends and immediately flushes.
+    pub fn append_flush(&self, rec: &LogRecord) -> Result<u64> {
+        let off = self.append(rec)?;
+        self.flush()?;
+        Ok(off)
+    }
+
+    /// Pushes all buffered records to WORM. A failure here must halt the
+    /// caller ("transaction processing must halt until the problem is
+    /// fixed").
+    pub fn flush(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        if !st.pending.is_empty() {
+            let bytes = std::mem::take(&mut st.pending);
+            self.worm
+                .append(&st.log, &bytes)
+                .map_err(|e| Error::ComplianceHalt(format!("cannot write to L: {e}")))?;
+            st.durable += bytes.len() as u64;
+        }
+        if !st.stamp_pending.is_empty() {
+            let bytes = std::mem::take(&mut st.stamp_pending);
+            self.worm
+                .append(&st.stamp, &bytes)
+                .map_err(|e| Error::ComplianceHalt(format!("cannot write stamp index: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Offset one past the last appended record.
+    pub fn end_offset(&self) -> u64 {
+        let st = self.state.lock();
+        st.durable + st.pending.len() as u64
+    }
+
+    /// Total records appended this epoch.
+    pub fn records_appended(&self) -> u64 {
+        self.state.lock().records_appended
+    }
+
+    /// Regret-interval housekeeping: flushes buffers, creates the witness
+    /// file for the current interval, and emits a heartbeat if no
+    /// transaction ended during the last interval. Call at least once per
+    /// regret interval.
+    pub fn tick(&self) -> Result<()> {
+        let now = self.clock.now();
+        let interval = now.0.checked_div(self.regret.0).unwrap_or(0);
+        let interval_start = Timestamp(interval.saturating_mul(self.regret.0.max(1)));
+        let (need_witness, need_heartbeat, epoch) = {
+            let st = self.state.lock();
+            (
+                st.last_witness_interval != Some(interval),
+                st.last_stamp_time < interval_start || st.last_witness_interval.is_none(),
+                st.epoch,
+            )
+        };
+        if need_heartbeat {
+            self.append(&LogRecord::DummyStamp { time: now })?;
+        }
+        self.flush()?;
+        if need_witness {
+            let name = witness_name(epoch, interval);
+            if !self.worm.exists(&name) {
+                let until = self.artifact_expiry();
+                self.worm.create(&name, until)?;
+            }
+            self.state.lock().last_witness_interval = Some(interval);
+        }
+        Ok(())
+    }
+
+    /// Simulates the logger's volatile state vanishing in a crash (buffered
+    /// records are lost; WORM retains the durable prefix).
+    pub fn simulate_crash_drop_pending(&self) {
+        let mut st = self.state.lock();
+        st.pending.clear();
+        st.stamp_pending.clear();
+    }
+
+    /// Seals the current epoch (at audit) and returns the sealed epoch
+    /// number. The caller opens a fresh logger for the next epoch.
+    pub fn seal_epoch(&self) -> Result<u64> {
+        self.flush()?;
+        let st = self.state.lock();
+        self.worm.seal(&epoch_log_name(st.epoch))?;
+        self.worm.seal(&epoch_stamp_name(st.epoch))?;
+        Ok(st.epoch)
+    }
+
+    /// Seals the current epoch and switches to `new_epoch` (audit rotation:
+    /// "the current file for L is permanently closed, a new one is opened").
+    pub fn advance_epoch(&self, new_epoch: u64) -> Result<()> {
+        self.seal_epoch()?;
+        let until = self.artifact_expiry();
+        let log = self.worm.create(&epoch_log_name(new_epoch), until)?;
+        let stamp = self.worm.create(&epoch_stamp_name(new_epoch), until)?;
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        *st = EpochState {
+            epoch: new_epoch,
+            log,
+            stamp,
+            durable: 0,
+            pending: Vec::new(),
+            stamp_pending: Vec::new(),
+            last_stamp_time: now,
+            last_witness_interval: None,
+            records_appended: 0,
+        };
+        Ok(())
+    }
+
+    /// The WORM server the logger writes to.
+    pub fn worm(&self) -> &Arc<WormServer> {
+        &self.worm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::LogIter;
+    use ccdb_common::{Clock, VirtualClock};
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let p = std::env::temp_dir().join(format!(
+                "ccdb-logger-{}-{}-{}",
+                std::process::id(),
+                tag,
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn setup(tag: &str) -> (Arc<WormServer>, Arc<VirtualClock>, ComplianceLogger, TempDir) {
+        let d = TempDir::new(tag);
+        let clock = Arc::new(VirtualClock::new());
+        let worm = Arc::new(WormServer::open(&d.0, clock.clone()).unwrap());
+        let logger =
+            ComplianceLogger::open(worm.clone(), clock.clone(), Duration::from_mins(5), 0).unwrap();
+        (worm, clock, logger, d)
+    }
+
+    #[test]
+    fn records_land_on_worm_in_order_with_offsets() {
+        let (worm, _c, logger, _d) = setup("order");
+        let r1 = LogRecord::StampTrans { txn: TxnId(1), commit_time: Timestamp(10) };
+        let r2 = LogRecord::Abort { txn: TxnId(2) };
+        let o1 = logger.append(&r1).unwrap();
+        let o2 = logger.append(&r2).unwrap();
+        assert!(o2 > o1);
+        logger.flush().unwrap();
+        let bytes = worm.read_all(&epoch_log_name(0)).unwrap();
+        let got: Vec<(u64, LogRecord)> =
+            LogIter::new(&bytes).collect::<ccdb_common::Result<_>>().unwrap();
+        assert_eq!(got, vec![(o1, r1), (o2, r2)]);
+    }
+
+    #[test]
+    fn stamp_index_mirrors_status_records() {
+        let (worm, _c, logger, _d) = setup("stampidx");
+        let o1 = logger
+            .append(&LogRecord::StampTrans { txn: TxnId(5), commit_time: Timestamp(50) })
+            .unwrap();
+        logger
+            .append(&LogRecord::NewTuple {
+                pgno: ccdb_common::PageNo(1),
+                rel: ccdb_common::RelId(1),
+                cell: b"x".to_vec(),
+            })
+            .unwrap();
+        let o2 = logger.append(&LogRecord::Abort { txn: TxnId(6) }).unwrap();
+        logger.flush().unwrap();
+        let bytes = worm.read_all(&epoch_stamp_name(0)).unwrap();
+        let entries = StampIndexEntry::decode_all(&bytes).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                StampIndexEntry::Stamp { txn: TxnId(5), time: Timestamp(50), offset: o1 },
+                StampIndexEntry::Abort { txn: TxnId(6), offset: o2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn crash_drops_buffered_records() {
+        let (worm, _c, logger, _d) = setup("crash");
+        logger.append_flush(&LogRecord::Abort { txn: TxnId(1) }).unwrap();
+        logger.append(&LogRecord::Abort { txn: TxnId(2) }).unwrap();
+        logger.simulate_crash_drop_pending();
+        logger.flush().unwrap();
+        let bytes = worm.read_all(&epoch_log_name(0)).unwrap();
+        let got: Vec<(u64, LogRecord)> =
+            LogIter::new(&bytes).collect::<ccdb_common::Result<_>>().unwrap();
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn reopen_continues_epoch_offsets() {
+        let d = TempDir::new("reopen");
+        let clock = Arc::new(VirtualClock::new());
+        let worm = Arc::new(WormServer::open(&d.0, clock.clone()).unwrap());
+        let o1;
+        {
+            let logger =
+                ComplianceLogger::open(worm.clone(), clock.clone(), Duration::from_mins(5), 3)
+                    .unwrap();
+            o1 = logger.append_flush(&LogRecord::Abort { txn: TxnId(1) }).unwrap();
+        }
+        let logger =
+            ComplianceLogger::open(worm.clone(), clock.clone(), Duration::from_mins(5), 3).unwrap();
+        let o2 = logger.append_flush(&LogRecord::Abort { txn: TxnId(2) }).unwrap();
+        assert!(o2 > o1);
+        let bytes = worm.read_all(&epoch_log_name(3)).unwrap();
+        assert_eq!(LogIter::new(&bytes).count(), 2);
+    }
+
+    #[test]
+    fn tick_creates_witness_and_heartbeat() {
+        let (worm, clock, logger, _d) = setup("tick");
+        clock.advance(Duration::from_mins(6)); // a regret interval passes idle
+        logger.tick().unwrap();
+        let interval = clock.now().0 / Duration::from_mins(5).0;
+        assert!(worm.exists(&witness_name(0, interval)));
+        // Heartbeat was emitted (no commits happened).
+        let bytes = worm.read_all(&epoch_log_name(0)).unwrap();
+        let recs: Vec<(u64, LogRecord)> =
+            LogIter::new(&bytes).collect::<ccdb_common::Result<_>>().unwrap();
+        assert!(matches!(recs[0].1, LogRecord::DummyStamp { .. }));
+        // Second tick in the same interval adds nothing new.
+        logger.tick().unwrap();
+        let bytes2 = worm.read_all(&epoch_log_name(0)).unwrap();
+        assert_eq!(bytes.len(), bytes2.len());
+    }
+
+    #[test]
+    fn recent_commit_suppresses_heartbeat() {
+        let (worm, clock, logger, _d) = setup("hb");
+        logger.tick().unwrap(); // startup heartbeat + witness for interval 0
+        clock.advance(Duration::from_mins(6)); // interval 1
+        logger
+            .append(&LogRecord::StampTrans { txn: TxnId(1), commit_time: clock.now() })
+            .unwrap();
+        logger.tick().unwrap(); // same interval as the stamp: no extra heartbeat
+        let bytes = worm.read_all(&epoch_log_name(0)).unwrap();
+        let recs: Vec<(u64, LogRecord)> =
+            LogIter::new(&bytes).collect::<ccdb_common::Result<_>>().unwrap();
+        let dummies = recs
+            .iter()
+            .filter(|(_, r)| matches!(r, LogRecord::DummyStamp { .. }))
+            .count();
+        assert_eq!(dummies, 1, "only the startup heartbeat: {recs:?}");
+        assert!(recs.iter().any(|(_, r)| matches!(r, LogRecord::StampTrans { .. })));
+    }
+
+    #[test]
+    fn sealed_epoch_refuses_appends() {
+        let (worm, _c, logger, _d) = setup("seal");
+        logger.append_flush(&LogRecord::Abort { txn: TxnId(1) }).unwrap();
+        assert_eq!(logger.seal_epoch().unwrap(), 0);
+        logger.append(&LogRecord::Abort { txn: TxnId(2) }).unwrap();
+        assert!(logger.flush().is_err(), "appending to a sealed epoch must fail");
+        drop(worm);
+    }
+}

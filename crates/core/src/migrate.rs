@@ -1,0 +1,223 @@
+//! The WORM-migration refinement (Section VI).
+//!
+//! Historical pages produced by TSB time splits "will never be split again,
+//! and hence can be put on WORM. … Then the historical pages on WORM can be
+//! exempted from future audits." Migration:
+//!
+//! 1. read the historical page (through the plugin, so the read itself is
+//!    hash-logged under hash-page-on-read);
+//! 2. copy its content into a sealed WORM file;
+//! 3. append a `MIGRATE` record binding the page to the copy by content
+//!    hash, and flush it;
+//! 4. retire the conventional-media page and drop it from the relation's
+//!    historical list (both WAL-logged).
+//!
+//! The auditor verifies each `MIGRATE` by comparing the WORM copy against
+//! its replayed page state, then removes the page's tuples from the
+//! completeness universe — they remain queryable from WORM (trusted) but no
+//! longer need auditing.
+
+use std::sync::Arc;
+
+use ccdb_common::{ByteReader, ByteWriter, Error, PageNo, RelId, Result, Timestamp};
+use ccdb_engine::Engine;
+use ccdb_worm::WormServer;
+
+use crate::plugin::{page_content_hash, CompliancePlugin};
+use crate::records::LogRecord;
+
+/// WORM file name of a migrated page.
+pub fn migrated_page_name(rel: RelId, pgno: PageNo) -> String {
+    format!("hist/rel{}-pg{}", rel.0, pgno.0)
+}
+
+/// WORM marker recording that a migrated page was re-migrated back to
+/// conventional media (query paths skip the stale copy; the copy itself is
+/// immutable until its file-level retention expires).
+pub fn retired_marker_name(worm_name: &str) -> String {
+    format!("hist-retired/{}", worm_name.trim_start_matches("hist/"))
+}
+
+/// A migrated page as stored on WORM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigratedPage {
+    /// Original page number.
+    pub pgno: PageNo,
+    /// Owning relation.
+    pub rel: RelId,
+    /// The TSB split time of the page.
+    pub split_time: u64,
+    /// Full cell content.
+    pub cells: Vec<Vec<u8>>,
+}
+
+impl MigratedPage {
+    /// Encodes for WORM storage.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(0xCCDB_0157);
+        w.put_u64(self.pgno.0);
+        w.put_u32(self.rel.0);
+        w.put_u64(self.split_time);
+        w.put_u32(self.cells.len() as u32);
+        for c in &self.cells {
+            w.put_len_bytes(c);
+        }
+        w.into_vec()
+    }
+
+    /// Decodes from WORM bytes.
+    pub fn decode(bytes: &[u8]) -> Result<MigratedPage> {
+        let mut r = ByteReader::new(bytes);
+        if r.get_u32()? != 0xCCDB_0157 {
+            return Err(Error::corruption("bad migrated-page magic"));
+        }
+        let pgno = PageNo(r.get_u64()?);
+        let rel = RelId(r.get_u32()?);
+        let split_time = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        let mut cells = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            cells.push(r.get_len_bytes()?.to_vec());
+        }
+        if !r.is_exhausted() {
+            return Err(Error::corruption("trailing bytes in migrated page"));
+        }
+        Ok(MigratedPage { pgno, rel, split_time, cells })
+    }
+}
+
+/// Outcome of a migration pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Pages moved to WORM.
+    pub pages_migrated: usize,
+    /// Tuple versions those pages carried.
+    pub tuples_migrated: usize,
+}
+
+/// Migrates every pending historical page of `rel` to WORM. When the
+/// relation has a retention period, the WORM file's own retention is set to
+/// the expiry of its youngest tuple — "the migration of time-split tuples
+/// … will be most effective if all the migrated data in the file will
+/// expire at approximately the same time. Then … the entire file can be
+/// deleted at once."
+pub fn migrate_relation(
+    engine: &Engine,
+    plugin: &Arc<CompliancePlugin>,
+    worm: &Arc<WormServer>,
+    rel: RelId,
+) -> Result<MigrationReport> {
+    let tree = engine.tree(rel)?;
+    let retention = engine
+        .user_relations()
+        .into_iter()
+        .find(|(_, r)| *r == rel)
+        .and_then(|(name, _)| engine.retention(&name).ok().flatten());
+    let mut report = MigrationReport::default();
+    for pgno in tree.historical_pages() {
+        let (cells, split_time) = {
+            let frame = engine.pool().fetch(pgno)?;
+            let page = frame.read();
+            if !page.is_historical() {
+                return Err(Error::Invalid(format!(
+                    "{pgno} is on the historical list but not flagged historical"
+                )));
+            }
+            (page.cells().map(|c| c.to_vec()).collect::<Vec<_>>(), page.aux())
+        };
+        let content_hash = page_content_hash(&cells);
+        let name = migrated_page_name(rel, pgno);
+        let mp = MigratedPage { pgno, rel, split_time, cells };
+        let file_retention = match retention {
+            Some(rho) => mp
+                .cells
+                .iter()
+                .filter_map(|c| {
+                    ccdb_storage::TupleVersion::decode_cell(c)
+                        .ok()
+                        .and_then(|t| t.time.committed())
+                })
+                .max()
+                .map(|t| t.saturating_add(rho))
+                .unwrap_or(Timestamp::MAX),
+            None => Timestamp::MAX,
+        };
+        let f = worm.create(&name, file_retention)?;
+        worm.append(&f, &mp.encode())?;
+        worm.seal(&name)?;
+        // The MIGRATE record must be durable before the live copy dies.
+        plugin.logger().append_flush(&LogRecord::Migrate {
+            pgno,
+            rel,
+            worm_file: name,
+            content_hash,
+        })?;
+        plugin.note_migrated(pgno);
+        engine.retire_page(pgno)?;
+        engine.forget_historical(rel, pgno)?;
+        report.pages_migrated += 1;
+        report.tuples_migrated += mp.cells.len();
+    }
+    Ok(report)
+}
+
+/// Reads a migrated page back from WORM (temporal queries over migrated
+/// history; re-migration for shredding).
+pub fn read_migrated(worm: &WormServer, rel: RelId, pgno: PageNo) -> Result<MigratedPage> {
+    let bytes = worm.read_all(&migrated_page_name(rel, pgno))?;
+    MigratedPage::decode(&bytes)
+}
+
+/// Re-migrates a WORM page's content back to conventional media as a fresh
+/// historical page (so the normal vacuum can shred its expired tuples). The
+/// tuples re-enter the auditing universe through the ordinary `NEW_TUPLE`
+/// path when the adopted page is first written out. The stale WORM copy
+/// remains until its own file-level retention expires — "one cannot truly
+/// delete a page on WORM until the file in which it resides has expired".
+pub fn remigrate_page(
+    engine: &Engine,
+    worm: &Arc<WormServer>,
+    rel: RelId,
+    worm_name: &str,
+) -> Result<ccdb_common::PageNo> {
+    let bytes = worm.read_all(worm_name)?;
+    let mp = MigratedPage::decode(&bytes)?;
+    if mp.rel != rel {
+        return Err(Error::Invalid(format!(
+            "WORM page {worm_name} belongs to {}, not {rel}",
+            mp.rel
+        )));
+    }
+    let pgno = engine.adopt_historical_page(rel, &mp.cells, mp.split_time)?;
+    let marker = retired_marker_name(worm_name);
+    if !worm.exists(&marker) {
+        worm.create(&marker, Timestamp::MAX)?;
+    }
+    Ok(pgno)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migrated_page_roundtrip() {
+        let mp = MigratedPage {
+            pgno: PageNo(12),
+            rel: RelId(3),
+            split_time: 999,
+            cells: vec![b"a".to_vec(), b"bb".to_vec()],
+        };
+        assert_eq!(MigratedPage::decode(&mp.encode()).unwrap(), mp);
+    }
+
+    #[test]
+    fn corrupt_migrated_page_rejected() {
+        let mp = MigratedPage { pgno: PageNo(1), rel: RelId(1), split_time: 0, cells: vec![] };
+        let mut b = mp.encode();
+        b[0] ^= 1;
+        assert!(MigratedPage::decode(&b).is_err());
+        assert!(MigratedPage::decode(&[]).is_err());
+    }
+}

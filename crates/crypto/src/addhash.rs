@@ -1,0 +1,241 @@
+//! ADD-HASH: the commutative, incremental set hash of Bellare & Micciancio.
+//!
+//! `H({a₁, …, aₙ}) = Σᵢ h'(aᵢ)  (mod 2⁵¹²)`
+//!
+//! where `h'` expands each element to 512 bits via two domain-separated
+//! SHA-256 invocations. The three properties the auditor relies on:
+//!
+//! * **Incremental** — given `H(S)` and a new element `a`, `H(S ∪ {a})` is one
+//!   hash plus one 512-bit addition; the auditor folds the snapshot, the
+//!   compliance log, and the final state in a single pass each.
+//! * **Commutative** — the value is independent of element order, so neither
+//!   the log nor the new snapshot needs sorting (the paper's baseline check
+//!   sorts `L`, costing `O(|L| log |L|)`; this is the optimization that
+//!   removes it).
+//! * **Pre-image resistant** — forging a different multiset with the same sum
+//!   reduces to a knapsack-style problem over a 512-bit modulus.
+//!
+//! We additionally expose `remove`, the exact inverse of `add` under the
+//! power-of-two modulus; the auditor uses it when recomputing snapshot page
+//! hashes after auditable vacuuming (Section VIII).
+//!
+//! Note the *multiset* semantics: adding an element twice is not idempotent.
+//! The auditor deduplicates `NEW_TUPLE` records (which recovery can duplicate)
+//! before folding, exactly as the paper prescribes.
+
+use crate::sha256::Sha256;
+
+/// Number of 64-bit limbs in the 512-bit accumulator.
+const LIMBS: usize = 8;
+
+/// A 512-bit commutative incremental multiset hash accumulator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddHash {
+    /// Little-endian limbs of the running sum modulo 2⁵¹².
+    limbs: [u64; LIMBS],
+}
+
+impl Default for AddHash {
+    fn default() -> Self {
+        AddHash::new()
+    }
+}
+
+impl AddHash {
+    /// The hash of the empty set.
+    pub fn new() -> AddHash {
+        AddHash { limbs: [0; LIMBS] }
+    }
+
+    /// Expands one element to its 512-bit contribution
+    /// `h'(a) = SHA256(0x00‖a) ‖ SHA256(0x01‖a)` interpreted as limbs.
+    fn element_limbs(element: &[u8]) -> [u64; LIMBS] {
+        let mut lo = Sha256::new();
+        lo.update(&[0x00]).update(element);
+        let d0 = lo.finalize();
+        let mut hi = Sha256::new();
+        hi.update(&[0x01]).update(element);
+        let d1 = hi.finalize();
+        let mut limbs = [0u64; LIMBS];
+        for i in 0..4 {
+            limbs[i] = u64::from_le_bytes(d0[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+            limbs[i + 4] = u64::from_le_bytes(d1[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        limbs
+    }
+
+    /// Adds an element to the multiset.
+    #[allow(clippy::needless_range_loop)] // lockstep carry chain over two arrays
+    pub fn add(&mut self, element: &[u8]) {
+        let e = Self::element_limbs(element);
+        let mut carry = 0u64;
+        for i in 0..LIMBS {
+            let (s1, c1) = self.limbs[i].overflowing_add(e[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        // Final carry is discarded: arithmetic is modulo 2^512.
+    }
+
+    /// Removes an element previously added. `remove` is the exact inverse of
+    /// [`AddHash::add`]; removing an element that was never added silently
+    /// yields the hash of the (ill-defined) difference, which will simply
+    /// fail to match any honestly computed hash.
+    #[allow(clippy::needless_range_loop)] // lockstep borrow chain over two arrays
+    pub fn remove(&mut self, element: &[u8]) {
+        let e = Self::element_limbs(element);
+        let mut borrow = 0u64;
+        for i in 0..LIMBS {
+            let (s1, b1) = self.limbs[i].overflowing_sub(e[i]);
+            let (s2, b2) = s1.overflowing_sub(borrow);
+            self.limbs[i] = s2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+    }
+
+    /// Merges another accumulator into this one
+    /// (`H(S ∪ T)` for disjoint multisets, by linearity of the sum).
+    pub fn merge(&mut self, other: &AddHash) {
+        let mut carry = 0u64;
+        for i in 0..LIMBS {
+            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+    }
+
+    /// Serializes the accumulator to 64 bytes (little-endian limbs).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        for (i, l) in self.limbs.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&l.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a 64-byte accumulator.
+    pub fn from_bytes(bytes: &[u8; 64]) -> AddHash {
+        let mut limbs = [0u64; LIMBS];
+        for (i, l) in limbs.iter_mut().enumerate() {
+            *l = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        AddHash { limbs }
+    }
+
+    /// Hashes an iterator of elements in one call.
+    pub fn of<'a>(items: impl IntoIterator<Item = &'a [u8]>) -> AddHash {
+        let mut h = AddHash::new();
+        for it in items {
+            h.add(it);
+        }
+        h
+    }
+}
+
+impl core::fmt::Debug for AddHash {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "AddHash({}…)", crate::to_hex(&self.to_bytes()[..8]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_hash_is_zero() {
+        assert_eq!(AddHash::new().to_bytes(), [0u8; 64]);
+    }
+
+    #[test]
+    fn commutative() {
+        let mut a = AddHash::new();
+        a.add(b"x");
+        a.add(b"y");
+        a.add(b"z");
+        let mut b = AddHash::new();
+        b.add(b"z");
+        b.add(b"x");
+        b.add(b"y");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remove_inverts_add() {
+        let mut a = AddHash::new();
+        a.add(b"alpha");
+        a.add(b"beta");
+        let snapshot = a;
+        a.add(b"gamma");
+        a.remove(b"gamma");
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn multiset_not_set_semantics() {
+        let mut once = AddHash::new();
+        once.add(b"t");
+        let mut twice = AddHash::new();
+        twice.add(b"t");
+        twice.add(b"t");
+        assert_ne!(once, twice);
+    }
+
+    #[test]
+    fn different_sets_differ() {
+        let a = AddHash::of([b"a".as_slice(), b"b".as_slice()]);
+        let b = AddHash::of([b"a".as_slice(), b"c".as_slice()]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = AddHash::new();
+        a.add(b"1");
+        a.add(b"2");
+        let mut b = AddHash::new();
+        b.add(b"3");
+        let mut merged = a;
+        merged.merge(&b);
+        let direct = AddHash::of([b"1".as_slice(), b"2".as_slice(), b"3".as_slice()]);
+        assert_eq!(merged, direct);
+        // merge must not mutate the argument
+        let mut b2 = AddHash::new();
+        b2.add(b"3");
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut a = AddHash::new();
+        a.add(b"round");
+        a.add(b"trip");
+        let bytes = a.to_bytes();
+        assert_eq!(AddHash::from_bytes(&bytes), a);
+    }
+
+    #[test]
+    fn element_domain_separation() {
+        // h'(a) must not collide with SHA-256 reuse: check "ab","c" vs "a","bc"
+        let x = AddHash::of([b"ab".as_slice(), b"c".as_slice()]);
+        let y = AddHash::of([b"a".as_slice(), b"bc".as_slice()]);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn carries_propagate() {
+        // Exercise enough elements that limb carries certainly occur.
+        let mut acc = AddHash::new();
+        let items: Vec<Vec<u8>> = (0..500u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        for it in &items {
+            acc.add(it);
+        }
+        // Remove in a different order; must return to zero.
+        for it in items.iter().rev() {
+            acc.remove(it);
+        }
+        assert_eq!(acc, AddHash::new());
+    }
+}

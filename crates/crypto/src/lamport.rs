@@ -1,0 +1,228 @@
+//! Lamport one-time signatures over SHA-256.
+//!
+//! The architecture needs exactly one signing event per audit: "the auditor
+//! places a complete snapshot of the current database state on WORM …
+//! together with the auditor's digital signature testifying that the snapshot
+//! is correct" (Section IV). A Lamport OTS is a genuine digital signature
+//! whose security reduces entirely to the one-wayness of the hash — fitting
+//! for a from-scratch build — and its one-time restriction matches the
+//! one-signature-per-audit usage (the auditor derives a fresh keypair per
+//! audit from a master seed; verifiers pin the per-audit public key, which is
+//! itself stored on WORM at audit time and therefore term-immutable).
+//!
+//! Key generation is deterministic from a 32-byte seed so no RNG dependency
+//! is needed: `sk[i][b] = SHA256(seed ‖ "ccdb:lamport" ‖ i ‖ b)`.
+
+use crate::sha256::{sha256, Digest, Sha256};
+
+const BITS: usize = 256;
+
+/// A Lamport public key: for each message-digest bit, the hashes of the two
+/// secret preimages.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LamportPublicKey {
+    pairs: Box<[[Digest; 2]]>,
+}
+
+impl core::fmt::Debug for LamportPublicKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "LamportPublicKey({}…)", crate::to_hex(&self.fingerprint()[..8]))
+    }
+}
+
+
+/// A Lamport signing key (one-time use).
+pub struct LamportKeyPair {
+    secret: Box<[[Digest; 2]]>,
+    public: LamportPublicKey,
+    used: core::cell::Cell<bool>,
+}
+
+/// A Lamport signature: one revealed preimage per digest bit.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LamportSignature {
+    reveals: Box<[Digest]>,
+}
+
+impl LamportKeyPair {
+    /// Deterministically derives a keypair from a seed. Distinct seeds (e.g.
+    /// `master ‖ audit_number`) give independent keypairs.
+    pub fn from_seed(seed: &[u8; 32]) -> LamportKeyPair {
+        let mut secret = Vec::with_capacity(BITS);
+        let mut public = Vec::with_capacity(BITS);
+        for i in 0..BITS {
+            let mut pair_sk = [[0u8; 32]; 2];
+            let mut pair_pk = [[0u8; 32]; 2];
+            for b in 0..2usize {
+                let mut h = Sha256::new();
+                h.update(seed)
+                    .update(b"ccdb:lamport")
+                    .update(&(i as u32).to_le_bytes())
+                    .update(&[b as u8]);
+                pair_sk[b] = h.finalize();
+                pair_pk[b] = sha256(&pair_sk[b]);
+            }
+            secret.push(pair_sk);
+            public.push(pair_pk);
+        }
+        LamportKeyPair {
+            secret: secret.into_boxed_slice(),
+            public: LamportPublicKey { pairs: public.into_boxed_slice() },
+            used: core::cell::Cell::new(false),
+        }
+    }
+
+    /// The public half.
+    pub fn public_key(&self) -> &LamportPublicKey {
+        &self.public
+    }
+
+    /// Signs a message. Panics if the key has already signed once — a Lamport
+    /// key must never sign twice (doing so can leak both preimages of a bit
+    /// position and permit forgery).
+    pub fn sign(&self, message: &[u8]) -> LamportSignature {
+        assert!(!self.used.replace(true), "Lamport one-time key reused for a second signature");
+        let digest = sha256(message);
+        let mut reveals = Vec::with_capacity(BITS);
+        for i in 0..BITS {
+            let bit = (digest[i / 8] >> (7 - (i % 8))) & 1;
+            reveals.push(self.secret[i][bit as usize]);
+        }
+        LamportSignature { reveals: reveals.into_boxed_slice() }
+    }
+}
+
+impl LamportPublicKey {
+    /// Verifies a signature over `message`.
+    pub fn verify(&self, message: &[u8], sig: &LamportSignature) -> bool {
+        if sig.reveals.len() != BITS || self.pairs.len() != BITS {
+            return false;
+        }
+        let digest = sha256(message);
+        for i in 0..BITS {
+            let bit = (digest[i / 8] >> (7 - (i % 8))) & 1;
+            if sha256(&sig.reveals[i]) != self.pairs[i][bit as usize] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serializes the public key (2 × 256 digests = 16 KiB).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(BITS * 64);
+        for p in self.pairs.iter() {
+            out.extend_from_slice(&p[0]);
+            out.extend_from_slice(&p[1]);
+        }
+        out
+    }
+
+    /// Deserializes a public key; `None` on wrong length.
+    pub fn from_bytes(bytes: &[u8]) -> Option<LamportPublicKey> {
+        if bytes.len() != BITS * 64 {
+            return None;
+        }
+        let mut pairs = Vec::with_capacity(BITS);
+        for i in 0..BITS {
+            let mut a = [0u8; 32];
+            let mut b = [0u8; 32];
+            a.copy_from_slice(&bytes[i * 64..i * 64 + 32]);
+            b.copy_from_slice(&bytes[i * 64 + 32..i * 64 + 64]);
+            pairs.push([a, b]);
+        }
+        Some(LamportPublicKey { pairs: pairs.into_boxed_slice() })
+    }
+
+    /// A 32-byte fingerprint of the key, convenient for pinning.
+    pub fn fingerprint(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
+}
+
+impl LamportSignature {
+    /// Serializes the signature (256 digests = 8 KiB).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(BITS * 32);
+        for r in self.reveals.iter() {
+            out.extend_from_slice(r);
+        }
+        out
+    }
+
+    /// Deserializes a signature; `None` on wrong length.
+    pub fn from_bytes(bytes: &[u8]) -> Option<LamportSignature> {
+        if bytes.len() != BITS * 32 {
+            return None;
+        }
+        let mut reveals = Vec::with_capacity(BITS);
+        for i in 0..BITS {
+            let mut d = [0u8; 32];
+            d.copy_from_slice(&bytes[i * 32..i * 32 + 32]);
+            reveals.push(d);
+        }
+        Some(LamportSignature { reveals: reveals.into_boxed_slice() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = LamportKeyPair::from_seed(&[7u8; 32]);
+        let sig = kp.sign(b"snapshot digest 0001");
+        assert!(kp.public_key().verify(b"snapshot digest 0001", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = LamportKeyPair::from_seed(&[7u8; 32]);
+        let sig = kp.sign(b"legit");
+        assert!(!kp.public_key().verify(b"forged", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = LamportKeyPair::from_seed(&[9u8; 32]);
+        let sig = kp.sign(b"m");
+        let mut bytes = sig.to_bytes();
+        bytes[0] ^= 1;
+        let bad = LamportSignature::from_bytes(&bytes).unwrap();
+        assert!(!kp.public_key().verify(b"m", &bad));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = LamportKeyPair::from_seed(&[1u8; 32]);
+        let kp2 = LamportKeyPair::from_seed(&[2u8; 32]);
+        let sig = kp1.sign(b"m");
+        assert!(!kp2.public_key().verify(b"m", &sig));
+    }
+
+    #[test]
+    #[should_panic(expected = "reused")]
+    fn double_sign_panics() {
+        let kp = LamportKeyPair::from_seed(&[3u8; 32]);
+        let _ = kp.sign(b"a");
+        let _ = kp.sign(b"b");
+    }
+
+    #[test]
+    fn public_key_serialization_roundtrip() {
+        let kp = LamportKeyPair::from_seed(&[4u8; 32]);
+        let pk = kp.public_key();
+        let back = LamportPublicKey::from_bytes(&pk.to_bytes()).unwrap();
+        assert_eq!(&back, pk);
+        assert_eq!(back.fingerprint(), pk.fingerprint());
+        assert!(LamportPublicKey::from_bytes(&[0u8; 3]).is_none());
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = LamportKeyPair::from_seed(&[5u8; 32]);
+        let b = LamportKeyPair::from_seed(&[5u8; 32]);
+        assert_eq!(a.public_key().fingerprint(), b.public_key().fingerprint());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the cryptographic invariants the architecture
+//! depends on.
+
+use ccdb_crypto::{sha256, AddHash, HsChain, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental SHA-256 equals one-shot for any chunking.
+    #[test]
+    fn sha256_incremental_matches_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(0usize..2048, 0..8),
+    ) {
+        let expected = sha256(&data);
+        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(data.len());
+        bounds.sort_unstable();
+        let mut h = Sha256::new();
+        for w in bounds.windows(2) {
+            h.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(h.finalize(), expected);
+    }
+
+    /// ADD-HASH is permutation-invariant (commutativity: the property that
+    /// lets the auditor skip sorting L).
+    #[test]
+    fn addhash_is_permutation_invariant(
+        items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..40),
+        seed in any::<u64>(),
+    ) {
+        let forward = AddHash::of(items.iter().map(|v| v.as_slice()));
+        let mut shuffled = items.clone();
+        // Deterministic Fisher–Yates from the seed.
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let backward = AddHash::of(shuffled.iter().map(|v| v.as_slice()));
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// remove() is the exact inverse of add() in any interleaving.
+    #[test]
+    fn addhash_remove_inverts_add(
+        base in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..20),
+        extra in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..20),
+    ) {
+        let mut acc = AddHash::of(base.iter().map(|v| v.as_slice()));
+        let snapshot = acc;
+        for e in &extra {
+            acc.add(e);
+        }
+        for e in extra.iter().rev() {
+            acc.remove(e);
+        }
+        prop_assert_eq!(acc, snapshot);
+    }
+
+    /// Multiset sensitivity: two multisets with different element counts
+    /// hash differently (probabilistically; collisions would falsify).
+    #[test]
+    fn addhash_counts_multiplicity(
+        item in proptest::collection::vec(any::<u8>(), 1..32),
+        n in 1usize..5,
+    ) {
+        let mut a = AddHash::new();
+        let mut b = AddHash::new();
+        for _ in 0..n {
+            a.add(&item);
+        }
+        for _ in 0..n + 1 {
+            b.add(&item);
+        }
+        prop_assert_ne!(a, b);
+    }
+
+    /// Hs chains extend incrementally and are order sensitive.
+    #[test]
+    fn hs_chain_incremental_and_ordered(
+        items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 2..20),
+    ) {
+        let batch = HsChain::of(items.iter().map(|v| v.as_slice()));
+        let mut inc = HsChain::new();
+        for i in &items {
+            inc.extend(i);
+        }
+        prop_assert_eq!(batch, inc);
+        // Swapping two distinct adjacent elements changes the chain.
+        let mut swapped = items.clone();
+        if swapped[0] != swapped[1] {
+            swapped.swap(0, 1);
+            let other = HsChain::of(swapped.iter().map(|v| v.as_slice()));
+            prop_assert_ne!(batch, other);
+        }
+    }
+
+    /// The completeness-check equivalence the audit rests on: for random
+    /// multisets, ADD-HASH equality coincides with multiset equality.
+    #[test]
+    fn addhash_equality_matches_multiset_equality(
+        a in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..30),
+        b in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..30),
+    ) {
+        let ha = AddHash::of(a.iter().map(|v| v.as_slice()));
+        let hb = AddHash::of(b.iter().map(|v| v.as_slice()));
+        let mut sa = a.clone();
+        let mut sb = b.clone();
+        sa.sort();
+        sb.sort();
+        prop_assert_eq!(ha == hb, sa == sb);
+    }
+}

@@ -1,0 +1,224 @@
+//! The relation catalog and its on-disk representation.
+//!
+//! The catalog file is rewritten synchronously on relation creation and at
+//! every checkpoint; drift between checkpoints (root moves, historical-page
+//! changes) is recovered from `RelMeta` WAL records, so the catalog never
+//! needs page-level crash consistency of its own.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ccdb_btree::SplitPolicy;
+use ccdb_common::{ByteReader, ByteWriter, Error, PageNo, RelId, Result};
+
+/// Catalog entry for one relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationInfo {
+    /// Relation id.
+    pub rel: RelId,
+    /// Human-readable name (unique).
+    pub name: String,
+    /// Split policy of the relation's tree.
+    pub policy: SplitPolicy,
+    /// Root page of the live tree.
+    pub root: PageNo,
+    /// Historical (time-split) pages still on conventional media.
+    pub historical: Vec<PageNo>,
+}
+
+/// The in-memory catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    relations: BTreeMap<RelId, RelationInfo>,
+    by_name: BTreeMap<String, RelId>,
+    next_rel: u32,
+    /// Transaction-id high-water mark persisted at checkpoints so ids are
+    /// never reused across restarts (pending versions embed them).
+    pub txn_high_water: u64,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog { next_rel: 1, ..Catalog::default() }
+    }
+
+    /// Registers a new relation.
+    pub fn create(&mut self, name: &str, policy: SplitPolicy, root: PageNo) -> Result<RelId> {
+        if self.by_name.contains_key(name) {
+            return Err(Error::Invalid(format!("relation {name:?} already exists")));
+        }
+        let rel = RelId(self.next_rel);
+        self.next_rel += 1;
+        self.relations.insert(
+            rel,
+            RelationInfo { rel, name: name.to_string(), policy, root, historical: Vec::new() },
+        );
+        self.by_name.insert(name.to_string(), rel);
+        Ok(rel)
+    }
+
+    /// Looks a relation up by name.
+    pub fn by_name(&self, name: &str) -> Option<&RelationInfo> {
+        self.by_name.get(name).and_then(|r| self.relations.get(r))
+    }
+
+    /// Looks a relation up by id.
+    pub fn get(&self, rel: RelId) -> Option<&RelationInfo> {
+        self.relations.get(&rel)
+    }
+
+    /// Mutable access by id.
+    pub fn get_mut(&mut self, rel: RelId) -> Option<&mut RelationInfo> {
+        self.relations.get_mut(&rel)
+    }
+
+    /// All relations, in id order.
+    pub fn relations(&self) -> impl Iterator<Item = &RelationInfo> {
+        self.relations.values()
+    }
+
+    /// Serializes the catalog.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(0xCCDBCA7A); // magic
+        w.put_u32(self.next_rel);
+        w.put_u64(self.txn_high_water);
+        w.put_u32(self.relations.len() as u32);
+        for info in self.relations.values() {
+            w.put_u32(info.rel.0);
+            w.put_str(&info.name);
+            match info.policy {
+                SplitPolicy::KeyOnly => w.put_u8(0),
+                SplitPolicy::TimeSplit { threshold } => {
+                    w.put_u8(1);
+                    w.put_u64(threshold.to_bits());
+                }
+            }
+            w.put_u64(info.root.0);
+            w.put_u32(info.historical.len() as u32);
+            for p in &info.historical {
+                w.put_u64(p.0);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Deserializes a catalog.
+    pub fn decode(bytes: &[u8]) -> Result<Catalog> {
+        let mut r = ByteReader::new(bytes);
+        if r.get_u32()? != 0xCCDBCA7A {
+            return Err(Error::corruption("bad catalog magic"));
+        }
+        let next_rel = r.get_u32()?;
+        let txn_high_water = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        let mut cat = Catalog { next_rel, txn_high_water, ..Catalog::default() };
+        for _ in 0..n {
+            let rel = RelId(r.get_u32()?);
+            let name = r.get_str()?;
+            let policy = match r.get_u8()? {
+                0 => SplitPolicy::KeyOnly,
+                1 => SplitPolicy::TimeSplit { threshold: f64::from_bits(r.get_u64()?) },
+                t => return Err(Error::corruption(format!("bad split policy tag {t}"))),
+            };
+            let root = PageNo(r.get_u64()?);
+            let hn = r.get_u32()? as usize;
+            let mut historical = Vec::with_capacity(hn.min(1 << 20));
+            for _ in 0..hn {
+                historical.push(PageNo(r.get_u64()?));
+            }
+            cat.by_name.insert(name.clone(), rel);
+            cat.relations.insert(rel, RelationInfo { rel, name, policy, root, historical });
+        }
+        Ok(cat)
+    }
+
+    /// Writes the catalog to `path` (atomically via a temp file + rename).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let tmp: PathBuf = path.with_extension("tmp");
+        fs::write(&tmp, self.encode()).map_err(|e| Error::io("writing catalog", e))?;
+        fs::rename(&tmp, path).map_err(|e| Error::io("installing catalog", e))?;
+        Ok(())
+    }
+
+    /// Loads the catalog from `path`, or returns an empty catalog if the file
+    /// does not exist (fresh database).
+    pub fn load(path: &Path) -> Result<Catalog> {
+        match fs::read(path) {
+            Ok(bytes) => Catalog::decode(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Catalog::new()),
+            Err(e) => Err(Error::io("reading catalog", e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut c = Catalog::new();
+        let a = c.create("warehouse", SplitPolicy::KeyOnly, PageNo(1)).unwrap();
+        let b = c.create("stock", SplitPolicy::TimeSplit { threshold: 0.5 }, PageNo(2)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(c.by_name("warehouse").unwrap().rel, a);
+        assert_eq!(c.get(b).unwrap().name, "stock");
+        assert!(c.by_name("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Catalog::new();
+        c.create("x", SplitPolicy::KeyOnly, PageNo(1)).unwrap();
+        assert!(c.create("x", SplitPolicy::KeyOnly, PageNo(2)).is_err());
+    }
+
+    #[test]
+    fn roundtrip_with_policies_and_historical() {
+        let mut c = Catalog::new();
+        c.create("a", SplitPolicy::KeyOnly, PageNo(1)).unwrap();
+        let b = c.create("b", SplitPolicy::TimeSplit { threshold: 0.75 }, PageNo(2)).unwrap();
+        c.get_mut(b).unwrap().historical = vec![PageNo(9), PageNo(11)];
+        c.get_mut(b).unwrap().root = PageNo(42);
+        c.txn_high_water = 77;
+        let back = Catalog::decode(&c.encode()).unwrap();
+        assert_eq!(back.txn_high_water, 77);
+        let bi = back.get(b).unwrap();
+        assert_eq!(bi.root, PageNo(42));
+        assert_eq!(bi.historical, vec![PageNo(9), PageNo(11)]);
+        assert_eq!(bi.policy, SplitPolicy::TimeSplit { threshold: 0.75 });
+        // Ids continue past the loaded ones.
+        let mut back = back;
+        let c2 = back.create("c", SplitPolicy::KeyOnly, PageNo(3)).unwrap();
+        assert!(c2.0 > b.0);
+    }
+
+    #[test]
+    fn save_load_file() {
+        let path = std::env::temp_dir().join(format!(
+            "ccdb-catalog-{}-{}.bin",
+            std::process::id(),
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        let mut c = Catalog::new();
+        c.create("t", SplitPolicy::KeyOnly, PageNo(5)).unwrap();
+        c.save(&path).unwrap();
+        let back = Catalog::load(&path).unwrap();
+        assert_eq!(back.by_name("t").unwrap().root, PageNo(5));
+        std::fs::remove_file(&path).unwrap();
+        // Missing file → fresh catalog.
+        let fresh = Catalog::load(&path).unwrap();
+        assert!(fresh.by_name("t").is_none());
+    }
+
+    #[test]
+    fn corrupt_catalog_rejected() {
+        assert!(Catalog::decode(b"garbage").is_err());
+        let mut c = Catalog::new().encode();
+        c[0] ^= 0xFF;
+        assert!(Catalog::decode(&c).is_err());
+    }
+}

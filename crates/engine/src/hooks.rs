@@ -1,0 +1,65 @@
+//! Transaction-lifecycle and recovery events for the compliance layer.
+
+use ccdb_common::{Result, Timestamp, TxnId};
+
+/// Events the engine reports to the compliance layer. All default to no-ops
+/// so the engine runs bare (the paper's "Regular TPC-C" baseline).
+///
+/// A hook returning an error **halts the triggering operation**: the paper
+/// requires that "if at any point we are unable to write to L, transaction
+/// processing must halt until the problem is fixed".
+pub trait EngineHooks: Send + Sync {
+    /// A transaction began.
+    fn on_begin(&self, _txn: TxnId) -> Result<()> {
+        Ok(())
+    }
+
+    /// A transaction committed (its WAL commit record is durable). The
+    /// compliance logger appends `STAMP_TRANS` here.
+    fn on_commit(&self, _txn: TxnId, _commit_time: Timestamp) -> Result<()> {
+        Ok(())
+    }
+
+    /// A transaction aborted and its rollback is complete. The compliance
+    /// logger appends `ABORT` here ("the compliance logger must wait to write
+    /// ABORT and STAMP_TRANS records until the transaction has actually
+    /// committed/aborted").
+    fn on_abort(&self, _txn: TxnId) -> Result<()> {
+        Ok(())
+    }
+
+    /// Crash recovery is starting (the DBMS came up after an unclean
+    /// shutdown). The compliance logger places a timestamped
+    /// `START_RECOVERY` record on L.
+    fn on_recovery_start(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Recovery finished: `committed` lists transactions whose effects were
+    /// redone (with commit times), `aborted` lists rolled-back losers. The
+    /// compliance logger re-emits `STAMP_TRANS`/`ABORT` records (duplicates
+    /// are tolerated — the auditor deduplicates).
+    fn on_recovery_end(&self, _committed: &[(TxnId, Timestamp)], _aborted: &[TxnId]) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// The no-op hook set.
+pub struct NoopEngineHooks;
+
+impl EngineHooks for NoopEngineHooks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_hooks_succeed() {
+        let h = NoopEngineHooks;
+        assert!(h.on_begin(TxnId(1)).is_ok());
+        assert!(h.on_commit(TxnId(1), Timestamp(5)).is_ok());
+        assert!(h.on_abort(TxnId(1)).is_ok());
+        assert!(h.on_recovery_start().is_ok());
+        assert!(h.on_recovery_end(&[], &[]).is_ok());
+    }
+}

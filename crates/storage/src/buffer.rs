@@ -1,0 +1,486 @@
+//! The buffer pool: CLOCK eviction, steal/no-force, regret-interval sweeps.
+//!
+//! Policy choices are dictated by the paper's setting:
+//!
+//! * **Steal**: "most commercial DBMSs allow the buffer manager to steal page
+//!   frames from uncommitted transactions that may subsequently abort" —
+//!   eviction writes dirty pages regardless of transaction state, which is
+//!   what makes the compliance logger's `UNDO` records necessary.
+//! * **No-force**: commit does not flush data pages; a crash inside the
+//!   regret interval therefore leaves committed tuples only in the WAL tail,
+//!   which is why that tail must live on WORM.
+//! * **Regret-interval sweep**: [`BufferPool::flush_dirtied_before`] forces
+//!   every page dirty since a cutoff to disk, which (through the compliance
+//!   plugin on the `pwrite` path) forces the corresponding `NEW_TUPLE`
+//!   records to WORM within one regret interval of commit.
+//!
+//! Before any dirty page is written, an optional **write barrier** runs —
+//! the engine installs the WAL rule there (flush log up to the page LSN);
+//! the compliance plugin independently enforces "data page writes wait until
+//! their NEW_TUPLE records have reached the WORM server" inside its
+//! `PageStore` decorator.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ccdb_common::{ClockRef, PageNo, RelId, Result, Timestamp};
+use parking_lot::{Mutex, RwLock};
+
+use crate::disk::PageStore;
+use crate::page::{Page, PageType};
+
+/// Shared handle to a buffered page.
+pub type PageRef = Arc<RwLock<Page>>;
+
+/// Counters for the experiment harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Fetches served from memory.
+    pub hits: u64,
+    /// Fetches requiring a pread.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty-page writes issued (evictions + flush calls).
+    pub flushes: u64,
+}
+
+/// A barrier invoked with the page about to be written (WAL rule hook).
+pub type WriteBarrier = Arc<dyn Fn(&Page) -> Result<()> + Send + Sync>;
+
+struct Inner {
+    frames: HashMap<PageNo, PageRef>,
+    ref_bit: HashMap<PageNo, bool>,
+    clock_ring: Vec<PageNo>,
+    hand: usize,
+    stats: BufferStats,
+}
+
+/// The buffer pool.
+pub struct BufferPool {
+    store: Arc<dyn PageStore>,
+    clock: ClockRef,
+    capacity: usize,
+    barrier: Mutex<Option<WriteBarrier>>,
+    inner: Mutex<Inner>,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` page frames over `store`.
+    pub fn new(store: Arc<dyn PageStore>, clock: ClockRef, capacity: usize) -> BufferPool {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            store,
+            clock,
+            capacity,
+            barrier: Mutex::new(None),
+            inner: Mutex::new(Inner {
+                frames: HashMap::new(),
+                ref_bit: HashMap::new(),
+                clock_ring: Vec::new(),
+                hand: 0,
+                stats: BufferStats::default(),
+            }),
+        }
+    }
+
+    /// Installs the pre-write barrier (the engine's WAL-before-data rule).
+    pub fn set_write_barrier(&self, b: WriteBarrier) {
+        *self.barrier.lock() = Some(b);
+    }
+
+    /// The underlying store (the compliance plugin, when installed).
+    pub fn store(&self) -> &Arc<dyn PageStore> {
+        &self.store
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.inner.lock().stats
+    }
+
+    /// Pool capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn write_out(&self, page: &mut Page) -> Result<()> {
+        if let Some(b) = self.barrier.lock().clone() {
+            b(page)?;
+        }
+        self.store.pwrite(page)?;
+        page.dirty = false;
+        Ok(())
+    }
+
+    /// Evicts one unreferenced frame, writing it first if dirty. Returns
+    /// `true` if a frame was evicted; `false` if every frame is pinned (the
+    /// pool then over-commits rather than deadlocking).
+    fn evict_one(&self, inner: &mut Inner) -> Result<bool> {
+        let n = inner.clock_ring.len();
+        // Two full sweeps: the first clears reference bits, the second takes
+        // the first unreferenced, unpinned victim.
+        for _ in 0..2 * n {
+            if inner.clock_ring.is_empty() {
+                return Ok(false);
+            }
+            inner.hand %= inner.clock_ring.len();
+            let pgno = inner.clock_ring[inner.hand];
+            let referenced = inner.ref_bit.get(&pgno).copied().unwrap_or(false);
+            let pinned = {
+                let frame = &inner.frames[&pgno];
+                Arc::strong_count(frame) > 1
+            };
+            if referenced {
+                inner.ref_bit.insert(pgno, false);
+                inner.hand += 1;
+                continue;
+            }
+            if pinned {
+                inner.hand += 1;
+                continue;
+            }
+            // Victim found.
+            let frame = inner.frames.remove(&pgno).expect("frame present");
+            inner.ref_bit.remove(&pgno);
+            inner.clock_ring.remove(inner.hand);
+            inner.stats.evictions += 1;
+            let mut page = frame.write();
+            if page.dirty {
+                inner.stats.flushes += 1;
+                self.write_out(&mut page)?;
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    fn admit(&self, inner: &mut Inner, pgno: PageNo, page: Page) -> Result<PageRef> {
+        while inner.frames.len() >= self.capacity {
+            if !self.evict_one(inner)? {
+                break; // everything pinned: over-commit
+            }
+        }
+        let frame: PageRef = Arc::new(RwLock::new(page));
+        inner.frames.insert(pgno, frame.clone());
+        inner.ref_bit.insert(pgno, true);
+        inner.clock_ring.push(pgno);
+        Ok(frame)
+    }
+
+    /// Fetches a page, reading it from the store on a miss.
+    pub fn fetch(&self, pgno: PageNo) -> Result<PageRef> {
+        let mut inner = self.inner.lock();
+        if let Some(f) = inner.frames.get(&pgno) {
+            let f = f.clone();
+            inner.ref_bit.insert(pgno, true);
+            inner.stats.hits += 1;
+            return Ok(f);
+        }
+        inner.stats.misses += 1;
+        // Read outside the map borrow (but under the pool lock: the pool is a
+        // single-writer structure and the store is fast in simulation).
+        let page = self.store.pread(pgno)?;
+        self.admit(&mut inner, pgno, page)
+    }
+
+    /// Allocates and buffers a brand-new page, already formatted and dirty.
+    pub fn new_page(&self, ptype: PageType, rel: RelId) -> Result<(PageNo, PageRef)> {
+        let pgno = self.store.allocate()?;
+        let mut page = Page::new(pgno, ptype, rel);
+        page.dirty = true;
+        page.dirtied_at = self.clock.now();
+        let mut inner = self.inner.lock();
+        let frame = self.admit(&mut inner, pgno, page)?;
+        Ok((pgno, frame))
+    }
+
+    /// Marks a page dirty, stamping the first-dirtied time used by the
+    /// regret-interval sweep. Call with the page's write lock held.
+    pub fn mark_dirty(&self, page: &mut Page) {
+        if !page.dirty {
+            page.dirty = true;
+            page.dirtied_at = self.clock.now();
+        }
+    }
+
+    /// Flushes one page if buffered and dirty.
+    pub fn flush_page(&self, pgno: PageNo) -> Result<()> {
+        let frame = {
+            let inner = self.inner.lock();
+            inner.frames.get(&pgno).cloned()
+        };
+        if let Some(frame) = frame {
+            let mut page = frame.write();
+            if page.dirty {
+                self.inner.lock().stats.flushes += 1;
+                self.write_out(&mut page)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every dirty page. Used at checkpoints and quiescent audits.
+    pub fn flush_all(&self) -> Result<()> {
+        for pgno in self.buffered_pages() {
+            self.flush_page(pgno)?;
+        }
+        self.store.sync()
+    }
+
+    /// Flushes every page that became dirty at or before `cutoff` — the
+    /// regret-interval sweep: a page dirtied in interval *k* reaches disk
+    /// (and thus its NEW_TUPLE records reach WORM) during interval *k+1*.
+    pub fn flush_dirtied_before(&self, cutoff: Timestamp) -> Result<usize> {
+        let mut flushed = 0;
+        for pgno in self.buffered_pages() {
+            let frame = {
+                let inner = self.inner.lock();
+                inner.frames.get(&pgno).cloned()
+            };
+            if let Some(frame) = frame {
+                let mut page = frame.write();
+                if page.dirty && page.dirtied_at <= cutoff {
+                    self.inner.lock().stats.flushes += 1;
+                    self.write_out(&mut page)?;
+                    flushed += 1;
+                }
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Installs (or replaces) a page image in the pool, marked dirty — the
+    /// redo path of crash recovery, where a WAL `SetImage` must take effect
+    /// even when the on-disk page is unreadable (it was allocated but never
+    /// written before the crash).
+    pub fn overwrite(&self, pgno: PageNo, mut page: Page) -> Result<PageRef> {
+        page.dirty = true;
+        page.dirtied_at = self.clock.now();
+        let mut inner = self.inner.lock();
+        if let Some(existing) = inner.frames.get(&pgno) {
+            let existing = existing.clone();
+            *existing.write() = page;
+            inner.ref_bit.insert(pgno, true);
+            return Ok(existing);
+        }
+        self.admit(&mut inner, pgno, page)
+    }
+
+    /// Page numbers currently buffered.
+    pub fn buffered_pages(&self) -> Vec<PageNo> {
+        self.inner.lock().frames.keys().copied().collect()
+    }
+
+    /// Page numbers of dirty buffered pages.
+    pub fn dirty_pages(&self) -> Vec<PageNo> {
+        let inner = self.inner.lock();
+        inner
+            .frames
+            .iter()
+            .filter(|(_, f)| f.read().dirty)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Discards all buffered pages *without writing them* — the crash
+    /// simulation. Pinned frames are discarded too (a crash does not wait).
+    pub fn drop_all_without_flush(&self) {
+        let mut inner = self.inner.lock();
+        inner.frames.clear();
+        inner.ref_bit.clear();
+        inner.clock_ring.clear();
+        inner.hand = 0;
+    }
+
+    /// Drops a single clean page from the pool (used after WORM migration:
+    /// the live copy is superseded).
+    pub fn discard(&self, pgno: PageNo) {
+        let mut inner = self.inner.lock();
+        inner.frames.remove(&pgno);
+        inner.ref_bit.remove(&pgno);
+        inner.clock_ring.retain(|p| *p != pgno);
+        inner.hand = 0;
+    }
+}
+
+impl core::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("resident", &inner.frames.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_common::{Clock, Duration, Error, VirtualClock};
+    use std::path::PathBuf;
+
+    struct TempFile(PathBuf);
+    impl TempFile {
+        fn new(tag: &str) -> TempFile {
+            TempFile(std::env::temp_dir().join(format!(
+                "ccdb-buf-{}-{}-{}.db",
+                std::process::id(),
+                tag,
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            )))
+        }
+    }
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn pool(tag: &str, cap: usize) -> (BufferPool, Arc<VirtualClock>, TempFile) {
+        let tf = TempFile::new(tag);
+        let dm = Arc::new(crate::disk::DiskManager::open(&tf.0).unwrap());
+        let clock = Arc::new(VirtualClock::new());
+        (BufferPool::new(dm, clock.clone(), cap), clock, tf)
+    }
+
+    #[test]
+    fn new_page_then_fetch_hits() {
+        let (bp, _, _tf) = pool("hit", 4);
+        let (pgno, frame) = bp.new_page(PageType::Leaf, RelId(1)).unwrap();
+        frame.write().append_cell(b"x").unwrap();
+        drop(frame);
+        let again = bp.fetch(pgno).unwrap();
+        assert_eq!(again.read().cell(0), b"x");
+        let st = bp.stats();
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 0);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_pages_steal() {
+        let (bp, _, _tf) = pool("steal", 2);
+        let mut pgnos = Vec::new();
+        for i in 0..4 {
+            let (pgno, frame) = bp.new_page(PageType::Leaf, RelId(1)).unwrap();
+            frame.write().append_cell(format!("cell{i}").as_bytes()).unwrap();
+            pgnos.push(pgno);
+        }
+        // Capacity 2, so at least 2 evictions (each a steal write).
+        let st = bp.stats();
+        assert!(st.evictions >= 2, "evictions: {}", st.evictions);
+        // Everything is still readable (from disk on miss).
+        for (i, pgno) in pgnos.iter().enumerate() {
+            let f = bp.fetch(*pgno).unwrap();
+            assert_eq!(f.read().cell(0), format!("cell{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn pinned_pages_not_evicted() {
+        let (bp, _, _tf) = pool("pin", 2);
+        let (pgno_a, frame_a) = bp.new_page(PageType::Leaf, RelId(1)).unwrap();
+        frame_a.write().append_cell(b"pinned").unwrap();
+        // Fill past capacity while holding frame_a.
+        for _ in 0..4 {
+            bp.new_page(PageType::Leaf, RelId(1)).unwrap();
+        }
+        // frame_a must still be the same object in the pool.
+        let again = bp.fetch(pgno_a).unwrap();
+        assert!(Arc::ptr_eq(&frame_a, &again));
+        assert_eq!(again.read().cell(0), b"pinned");
+    }
+
+    #[test]
+    fn flush_dirtied_before_honors_cutoff() {
+        let (bp, clock, _tf) = pool("sweep", 8);
+        let (pg_old, f_old) = bp.new_page(PageType::Leaf, RelId(1)).unwrap();
+        f_old.write().append_cell(b"old").unwrap();
+        drop(f_old);
+        clock.advance(Duration::from_mins(5));
+        let cutoff = Timestamp(clock.now().0 - Duration::from_mins(1).0);
+        let (pg_new, f_new) = bp.new_page(PageType::Leaf, RelId(1)).unwrap();
+        f_new.write().append_cell(b"new").unwrap();
+        drop(f_new);
+        let flushed = bp.flush_dirtied_before(cutoff).unwrap();
+        assert_eq!(flushed, 1);
+        let dirty = bp.dirty_pages();
+        assert!(dirty.contains(&pg_new));
+        assert!(!dirty.contains(&pg_old));
+    }
+
+    #[test]
+    fn write_barrier_runs_before_pwrite() {
+        let (bp, _, _tf) = pool("barrier", 4);
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let hits2 = hits.clone();
+        bp.set_write_barrier(Arc::new(move |_p: &Page| {
+            hits2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(())
+        }));
+        let (pgno, frame) = bp.new_page(PageType::Leaf, RelId(1)).unwrap();
+        frame.write().append_cell(b"x").unwrap();
+        drop(frame);
+        bp.flush_page(pgno).unwrap();
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 1);
+        // Clean page: no second write.
+        bp.flush_page(pgno).unwrap();
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn failing_barrier_blocks_write() {
+        let (bp, _, _tf) = pool("barrier-fail", 4);
+        bp.set_write_barrier(Arc::new(|_p: &Page| {
+            Err(Error::ComplianceHalt("WORM unreachable".into()))
+        }));
+        let (pgno, frame) = bp.new_page(PageType::Leaf, RelId(1)).unwrap();
+        frame.write().append_cell(b"x").unwrap();
+        drop(frame);
+        assert!(bp.flush_page(pgno).is_err());
+        assert!(frame_is_dirty(&bp, pgno));
+    }
+
+    fn frame_is_dirty(bp: &BufferPool, pgno: PageNo) -> bool {
+        bp.dirty_pages().contains(&pgno)
+    }
+
+    #[test]
+    fn crash_drop_loses_unflushed_data() {
+        let (bp, _, tf) = pool("crash", 4);
+        let (pgno, frame) = bp.new_page(PageType::Leaf, RelId(1)).unwrap();
+        frame.write().append_cell(b"volatile").unwrap();
+        drop(frame);
+        bp.drop_all_without_flush();
+        // The page slot exists on disk but holds zeroes (never written).
+        assert!(bp.fetch(pgno).is_err());
+        drop(bp);
+        drop(tf);
+    }
+
+    #[test]
+    fn mark_dirty_stamps_first_dirty_time_only() {
+        let (bp, clock, _tf) = pool("mark", 4);
+        let (_pgno, frame) = bp.new_page(PageType::Leaf, RelId(1)).unwrap();
+        {
+            let mut p = frame.write();
+            p.dirty = false; // pretend it was flushed
+        }
+        clock.advance_to(Timestamp(100));
+        {
+            let mut p = frame.write();
+            bp.mark_dirty(&mut p);
+            assert_eq!(p.dirtied_at, Timestamp(100));
+        }
+        clock.advance_to(Timestamp(200));
+        {
+            let mut p = frame.write();
+            bp.mark_dirty(&mut p); // already dirty: timestamp unchanged
+            assert_eq!(p.dirtied_at, Timestamp(100));
+        }
+    }
+}

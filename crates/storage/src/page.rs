@@ -1,0 +1,617 @@
+//! The slotted page: the unit of I/O, buffering, logging, and auditing.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic (0xCCDB7A6E)
+//! 4       8     page number
+//! 12      1     page type
+//! 13      1     flags (bit 0: historical — migrated/migratable to WORM)
+//! 14      2     cell count
+//! 16      8     page LSN (recovery: last WAL record applied)
+//! 24      4     relation id
+//! 28      2     free-region start offset
+//! 30      2     next tuple-order number to assign
+//! 32      8     right sibling page (leaf chaining)
+//! 40      8     aux (TSB split time for historical pages)
+//! 48      4     checksum (FNV over the page with this field zeroed)
+//! 52      12    reserved
+//! 64      …     cells, growing upward
+//! …       …     slot directory: u16 cell offsets, growing down from 4096
+//! ```
+//!
+//! Cells are opaque byte strings (tuple versions on leaves, separator entries
+//! on internal nodes); each is stored with a u16 length prefix. The slot
+//! directory keeps cells ordered (B+-tree key order on leaves), which is what
+//! the auditor's page-integrity pass checks.
+
+use ccdb_common::{Error, Lsn, PageNo, RelId, Result, Timestamp};
+
+/// Page size in bytes. The paper's experiments use 4 KiB pages.
+pub const PAGE_SIZE: usize = 4096;
+/// Header bytes reserved at the front of every page.
+pub const HEADER_SIZE: usize = 64;
+/// Largest cell that fits on an otherwise empty page.
+pub const PAGE_USABLE: usize = PAGE_SIZE - HEADER_SIZE - 2 /*slot*/ - 2 /*len prefix*/;
+
+const MAGIC: u32 = 0xCCDB_7A6E;
+
+const OFF_MAGIC: usize = 0;
+const OFF_PGNO: usize = 4;
+const OFF_TYPE: usize = 12;
+const OFF_FLAGS: usize = 13;
+const OFF_COUNT: usize = 14;
+const OFF_LSN: usize = 16;
+const OFF_REL: usize = 24;
+const OFF_FREE: usize = 28;
+const OFF_NEXT_SEQ: usize = 30;
+const OFF_RIGHT: usize = 32;
+const OFF_AUX: usize = 40;
+const OFF_CHECKSUM: usize = 48;
+
+const FLAG_HISTORICAL: u8 = 0b0000_0001;
+
+/// What a page holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageType {
+    /// Unallocated / zeroed.
+    Free = 0,
+    /// B+-tree leaf holding tuple versions.
+    Leaf = 1,
+    /// B+-tree internal node holding separator entries.
+    Inner = 2,
+    /// Catalog / metadata page.
+    Meta = 3,
+}
+
+impl PageType {
+    fn from_u8(v: u8) -> Result<PageType> {
+        Ok(match v {
+            0 => PageType::Free,
+            1 => PageType::Leaf,
+            2 => PageType::Inner,
+            3 => PageType::Meta,
+            t => return Err(Error::corruption(format!("unknown page type {t}"))),
+        })
+    }
+}
+
+/// An in-memory page image plus volatile bookkeeping (dirty state is buffer
+/// metadata, never serialized).
+pub struct Page {
+    bytes: Box<[u8; PAGE_SIZE]>,
+    /// Whether the in-memory image differs from the on-disk image.
+    pub dirty: bool,
+    /// When the page first became dirty (drives the regret-interval sweep).
+    pub dirtied_at: Timestamp,
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        Page { bytes: self.bytes.clone(), dirty: self.dirty, dirtied_at: self.dirtied_at }
+    }
+}
+
+impl Page {
+    /// Creates a freshly formatted page.
+    pub fn new(pgno: PageNo, ptype: PageType, rel: RelId) -> Page {
+        let mut p = Page {
+            bytes: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("PAGE_SIZE box"),
+            dirty: true,
+            dirtied_at: Timestamp::ZERO,
+        };
+        p.put_u32(OFF_MAGIC, MAGIC);
+        p.put_u64(OFF_PGNO, pgno.0);
+        p.bytes[OFF_TYPE] = ptype as u8;
+        p.put_u32(OFF_REL, rel.0);
+        p.put_u16(OFF_FREE, HEADER_SIZE as u16);
+        p.put_u64(OFF_RIGHT, PageNo::INVALID.0);
+        p
+    }
+
+    /// Reconstructs a page from raw bytes, validating structure defensively —
+    /// the auditor parses bytes an adversary may have edited.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Page> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(Error::corruption(format!(
+                "page image is {} bytes, expected {PAGE_SIZE}",
+                bytes.len()
+            )));
+        }
+        let mut arr = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        arr.copy_from_slice(bytes);
+        let p = Page {
+            bytes: arr.try_into().expect("PAGE_SIZE box"),
+            dirty: false,
+            dirtied_at: Timestamp::ZERO,
+        };
+        if p.get_u32(OFF_MAGIC) != MAGIC {
+            return Err(Error::corruption("bad page magic"));
+        }
+        PageType::from_u8(p.bytes[OFF_TYPE])?;
+        p.validate_slots()?;
+        Ok(p)
+    }
+
+    /// The raw 4 KiB image (checksum field as last updated).
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.bytes
+    }
+
+    /// Recomputes the checksum field and returns the image ready for disk.
+    pub fn finalize_for_write(&mut self) -> &[u8; PAGE_SIZE] {
+        let sum = self.compute_checksum();
+        self.put_u32(OFF_CHECKSUM, sum);
+        &self.bytes
+    }
+
+    /// Verifies the stored checksum against the contents.
+    pub fn verify_checksum(&self) -> bool {
+        self.get_u32(OFF_CHECKSUM) == self.compute_checksum()
+    }
+
+    fn compute_checksum(&self) -> u32 {
+        let mut h: u32 = 0x811c_9dc5;
+        for (i, &b) in self.bytes.iter().enumerate() {
+            let v = if (OFF_CHECKSUM..OFF_CHECKSUM + 4).contains(&i) { 0 } else { b };
+            h ^= v as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+        h
+    }
+
+    // --- primitive accessors -------------------------------------------------
+
+    fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.bytes[off], self.bytes[off + 1]])
+    }
+    fn put_u16(&mut self, off: usize, v: u16) {
+        self.bytes[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+    fn get_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("4 bytes"))
+    }
+    fn put_u32(&mut self, off: usize, v: u32) {
+        self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    fn get_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[off..off + 8].try_into().expect("8 bytes"))
+    }
+    fn put_u64(&mut self, off: usize, v: u64) {
+        self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    // --- header fields -------------------------------------------------------
+
+    /// This page's number.
+    pub fn pgno(&self) -> PageNo {
+        PageNo(self.get_u64(OFF_PGNO))
+    }
+
+    /// The page type.
+    pub fn page_type(&self) -> PageType {
+        PageType::from_u8(self.bytes[OFF_TYPE]).expect("validated at construction")
+    }
+
+    /// Recovery LSN: the last WAL record reflected in this image.
+    pub fn lsn(&self) -> Lsn {
+        Lsn(self.get_u64(OFF_LSN))
+    }
+
+    /// Sets the recovery LSN.
+    pub fn set_lsn(&mut self, lsn: Lsn) {
+        self.put_u64(OFF_LSN, lsn.0);
+    }
+
+    /// Owning relation.
+    pub fn rel_id(&self) -> RelId {
+        RelId(self.get_u32(OFF_REL))
+    }
+
+    /// Sets the owning relation.
+    pub fn set_rel_id(&mut self, rel: RelId) {
+        self.put_u32(OFF_REL, rel.0);
+    }
+
+    /// Whether this page has been declared historical (TSB time-split
+    /// output destined for WORM).
+    pub fn is_historical(&self) -> bool {
+        self.bytes[OFF_FLAGS] & FLAG_HISTORICAL != 0
+    }
+
+    /// Marks the page historical.
+    pub fn set_historical(&mut self, v: bool) {
+        if v {
+            self.bytes[OFF_FLAGS] |= FLAG_HISTORICAL;
+        } else {
+            self.bytes[OFF_FLAGS] &= !FLAG_HISTORICAL;
+        }
+    }
+
+    /// Right sibling in the leaf chain.
+    pub fn right_sibling(&self) -> PageNo {
+        PageNo(self.get_u64(OFF_RIGHT))
+    }
+
+    /// Sets the right sibling.
+    pub fn set_right_sibling(&mut self, p: PageNo) {
+        self.put_u64(OFF_RIGHT, p.0);
+    }
+
+    /// Auxiliary u64 (the TSB split time on historical pages).
+    pub fn aux(&self) -> u64 {
+        self.get_u64(OFF_AUX)
+    }
+
+    /// Sets the auxiliary u64.
+    pub fn set_aux(&mut self, v: u64) {
+        self.put_u64(OFF_AUX, v);
+    }
+
+    /// The next tuple-order number this page would assign.
+    pub fn next_seq(&self) -> u16 {
+        self.get_u16(OFF_NEXT_SEQ)
+    }
+
+    /// Assigns and consumes the next tuple-order number. Order numbers are
+    /// per-page, monotone, and never reused — UNDOs leave gaps, which the
+    /// paper notes "will not cause a problem with auditing".
+    pub fn alloc_seq(&mut self) -> u16 {
+        let s = self.get_u16(OFF_NEXT_SEQ);
+        self.put_u16(OFF_NEXT_SEQ, s + 1);
+        s
+    }
+
+    /// Forces the next tuple-order number to be at least `v` (used when a
+    /// split copies tuples with existing order numbers to a new page).
+    pub fn bump_seq_to(&mut self, v: u16) {
+        if v > self.get_u16(OFF_NEXT_SEQ) {
+            self.put_u16(OFF_NEXT_SEQ, v);
+        }
+    }
+
+    // --- slot directory ------------------------------------------------------
+
+    /// Number of cells on the page.
+    pub fn cell_count(&self) -> usize {
+        self.get_u16(OFF_COUNT) as usize
+    }
+
+    fn slot_pos(i: usize) -> usize {
+        PAGE_SIZE - 2 * (i + 1)
+    }
+
+    fn slot(&self, i: usize) -> u16 {
+        self.get_u16(Self::slot_pos(i))
+    }
+
+    fn set_slot(&mut self, i: usize, off: u16) {
+        self.put_u16(Self::slot_pos(i), off);
+    }
+
+    fn free_off(&self) -> usize {
+        self.get_u16(OFF_FREE) as usize
+    }
+
+    /// Bytes of contiguous free space between the cell region and the slot
+    /// directory.
+    pub fn contiguous_free(&self) -> usize {
+        let slot_top = PAGE_SIZE - 2 * self.cell_count();
+        slot_top.saturating_sub(self.free_off())
+    }
+
+    /// Total reclaimable free space (after a defragment).
+    pub fn total_free(&self) -> usize {
+        let used: usize = (0..self.cell_count()).map(|i| self.cell_len(i) + 2).sum();
+        PAGE_SIZE - HEADER_SIZE - 2 * self.cell_count() - used
+    }
+
+    fn cell_len(&self, i: usize) -> usize {
+        let off = self.slot(i) as usize;
+        self.get_u16(off) as usize
+    }
+
+    /// Returns the `i`-th cell's bytes.
+    pub fn cell(&self, i: usize) -> &[u8] {
+        let off = self.slot(i) as usize;
+        let len = self.get_u16(off) as usize;
+        &self.bytes[off + 2..off + 2 + len]
+    }
+
+    /// Whether a cell of `len` bytes can be inserted (possibly after
+    /// defragmentation).
+    pub fn can_fit(&self, len: usize) -> bool {
+        len + 2 + 2 <= self.total_free()
+    }
+
+    /// Inserts a cell at slot index `i` (shifting later slots). Defragments
+    /// if the free space is sufficient but not contiguous.
+    pub fn insert_cell(&mut self, i: usize, cell: &[u8]) -> Result<()> {
+        let count = self.cell_count();
+        assert!(i <= count, "slot index out of range");
+        if cell.len() > PAGE_USABLE {
+            return Err(Error::TupleTooLarge { size: cell.len(), max: PAGE_USABLE });
+        }
+        if cell.len() + 2 + 2 > self.total_free() {
+            return Err(Error::TupleTooLarge { size: cell.len(), max: self.total_free().saturating_sub(4) });
+        }
+        if cell.len() + 2 + 2 > self.contiguous_free() {
+            self.defragment();
+        }
+        let off = self.free_off();
+        self.put_u16(off, cell.len() as u16);
+        self.bytes[off + 2..off + 2 + cell.len()].copy_from_slice(cell);
+        self.put_u16(OFF_FREE, (off + 2 + cell.len()) as u16);
+        // Shift slots [i, count) down by one position.
+        for j in (i..count).rev() {
+            let v = self.slot(j);
+            self.set_slot(j + 1, v);
+        }
+        self.set_slot(i, off as u16);
+        self.put_u16(OFF_COUNT, (count + 1) as u16);
+        Ok(())
+    }
+
+    /// Appends a cell after the last slot.
+    pub fn append_cell(&mut self, cell: &[u8]) -> Result<()> {
+        self.insert_cell(self.cell_count(), cell)
+    }
+
+    /// Removes the cell at slot `i`. The cell bytes become a hole reclaimed
+    /// by the next defragment.
+    pub fn remove_cell(&mut self, i: usize) {
+        let count = self.cell_count();
+        assert!(i < count, "slot index out of range");
+        for j in i + 1..count {
+            let v = self.slot(j);
+            self.set_slot(j - 1, v);
+        }
+        self.put_u16(OFF_COUNT, (count - 1) as u16);
+    }
+
+    /// Replaces the cell at slot `i` with new bytes (used by lazy
+    /// timestamping, which rewrites a tuple's time in place).
+    pub fn replace_cell(&mut self, i: usize, cell: &[u8]) -> Result<()> {
+        // Fast path: same length — overwrite in place.
+        if cell.len() == self.cell_len(i) {
+            let off = self.slot(i) as usize;
+            self.bytes[off + 2..off + 2 + cell.len()].copy_from_slice(cell);
+            return Ok(());
+        }
+        self.remove_cell(i);
+        self.insert_cell(i, cell)
+    }
+
+    /// Removes every cell (used when a page is rebuilt in place or retired).
+    pub fn clear_cells(&mut self) {
+        self.put_u16(OFF_COUNT, 0);
+        self.put_u16(OFF_FREE, HEADER_SIZE as u16);
+    }
+
+    /// Changes the page type (a split retires its input by rewriting it as
+    /// a [`PageType::Free`] page).
+    pub fn set_page_type(&mut self, t: PageType) {
+        self.bytes[OFF_TYPE] = t as u8;
+    }
+
+    /// Rewrites all cells contiguously, squeezing out holes.
+    pub fn defragment(&mut self) {
+        let count = self.cell_count();
+        let cells: Vec<Vec<u8>> = (0..count).map(|i| self.cell(i).to_vec()).collect();
+        let mut off = HEADER_SIZE;
+        for (i, c) in cells.iter().enumerate() {
+            self.put_u16(off, c.len() as u16);
+            self.bytes[off + 2..off + 2 + c.len()].copy_from_slice(c);
+            self.set_slot(i, off as u16);
+            off += 2 + c.len();
+        }
+        self.put_u16(OFF_FREE, off as u16);
+    }
+
+    /// Structural validation: every slot points inside the page and cell
+    /// extents stay inside the cell region. (Content validation — sort
+    /// order, version threading — is the B+-tree checker's job.)
+    pub fn validate_slots(&self) -> Result<()> {
+        let count = self.cell_count();
+        if PAGE_SIZE - 2 * count < HEADER_SIZE {
+            return Err(Error::corruption("slot directory overlaps header"));
+        }
+        let free = self.free_off();
+        if !(HEADER_SIZE..=PAGE_SIZE).contains(&free) {
+            return Err(Error::corruption("free offset out of range"));
+        }
+        for i in 0..count {
+            let off = self.slot(i) as usize;
+            if off < HEADER_SIZE || off + 2 > PAGE_SIZE {
+                return Err(Error::corruption(format!("slot {i} offset {off} out of range")));
+            }
+            let len = self.get_u16(off) as usize;
+            if off + 2 + len > PAGE_SIZE - 2 * count {
+                return Err(Error::corruption(format!("cell {i} extends into slot directory")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates the cells in slot order.
+    pub fn cells(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        (0..self.cell_count()).map(move |i| self.cell(i))
+    }
+}
+
+impl core::fmt::Debug for Page {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Page")
+            .field("pgno", &self.pgno())
+            .field("type", &self.page_type())
+            .field("cells", &self.cell_count())
+            .field("free", &self.total_free())
+            .field("dirty", &self.dirty)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> Page {
+        Page::new(PageNo(7), PageType::Leaf, RelId(3))
+    }
+
+    #[test]
+    fn fresh_page_header() {
+        let p = page();
+        assert_eq!(p.pgno(), PageNo(7));
+        assert_eq!(p.page_type(), PageType::Leaf);
+        assert_eq!(p.rel_id(), RelId(3));
+        assert_eq!(p.cell_count(), 0);
+        assert_eq!(p.right_sibling(), PageNo::INVALID);
+        assert!(!p.is_historical());
+        assert_eq!(p.lsn(), Lsn::ZERO);
+    }
+
+    #[test]
+    fn insert_and_read_cells() {
+        let mut p = page();
+        p.append_cell(b"bb").unwrap();
+        p.insert_cell(0, b"aa").unwrap();
+        p.append_cell(b"cc").unwrap();
+        assert_eq!(p.cell_count(), 3);
+        assert_eq!(p.cell(0), b"aa");
+        assert_eq!(p.cell(1), b"bb");
+        assert_eq!(p.cell(2), b"cc");
+    }
+
+    #[test]
+    fn remove_shifts_slots() {
+        let mut p = page();
+        for c in [b"a".as_slice(), b"b", b"c", b"d"] {
+            p.append_cell(c).unwrap();
+        }
+        p.remove_cell(1);
+        assert_eq!(p.cell_count(), 3);
+        assert_eq!(p.cell(0), b"a");
+        assert_eq!(p.cell(1), b"c");
+        assert_eq!(p.cell(2), b"d");
+    }
+
+    #[test]
+    fn defragment_reclaims_holes() {
+        let mut p = page();
+        let big = vec![0xAB; 900];
+        for _ in 0..4 {
+            p.append_cell(&big).unwrap();
+        }
+        assert!(!p.can_fit(900));
+        p.remove_cell(0);
+        p.remove_cell(0);
+        assert!(p.can_fit(900));
+        // contiguous space is exhausted; insert must defragment internally
+        p.append_cell(&big).unwrap();
+        assert_eq!(p.cell_count(), 3);
+        assert!(p.cells().all(|c| c == &big[..]));
+        p.validate_slots().unwrap();
+    }
+
+    #[test]
+    fn replace_cell_same_and_different_length() {
+        let mut p = page();
+        p.append_cell(b"xxxx").unwrap();
+        p.append_cell(b"yyyy").unwrap();
+        p.replace_cell(0, b"zzzz").unwrap();
+        assert_eq!(p.cell(0), b"zzzz");
+        p.replace_cell(0, b"longer-cell").unwrap();
+        assert_eq!(p.cell(0), b"longer-cell");
+        assert_eq!(p.cell(1), b"yyyy");
+        p.validate_slots().unwrap();
+    }
+
+    #[test]
+    fn oversized_cell_rejected() {
+        let mut p = page();
+        let huge = vec![0u8; PAGE_USABLE + 1];
+        assert!(matches!(p.append_cell(&huge), Err(Error::TupleTooLarge { .. })));
+        let exact = vec![1u8; PAGE_USABLE];
+        p.append_cell(&exact).unwrap();
+        assert_eq!(p.cell(0), &exact[..]);
+    }
+
+    #[test]
+    fn full_page_rejects_insert() {
+        let mut p = page();
+        let cell = vec![7u8; 100];
+        let mut n = 0;
+        while p.can_fit(100) {
+            p.append_cell(&cell).unwrap();
+            n += 1;
+        }
+        assert!(n > 30);
+        assert!(matches!(p.append_cell(&cell), Err(Error::TupleTooLarge { .. })));
+    }
+
+    #[test]
+    fn bytes_roundtrip_with_checksum() {
+        let mut p = page();
+        p.append_cell(b"persisted").unwrap();
+        p.set_lsn(Lsn(99));
+        let img = p.finalize_for_write().to_vec();
+        let q = Page::from_bytes(&img).unwrap();
+        assert!(q.verify_checksum());
+        assert_eq!(q.cell(0), b"persisted");
+        assert_eq!(q.lsn(), Lsn(99));
+        assert!(!q.dirty);
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut p = page();
+        let mut img = p.finalize_for_write().to_vec();
+        img[0] ^= 0xFF;
+        assert!(Page::from_bytes(&img).is_err());
+    }
+
+    #[test]
+    fn corrupt_slot_rejected() {
+        let mut p = page();
+        p.append_cell(b"x").unwrap();
+        let mut img = p.finalize_for_write().to_vec();
+        // slam the slot offset to an out-of-range value
+        img[PAGE_SIZE - 2] = 0xFF;
+        img[PAGE_SIZE - 1] = 0xFF;
+        assert!(Page::from_bytes(&img).is_err());
+    }
+
+    #[test]
+    fn checksum_detects_bit_flip() {
+        let mut p = page();
+        p.append_cell(b"guard").unwrap();
+        let mut img = p.finalize_for_write().to_vec();
+        img[HEADER_SIZE + 3] ^= 0x01;
+        let q = Page::from_bytes(&img).unwrap();
+        assert!(!q.verify_checksum());
+    }
+
+    #[test]
+    fn seq_allocation_monotone() {
+        let mut p = page();
+        assert_eq!(p.alloc_seq(), 0);
+        assert_eq!(p.alloc_seq(), 1);
+        p.bump_seq_to(10);
+        assert_eq!(p.alloc_seq(), 10);
+        p.bump_seq_to(5); // no regression
+        assert_eq!(p.alloc_seq(), 11);
+    }
+
+    #[test]
+    fn historical_flag_and_aux() {
+        let mut p = page();
+        p.set_historical(true);
+        p.set_aux(1234);
+        assert!(p.is_historical());
+        assert_eq!(p.aux(), 1234);
+        p.set_historical(false);
+        assert!(!p.is_historical());
+    }
+}

@@ -1,0 +1,136 @@
+//! Model-based property tests: a slotted page against `Vec<Vec<u8>>`, and
+//! tuple-codec round trips.
+
+use ccdb_common::{PageNo, RelId, Timestamp, TxnId};
+use ccdb_storage::{Page, PageType, TupleVersion, WriteTime, PAGE_USABLE};
+use proptest::prelude::*;
+
+/// Operations on a slotted page.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(usize, Vec<u8>),
+    Remove(usize),
+    Replace(usize, Vec<u8>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(|(i, v)| Op::Insert(i, v)),
+        any::<usize>().prop_map(Op::Remove),
+        (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(|(i, v)| Op::Replace(i, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The page behaves exactly like a vector of byte strings, through any
+    /// sequence of inserts/removes/replacements (with defragmentation
+    /// happening invisibly), and always revalidates and round-trips.
+    #[test]
+    fn page_matches_vec_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut page = Page::new(PageNo(1), PageType::Leaf, RelId(1));
+        let mut model: Vec<Vec<u8>> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(i, cell) => {
+                    let i = i % (model.len() + 1);
+                    if page.can_fit(cell.len()) {
+                        page.insert_cell(i, &cell).unwrap();
+                        model.insert(i, cell);
+                    }
+                }
+                Op::Remove(i) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        page.remove_cell(i);
+                        model.remove(i);
+                    }
+                }
+                Op::Replace(i, cell) => {
+                    if !model.is_empty() {
+                        let i = i % model.len();
+                        // Replacement may fail only for space reasons.
+                        if cell.len() <= model[i].len()
+                            || page.can_fit(cell.len())
+                        {
+                            page.replace_cell(i, &cell).unwrap();
+                            model[i] = cell;
+                        }
+                    }
+                }
+            }
+            page.validate_slots().unwrap();
+        }
+        let got: Vec<Vec<u8>> = page.cells().map(|c| c.to_vec()).collect();
+        prop_assert_eq!(&got, &model);
+        // Disk round trip preserves everything.
+        let img = page.finalize_for_write().to_vec();
+        let back = Page::from_bytes(&img).unwrap();
+        prop_assert!(back.verify_checksum());
+        let got2: Vec<Vec<u8>> = back.cells().map(|c| c.to_vec()).collect();
+        prop_assert_eq!(&got2, &model);
+    }
+
+    /// Tuple cells round-trip for arbitrary contents.
+    #[test]
+    fn tuple_cell_roundtrip(
+        rel in any::<u32>(),
+        key in proptest::collection::vec(any::<u8>(), 0..64),
+        pending in any::<bool>(),
+        time in any::<u64>(),
+        seq in any::<u16>(),
+        eol in any::<bool>(),
+        value in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let t = TupleVersion {
+            rel: RelId(rel),
+            key,
+            time: if pending { WriteTime::Pending(TxnId(time)) } else { WriteTime::Committed(Timestamp(time)) },
+            seq,
+            end_of_life: eol,
+            value,
+        };
+        let cell = t.encode_cell();
+        prop_assert!(cell.len() <= PAGE_USABLE || t.key.len() + t.value.len() > PAGE_USABLE - 32);
+        prop_assert_eq!(TupleVersion::decode_cell(&cell).unwrap(), t);
+    }
+
+    /// Canonical identity is stable under seq/page movement but sensitive to
+    /// every semantic field.
+    #[test]
+    fn canonical_identity_properties(
+        key in proptest::collection::vec(any::<u8>(), 0..32),
+        time in any::<u64>(),
+        value in proptest::collection::vec(any::<u8>(), 0..64),
+        seq_a in any::<u16>(),
+        seq_b in any::<u16>(),
+    ) {
+        let base = TupleVersion {
+            rel: RelId(1),
+            key,
+            time: WriteTime::Committed(Timestamp(time)),
+            seq: seq_a,
+            end_of_life: false,
+            value,
+        };
+        let moved = TupleVersion { seq: seq_b, ..base.clone() };
+        prop_assert_eq!(base.canonical_bytes(), moved.canonical_bytes());
+        let eol = TupleVersion { end_of_life: true, ..base.clone() };
+        prop_assert_ne!(base.canonical_bytes(), eol.canonical_bytes());
+        let later = TupleVersion {
+            time: WriteTime::Committed(Timestamp(time.wrapping_add(1))),
+            ..base.clone()
+        };
+        prop_assert_ne!(base.canonical_bytes(), later.canonical_bytes());
+    }
+
+    /// Arbitrary bytes never panic the defensive decoders.
+    #[test]
+    fn decoders_never_panic(garbage in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TupleVersion::decode_cell(&garbage);
+        let mut padded = garbage.clone();
+        padded.resize(ccdb_storage::PAGE_SIZE, 0);
+        let _ = Page::from_bytes(&padded);
+    }
+}

@@ -1,0 +1,126 @@
+//! The workload driver: the standard TPC-C transaction mix.
+
+use ccdb_common::Result;
+use ccdb_core::CompliantDb;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::loader::Tpcc;
+use crate::txns;
+
+/// The five transaction types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// New-Order (45 %).
+    NewOrder,
+    /// Payment (43 %).
+    Payment,
+    /// Order-Status (4 %).
+    OrderStatus,
+    /// Delivery (4 %).
+    Delivery,
+    /// Stock-Level (4 %).
+    StockLevel,
+}
+
+/// Execution counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MixStats {
+    /// New-Orders committed.
+    pub new_orders: u64,
+    /// New-Orders rolled back (the 1 % branch).
+    pub new_order_rollbacks: u64,
+    /// Payments.
+    pub payments: u64,
+    /// Order-Status queries.
+    pub order_status: u64,
+    /// Deliveries.
+    pub deliveries: u64,
+    /// Stock-Level queries.
+    pub stock_levels: u64,
+}
+
+impl MixStats {
+    /// Total transactions executed (including rollbacks).
+    pub fn total(&self) -> u64 {
+        self.new_orders
+            + self.new_order_rollbacks
+            + self.payments
+            + self.order_status
+            + self.deliveries
+            + self.stock_levels
+    }
+}
+
+/// A deterministic driver over a loaded TPC-C database.
+pub struct Driver {
+    rng: StdRng,
+    deck: Vec<TxnKind>,
+    pos: usize,
+    stats: MixStats,
+}
+
+impl Driver {
+    /// Creates a driver with the standard mix and a fixed seed.
+    pub fn new(seed: u64) -> Driver {
+        let mut deck = Vec::with_capacity(100);
+        deck.extend(std::iter::repeat_n(TxnKind::NewOrder, 45));
+        deck.extend(std::iter::repeat_n(TxnKind::Payment, 43));
+        deck.extend(std::iter::repeat_n(TxnKind::OrderStatus, 4));
+        deck.extend(std::iter::repeat_n(TxnKind::Delivery, 4));
+        deck.extend(std::iter::repeat_n(TxnKind::StockLevel, 4));
+        let mut rng = StdRng::seed_from_u64(seed);
+        deck.shuffle(&mut rng);
+        Driver { rng, deck, pos: 0, stats: MixStats::default() }
+    }
+
+    /// Runs one transaction from the deck; returns its kind.
+    pub fn run_one(&mut self, db: &CompliantDb, t: &Tpcc) -> Result<TxnKind> {
+        if self.pos >= self.deck.len() {
+            self.deck.shuffle(&mut self.rng);
+            self.pos = 0;
+        }
+        let kind = self.deck[self.pos];
+        self.pos += 1;
+        match kind {
+            TxnKind::NewOrder => {
+                if txns::new_order(db, t, &mut self.rng)? {
+                    self.stats.new_orders += 1;
+                } else {
+                    self.stats.new_order_rollbacks += 1;
+                }
+            }
+            TxnKind::Payment => {
+                txns::payment(db, t, &mut self.rng)?;
+                self.stats.payments += 1;
+            }
+            TxnKind::OrderStatus => {
+                txns::order_status(db, t, &mut self.rng)?;
+                self.stats.order_status += 1;
+            }
+            TxnKind::Delivery => {
+                txns::delivery(db, t, &mut self.rng)?;
+                self.stats.deliveries += 1;
+            }
+            TxnKind::StockLevel => {
+                txns::stock_level(db, t, &mut self.rng)?;
+                self.stats.stock_levels += 1;
+            }
+        }
+        Ok(kind)
+    }
+
+    /// Runs `n` transactions.
+    pub fn run(&mut self, db: &CompliantDb, t: &Tpcc, n: usize) -> Result<MixStats> {
+        for _ in 0..n {
+            self.run_one(db, t)?;
+        }
+        Ok(self.stats)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> MixStats {
+        self.stats
+    }
+}

@@ -1,0 +1,127 @@
+//! TPC-C random-data generators: NURand skew, last names, strings.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// TPC-C clause 2.1.6: constants for the non-uniform distribution. Fixed
+/// values keep runs reproducible (the spec permits any constant per field).
+pub const C_LAST: u64 = 123;
+/// NURand constant for customer ids.
+pub const C_ID: u64 = 259;
+/// NURand constant for item ids.
+pub const OL_I_ID: u64 = 7911;
+
+/// The non-uniform random function `NURand(A, x, y)`.
+pub fn nurand(rng: &mut StdRng, a: u64, c: u64, x: u64, y: u64) -> u64 {
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+/// The 10 syllables of TPC-C clause 4.3.2.3.
+const SYLLABLES: [&str; 10] =
+    ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+
+/// Builds a customer last name from a number in `0..=999`.
+pub fn last_name(num: u64) -> String {
+    let num = num % 1000;
+    format!(
+        "{}{}{}",
+        SYLLABLES[(num / 100) as usize],
+        SYLLABLES[((num / 10) % 10) as usize],
+        SYLLABLES[(num % 10) as usize]
+    )
+}
+
+/// A random last name for loading (uniform over the NURand image, per spec
+/// the load uses NURand(255, 0, 999)).
+pub fn rand_last_name(rng: &mut StdRng) -> String {
+    last_name(nurand(rng, 255, C_LAST, 0, 999))
+}
+
+/// Random alphanumeric string with length in `[lo, hi]`.
+pub fn astring(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    let len = rng.gen_range(lo..=hi);
+    (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect()
+}
+
+/// Random numeric string of exact length.
+pub fn nstring(rng: &mut StdRng, len: usize) -> String {
+    (0..len).map(|_| char::from(b'0' + rng.gen_range(0..10u8))).collect()
+}
+
+/// A zip code: 4 random digits + "11111".
+pub fn zip(rng: &mut StdRng) -> String {
+    format!("{}11111", nstring(rng, 4))
+}
+
+/// Item data, with 10 % containing the "ORIGINAL" marker (clause 4.3.3.1).
+pub fn item_data(rng: &mut StdRng) -> String {
+    let mut s = astring(rng, 26, 50);
+    if rng.gen_range(0..10) == 0 {
+        let pos = rng.gen_range(0..s.len().saturating_sub(8).max(1));
+        s.replace_range(pos..pos + 8.min(s.len() - pos), "ORIGINAL");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = nurand(&mut r, 1023, C_ID, 1, 3000);
+            assert!((1..=3000).contains(&v));
+            let w = nurand(&mut r, 8191, OL_I_ID, 1, 100_000);
+            assert!((1..=100_000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn nurand_is_skewed() {
+        // The whole point: some values are much hotter than uniform.
+        let mut r = rng();
+        let mut counts = vec![0u32; 101];
+        for _ in 0..20_000 {
+            let v = nurand(&mut r, 1023, C_ID, 1, 100);
+            counts[v as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts[1..].iter().min().unwrap() as f64;
+        assert!(max / (min + 1.0) > 2.0, "expected skew, max {max} min {min}");
+    }
+
+    #[test]
+    fn last_names_match_spec_examples() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn string_generators_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = astring(&mut r, 8, 16);
+            assert!((8..=16).contains(&s.len()));
+        }
+        assert_eq!(nstring(&mut r, 6).len(), 6);
+        assert_eq!(zip(&mut r).len(), 9);
+    }
+
+    #[test]
+    fn item_data_sometimes_original() {
+        let mut r = rng();
+        let n = (0..500).filter(|_| item_data(&mut r).contains("ORIGINAL")).count();
+        assert!(n > 10 && n < 150, "ORIGINAL rate {n}/500");
+    }
+}

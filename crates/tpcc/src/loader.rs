@@ -1,0 +1,213 @@
+//! Schema creation and initial population (TPC-C clause 4.3).
+
+use ccdb_btree::SplitPolicy;
+use ccdb_common::{RelId, Result, Timestamp};
+use ccdb_core::CompliantDb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen;
+use crate::rows::*;
+
+/// Scale parameters. TPC-C fixes districts at 10 and customers at 3000 per
+/// district; smaller presets keep the shapes (and skew) while shrinking the
+/// database for laptop-scale runs, the way the paper's 1-warehouse
+/// configuration shrank theirs.
+#[derive(Clone, Copy, Debug)]
+pub struct TpccScale {
+    /// Number of warehouses (the paper uses 10, and 1 for the memory-
+    /// resident experiment).
+    pub warehouses: u32,
+    /// Districts per warehouse.
+    pub districts: u32,
+    /// Customers per district.
+    pub customers_per_district: u32,
+    /// Items (and stock rows per warehouse).
+    pub items: u32,
+}
+
+impl TpccScale {
+    /// The paper's shape: 10 districts, 3000 customers, 100 000 items.
+    pub fn paper(warehouses: u32) -> TpccScale {
+        TpccScale { warehouses, districts: 10, customers_per_district: 3000, items: 100_000 }
+    }
+
+    /// A laptop-bench preset (~MBs instead of GBs) with the same shapes.
+    pub fn small(warehouses: u32) -> TpccScale {
+        TpccScale { warehouses, districts: 4, customers_per_district: 120, items: 2_000 }
+    }
+
+    /// A minimal preset for unit tests.
+    pub fn tiny() -> TpccScale {
+        TpccScale { warehouses: 1, districts: 2, customers_per_district: 30, items: 100 }
+    }
+}
+
+/// Relation handles for a loaded TPC-C database.
+#[derive(Clone, Copy, Debug)]
+pub struct Tpcc {
+    /// Scale loaded.
+    pub scale: TpccScale,
+    /// WAREHOUSE.
+    pub warehouse: RelId,
+    /// DISTRICT.
+    pub district: RelId,
+    /// CUSTOMER.
+    pub customer: RelId,
+    /// HISTORY.
+    pub history: RelId,
+    /// NEW_ORDER.
+    pub new_order: RelId,
+    /// ORDERS.
+    pub orders: RelId,
+    /// ORDER_LINE.
+    pub order_line: RelId,
+    /// ITEM.
+    pub item: RelId,
+    /// STOCK.
+    pub stock: RelId,
+    /// Secondary index: (w, d, last-name, c) → c (Payment by name).
+    pub customer_name_idx: RelId,
+    /// Secondary index: (w, d, c, o) → () (Order-Status latest order).
+    pub order_cust_idx: RelId,
+}
+
+/// Creates the nine relations (+ two secondary-index relations) and loads
+/// the initial population. `policy` applies to every relation — the Figure 4
+/// experiments reload with time-split policies at varying thresholds.
+pub fn load(db: &CompliantDb, scale: TpccScale, policy: SplitPolicy) -> Result<Tpcc> {
+    let t = Tpcc {
+        scale,
+        warehouse: db.create_relation("warehouse", policy)?,
+        district: db.create_relation("district", policy)?,
+        customer: db.create_relation("customer", policy)?,
+        history: db.create_relation("history", policy)?,
+        new_order: db.create_relation("new_order", policy)?,
+        orders: db.create_relation("orders", policy)?,
+        order_line: db.create_relation("order_line", policy)?,
+        item: db.create_relation("item", policy)?,
+        stock: db.create_relation("stock", policy)?,
+        customer_name_idx: db.create_relation("customer_name_idx", policy)?,
+        order_cust_idx: db.create_relation("order_cust_idx", policy)?,
+    };
+    let mut rng = StdRng::seed_from_u64(0xCCDB_79CC);
+    let now = db.engine().clock().now();
+
+    // ITEM (shared across warehouses).
+    let mut txn = db.begin()?;
+    let mut in_txn = 0;
+    let batch = |db: &CompliantDb, txn: &mut ccdb_common::TxnId, in_txn: &mut u32| -> Result<()> {
+        *in_txn += 1;
+        if *in_txn >= 200 {
+            db.commit(*txn)?;
+            *txn = db.begin()?;
+            *in_txn = 0;
+        }
+        Ok(())
+    };
+    for i in 1..=scale.items {
+        let row = Item {
+            im_id: rng.gen_range(1..=10_000),
+            name: gen::astring(&mut rng, 14, 24),
+            price: rng.gen_range(100..=10_000) as f64 / 100.0,
+            data: gen::item_data(&mut rng),
+        };
+        db.write(txn, t.item, &key(&[i]), &row.encode())?;
+        batch(db, &mut txn, &mut in_txn)?;
+    }
+
+    for w in 1..=scale.warehouses {
+        let row = Warehouse {
+            name: gen::astring(&mut rng, 6, 10),
+            street: gen::astring(&mut rng, 10, 20),
+            city: gen::astring(&mut rng, 10, 20),
+            state: gen::astring(&mut rng, 2, 2),
+            zip: gen::zip(&mut rng),
+            tax: rng.gen_range(0..=2000) as f64 / 10_000.0,
+            ytd: 300_000.0,
+        };
+        db.write(txn, t.warehouse, &key(&[w]), &row.encode())?;
+        batch(db, &mut txn, &mut in_txn)?;
+
+        // STOCK for every item.
+        for i in 1..=scale.items {
+            let row = Stock {
+                quantity: rng.gen_range(10..=100),
+                dists: core::array::from_fn(|_| gen::astring(&mut rng, 24, 24)),
+                ytd: 0,
+                order_cnt: 0,
+                remote_cnt: 0,
+                data: gen::item_data(&mut rng),
+            };
+            db.write(txn, t.stock, &key(&[w, i]), &row.encode())?;
+            batch(db, &mut txn, &mut in_txn)?;
+        }
+
+        for d in 1..=scale.districts {
+            let row = District {
+                name: gen::astring(&mut rng, 6, 10),
+                street: gen::astring(&mut rng, 10, 20),
+                city: gen::astring(&mut rng, 10, 20),
+                state: gen::astring(&mut rng, 2, 2),
+                zip: gen::zip(&mut rng),
+                tax: rng.gen_range(0..=2000) as f64 / 10_000.0,
+                ytd: 30_000.0,
+                next_o_id: 1,
+            };
+            db.write(txn, t.district, &key(&[w, d]), &row.encode())?;
+            batch(db, &mut txn, &mut in_txn)?;
+
+            for c in 1..=scale.customers_per_district {
+                // First 1000 customers get spec last names; rest random.
+                let last = if c <= 1000 {
+                    gen::last_name((c - 1) as u64)
+                } else {
+                    gen::rand_last_name(&mut rng)
+                };
+                let row = Customer {
+                    first: gen::astring(&mut rng, 8, 16),
+                    middle: "OE".into(),
+                    last: last.clone(),
+                    street: gen::astring(&mut rng, 10, 20),
+                    city: gen::astring(&mut rng, 10, 20),
+                    state: gen::astring(&mut rng, 2, 2),
+                    zip: gen::zip(&mut rng),
+                    phone: gen::nstring(&mut rng, 16),
+                    since: now,
+                    credit: if rng.gen_range(0..10) == 0 { "BC".into() } else { "GC".into() },
+                    credit_lim: 50_000.0,
+                    discount: rng.gen_range(0..=5000) as f64 / 10_000.0,
+                    balance: -10.0,
+                    ytd_payment: 10.0,
+                    payment_cnt: 1,
+                    delivery_cnt: 0,
+                    data: gen::astring(&mut rng, 300, 500),
+                };
+                db.write(txn, t.customer, &key(&[w, d, c]), &row.encode())?;
+                // Name index entry.
+                let mut idx_key = key(&[w, d]);
+                idx_key.extend_from_slice(last.as_bytes());
+                idx_key.push(0);
+                idx_key.extend_from_slice(&key(&[c]));
+                db.write(txn, t.customer_name_idx, &idx_key, &c.to_le_bytes())?;
+                batch(db, &mut txn, &mut in_txn)?;
+            }
+        }
+    }
+    db.commit(txn)?;
+    db.engine().run_stamper()?;
+    Ok(t)
+}
+
+/// Key for the customer-name index prefix `(w, d, last)`.
+pub fn name_idx_prefix(w: u32, d: u32, last: &str) -> Vec<u8> {
+    let mut k = key(&[w, d]);
+    k.extend_from_slice(last.as_bytes());
+    k.push(0);
+    k
+}
+
+/// Timestamp helper re-export for callers building rows.
+pub fn now(db: &CompliantDb) -> Timestamp {
+    db.engine().clock().now()
+}

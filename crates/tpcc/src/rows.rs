@@ -1,0 +1,545 @@
+//! TPC-C row types, key builders, and fixed-layout codecs.
+//!
+//! Keys are big-endian composites so bytewise key order equals logical
+//! order. Row encodings carry every TPC-C field (realistic row sizes matter:
+//! the paper's page-count experiments depend on how many STOCK or
+//! ORDER_LINE tuples fit a 4 KiB page).
+
+use ccdb_common::{ByteReader, ByteWriter, Result, Timestamp};
+
+fn put_f(w: &mut ByteWriter, v: f64) {
+    w.put_u64(v.to_bits());
+}
+
+fn get_f(r: &mut ByteReader<'_>) -> Result<f64> {
+    Ok(f64::from_bits(r.get_u64()?))
+}
+
+/// Builds a big-endian composite key from u32 components.
+pub fn key(parts: &[u32]) -> Vec<u8> {
+    let mut k = Vec::with_capacity(parts.len() * 4);
+    for p in parts {
+        k.extend_from_slice(&p.to_be_bytes());
+    }
+    k
+}
+
+/// WAREHOUSE row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Warehouse {
+    /// Name (10 chars).
+    pub name: String,
+    /// Street address lines.
+    pub street: String,
+    /// City.
+    pub city: String,
+    /// State (2 chars).
+    pub state: String,
+    /// Zip.
+    pub zip: String,
+    /// Sales tax.
+    pub tax: f64,
+    /// Year-to-date balance.
+    pub ytd: f64,
+}
+
+impl Warehouse {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_str(&self.name);
+        w.put_str(&self.street);
+        w.put_str(&self.city);
+        w.put_str(&self.state);
+        w.put_str(&self.zip);
+        put_f(&mut w, self.tax);
+        put_f(&mut w, self.ytd);
+        w.into_vec()
+    }
+
+    /// Decodes the row.
+    pub fn decode(b: &[u8]) -> Result<Warehouse> {
+        let mut r = ByteReader::new(b);
+        Ok(Warehouse {
+            name: r.get_str()?,
+            street: r.get_str()?,
+            city: r.get_str()?,
+            state: r.get_str()?,
+            zip: r.get_str()?,
+            tax: get_f(&mut r)?,
+            ytd: get_f(&mut r)?,
+        })
+    }
+}
+
+/// DISTRICT row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct District {
+    /// Name.
+    pub name: String,
+    /// Street.
+    pub street: String,
+    /// City.
+    pub city: String,
+    /// State.
+    pub state: String,
+    /// Zip.
+    pub zip: String,
+    /// Tax.
+    pub tax: f64,
+    /// Year-to-date balance.
+    pub ytd: f64,
+    /// Next order id to assign.
+    pub next_o_id: u32,
+}
+
+impl District {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_str(&self.name);
+        w.put_str(&self.street);
+        w.put_str(&self.city);
+        w.put_str(&self.state);
+        w.put_str(&self.zip);
+        put_f(&mut w, self.tax);
+        put_f(&mut w, self.ytd);
+        w.put_u32(self.next_o_id);
+        w.into_vec()
+    }
+
+    /// Decodes the row.
+    pub fn decode(b: &[u8]) -> Result<District> {
+        let mut r = ByteReader::new(b);
+        Ok(District {
+            name: r.get_str()?,
+            street: r.get_str()?,
+            city: r.get_str()?,
+            state: r.get_str()?,
+            zip: r.get_str()?,
+            tax: get_f(&mut r)?,
+            ytd: get_f(&mut r)?,
+            next_o_id: r.get_u32()?,
+        })
+    }
+}
+
+/// CUSTOMER row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Customer {
+    /// First name.
+    pub first: String,
+    /// Middle name ("OE").
+    pub middle: String,
+    /// Last name (syllable-generated; the Payment lookup key).
+    pub last: String,
+    /// Street.
+    pub street: String,
+    /// City.
+    pub city: String,
+    /// State.
+    pub state: String,
+    /// Zip.
+    pub zip: String,
+    /// Phone (16 digits).
+    pub phone: String,
+    /// Since (registration time).
+    pub since: Timestamp,
+    /// Credit: "GC" or "BC".
+    pub credit: String,
+    /// Credit limit.
+    pub credit_lim: f64,
+    /// Discount.
+    pub discount: f64,
+    /// Balance.
+    pub balance: f64,
+    /// YTD payment.
+    pub ytd_payment: f64,
+    /// Payment count.
+    pub payment_cnt: u32,
+    /// Delivery count.
+    pub delivery_cnt: u32,
+    /// Miscellaneous data (300–500 chars).
+    pub data: String,
+}
+
+impl Customer {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        for s in [
+            &self.first,
+            &self.middle,
+            &self.last,
+            &self.street,
+            &self.city,
+            &self.state,
+            &self.zip,
+            &self.phone,
+        ] {
+            w.put_str(s);
+        }
+        w.put_u64(self.since.0);
+        w.put_str(&self.credit);
+        put_f(&mut w, self.credit_lim);
+        put_f(&mut w, self.discount);
+        put_f(&mut w, self.balance);
+        put_f(&mut w, self.ytd_payment);
+        w.put_u32(self.payment_cnt);
+        w.put_u32(self.delivery_cnt);
+        w.put_str(&self.data);
+        w.into_vec()
+    }
+
+    /// Decodes the row.
+    pub fn decode(b: &[u8]) -> Result<Customer> {
+        let mut r = ByteReader::new(b);
+        Ok(Customer {
+            first: r.get_str()?,
+            middle: r.get_str()?,
+            last: r.get_str()?,
+            street: r.get_str()?,
+            city: r.get_str()?,
+            state: r.get_str()?,
+            zip: r.get_str()?,
+            phone: r.get_str()?,
+            since: Timestamp(r.get_u64()?),
+            credit: r.get_str()?,
+            credit_lim: get_f(&mut r)?,
+            discount: get_f(&mut r)?,
+            balance: get_f(&mut r)?,
+            ytd_payment: get_f(&mut r)?,
+            payment_cnt: r.get_u32()?,
+            delivery_cnt: r.get_u32()?,
+            data: r.get_str()?,
+        })
+    }
+}
+
+/// ORDERS row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Order {
+    /// Ordering customer.
+    pub c_id: u32,
+    /// Entry time.
+    pub entry_d: Timestamp,
+    /// Carrier (0 = not delivered yet).
+    pub carrier_id: u32,
+    /// Number of order lines.
+    pub ol_cnt: u32,
+    /// Whether all lines are local.
+    pub all_local: bool,
+}
+
+impl Order {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.c_id);
+        w.put_u64(self.entry_d.0);
+        w.put_u32(self.carrier_id);
+        w.put_u32(self.ol_cnt);
+        w.put_u8(self.all_local as u8);
+        w.into_vec()
+    }
+
+    /// Decodes the row.
+    pub fn decode(b: &[u8]) -> Result<Order> {
+        let mut r = ByteReader::new(b);
+        Ok(Order {
+            c_id: r.get_u32()?,
+            entry_d: Timestamp(r.get_u64()?),
+            carrier_id: r.get_u32()?,
+            ol_cnt: r.get_u32()?,
+            all_local: r.get_u8()? != 0,
+        })
+    }
+}
+
+/// ORDER_LINE row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderLine {
+    /// Item ordered.
+    pub i_id: u32,
+    /// Supplying warehouse.
+    pub supply_w_id: u32,
+    /// Delivery time (0 = undelivered).
+    pub delivery_d: Timestamp,
+    /// Quantity.
+    pub quantity: u32,
+    /// Amount.
+    pub amount: f64,
+    /// District info (24 chars).
+    pub dist_info: String,
+}
+
+impl OrderLine {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.i_id);
+        w.put_u32(self.supply_w_id);
+        w.put_u64(self.delivery_d.0);
+        w.put_u32(self.quantity);
+        put_f(&mut w, self.amount);
+        w.put_str(&self.dist_info);
+        w.into_vec()
+    }
+
+    /// Decodes the row.
+    pub fn decode(b: &[u8]) -> Result<OrderLine> {
+        let mut r = ByteReader::new(b);
+        Ok(OrderLine {
+            i_id: r.get_u32()?,
+            supply_w_id: r.get_u32()?,
+            delivery_d: Timestamp(r.get_u64()?),
+            quantity: r.get_u32()?,
+            amount: get_f(&mut r)?,
+            dist_info: r.get_str()?,
+        })
+    }
+}
+
+/// ITEM row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Item {
+    /// Image id.
+    pub im_id: u32,
+    /// Name.
+    pub name: String,
+    /// Price.
+    pub price: f64,
+    /// Data (may contain "ORIGINAL").
+    pub data: String,
+}
+
+impl Item {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.im_id);
+        w.put_str(&self.name);
+        put_f(&mut w, self.price);
+        w.put_str(&self.data);
+        w.into_vec()
+    }
+
+    /// Decodes the row.
+    pub fn decode(b: &[u8]) -> Result<Item> {
+        let mut r = ByteReader::new(b);
+        Ok(Item {
+            im_id: r.get_u32()?,
+            name: r.get_str()?,
+            price: get_f(&mut r)?,
+            data: r.get_str()?,
+        })
+    }
+}
+
+/// STOCK row — the paper's hot, skew-updated relation (Figure 4(a)).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stock {
+    /// Quantity on hand.
+    pub quantity: i32,
+    /// The ten 24-char district info strings.
+    pub dists: [String; 10],
+    /// Year-to-date.
+    pub ytd: u32,
+    /// Order count.
+    pub order_cnt: u32,
+    /// Remote order count.
+    pub remote_cnt: u32,
+    /// Data (may contain "ORIGINAL").
+    pub data: String,
+}
+
+impl Stock {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.quantity as u32);
+        for d in &self.dists {
+            w.put_str(d);
+        }
+        w.put_u32(self.ytd);
+        w.put_u32(self.order_cnt);
+        w.put_u32(self.remote_cnt);
+        w.put_str(&self.data);
+        w.into_vec()
+    }
+
+    /// Decodes the row.
+    pub fn decode(b: &[u8]) -> Result<Stock> {
+        let mut r = ByteReader::new(b);
+        let quantity = r.get_u32()? as i32;
+        let mut dists: [String; 10] = Default::default();
+        for d in dists.iter_mut() {
+            *d = r.get_str()?;
+        }
+        Ok(Stock {
+            quantity,
+            dists,
+            ytd: r.get_u32()?,
+            order_cnt: r.get_u32()?,
+            remote_cnt: r.get_u32()?,
+            data: r.get_str()?,
+        })
+    }
+}
+
+/// HISTORY row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct History {
+    /// Customer coordinates.
+    pub c_id: u32,
+    /// Customer district.
+    pub c_d_id: u32,
+    /// Customer warehouse.
+    pub c_w_id: u32,
+    /// Payment time.
+    pub date: Timestamp,
+    /// Amount.
+    pub amount: f64,
+    /// Data.
+    pub data: String,
+}
+
+impl History {
+    /// Encodes the row.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.c_id);
+        w.put_u32(self.c_d_id);
+        w.put_u32(self.c_w_id);
+        w.put_u64(self.date.0);
+        put_f(&mut w, self.amount);
+        w.put_str(&self.data);
+        w.into_vec()
+    }
+
+    /// Decodes the row.
+    pub fn decode(b: &[u8]) -> Result<History> {
+        let mut r = ByteReader::new(b);
+        Ok(History {
+            c_id: r.get_u32()?,
+            c_d_id: r.get_u32()?,
+            c_w_id: r.get_u32()?,
+            date: Timestamp(r.get_u64()?),
+            amount: get_f(&mut r)?,
+            data: r.get_str()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_order_is_composite_order() {
+        assert!(key(&[1, 2, 3]) < key(&[1, 2, 4]));
+        assert!(key(&[1, 2, 3]) < key(&[1, 3, 0]));
+        assert!(key(&[1, 255, 255]) < key(&[2, 0, 0]));
+        assert_eq!(key(&[7]).len(), 4);
+    }
+
+    #[test]
+    fn warehouse_roundtrip() {
+        let w = Warehouse {
+            name: "W-One".into(),
+            street: "1 Main St".into(),
+            city: "Urbana".into(),
+            state: "IL".into(),
+            zip: "618011111".into(),
+            tax: 0.0825,
+            ytd: 300_000.0,
+        };
+        assert_eq!(Warehouse::decode(&w.encode()).unwrap(), w);
+    }
+
+    #[test]
+    fn district_roundtrip() {
+        let d = District {
+            name: "D1".into(),
+            street: "s".into(),
+            city: "c".into(),
+            state: "IL".into(),
+            zip: "z".into(),
+            tax: 0.1,
+            ytd: 30_000.0,
+            next_o_id: 3001,
+        };
+        assert_eq!(District::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn customer_roundtrip_and_size() {
+        let c = Customer {
+            first: "Ada".into(),
+            middle: "OE".into(),
+            last: "BARBARBAR".into(),
+            street: "2 Oak".into(),
+            city: "Tucson".into(),
+            state: "AZ".into(),
+            zip: "857011111".into(),
+            phone: "0123456789012345".into(),
+            since: Timestamp(5),
+            credit: "GC".into(),
+            credit_lim: 50_000.0,
+            discount: 0.05,
+            balance: -10.0,
+            ytd_payment: 10.0,
+            payment_cnt: 1,
+            delivery_cnt: 0,
+            data: "x".repeat(400),
+        };
+        let enc = c.encode();
+        assert!(enc.len() > 400, "customer rows are realistically large");
+        assert_eq!(Customer::decode(&enc).unwrap(), c);
+    }
+
+    #[test]
+    fn order_and_line_roundtrip() {
+        let o = Order { c_id: 7, entry_d: Timestamp(9), carrier_id: 0, ol_cnt: 11, all_local: true };
+        assert_eq!(Order::decode(&o.encode()).unwrap(), o);
+        let ol = OrderLine {
+            i_id: 5,
+            supply_w_id: 1,
+            delivery_d: Timestamp(0),
+            quantity: 5,
+            amount: 42.5,
+            dist_info: "d".repeat(24),
+        };
+        assert_eq!(OrderLine::decode(&ol.encode()).unwrap(), ol);
+    }
+
+    #[test]
+    fn stock_roundtrip_and_size() {
+        let s = Stock {
+            quantity: 50,
+            dists: core::array::from_fn(|i| format!("{:024}", i)),
+            ytd: 0,
+            order_cnt: 0,
+            remote_cnt: 0,
+            data: "y".repeat(40),
+        };
+        let enc = s.encode();
+        assert!(enc.len() > 280, "stock rows are realistically large: {}", enc.len());
+        assert_eq!(Stock::decode(&enc).unwrap(), s);
+    }
+
+    #[test]
+    fn item_and_history_roundtrip() {
+        let i = Item { im_id: 3, name: "widget".into(), price: 9.99, data: "ORIGINAL".into() };
+        assert_eq!(Item::decode(&i.encode()).unwrap(), i);
+        let h = History {
+            c_id: 1,
+            c_d_id: 2,
+            c_w_id: 3,
+            date: Timestamp(4),
+            amount: 5.0,
+            data: "hist".into(),
+        };
+        assert_eq!(History::decode(&h.encode()).unwrap(), h);
+    }
+}

@@ -1,0 +1,283 @@
+//! The five TPC-C transactions (clauses 2.4–2.8).
+
+use ccdb_common::{Error, Result, Timestamp, TxnId};
+use ccdb_core::CompliantDb;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::gen::{self, C_ID, C_LAST, OL_I_ID};
+use crate::loader::{name_idx_prefix, Tpcc};
+use crate::rows::*;
+
+fn read_required(db: &CompliantDb, txn: TxnId, rel: ccdb_common::RelId, k: &[u8]) -> Result<Vec<u8>> {
+    db.read(txn, rel, k)?
+        .ok_or_else(|| Error::NotFound(format!("TPC-C row missing in {rel}: {k:02x?}")))
+}
+
+/// Picks a customer per the 60/40 last-name/id rule and returns `(c_id, row)`.
+fn pick_customer(
+    db: &CompliantDb,
+    txn: TxnId,
+    t: &Tpcc,
+    rng: &mut StdRng,
+    w: u32,
+    d: u32,
+) -> Result<(u32, Customer)> {
+    if rng.gen_range(0..100) < 60 {
+        // By last name: take the middle match (clause 2.5.2.2).
+        let last = gen::last_name(gen::nurand(rng, 255, C_LAST, 0, 999));
+        let prefix = name_idx_prefix(w, d, &last);
+        let mut hi = prefix.clone();
+        hi.extend_from_slice(&[0xFF; 5]);
+        let mut ids: Vec<u32> = Vec::new();
+        db.engine().range_current(txn, t.customer_name_idx, &prefix, &hi, &mut |_k, v| {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&v[..4]);
+            ids.push(u32::from_le_bytes(b));
+            Ok(())
+        })?;
+        if ids.is_empty() {
+            // No customer with this name at this scale: fall back to id.
+            let c = gen::nurand(rng, 1023, C_ID, 1, t.scale.customers_per_district as u64) as u32;
+            let row = Customer::decode(&read_required(db, txn, t.customer, &key(&[w, d, c]))?)?;
+            return Ok((c, row));
+        }
+        let c = ids[ids.len() / 2];
+        let row = Customer::decode(&read_required(db, txn, t.customer, &key(&[w, d, c]))?)?;
+        Ok((c, row))
+    } else {
+        let c = gen::nurand(rng, 1023, C_ID, 1, t.scale.customers_per_district as u64) as u32;
+        let row = Customer::decode(&read_required(db, txn, t.customer, &key(&[w, d, c]))?)?;
+        Ok((c, row))
+    }
+}
+
+/// New-Order (clause 2.4). Returns `false` when the transaction rolled back
+/// (the 1 % unused-item branch).
+pub fn new_order(db: &CompliantDb, t: &Tpcc, rng: &mut StdRng) -> Result<bool> {
+    let w = rng.gen_range(1..=t.scale.warehouses);
+    let d = rng.gen_range(1..=t.scale.districts);
+    let c = gen::nurand(rng, 1023, C_ID, 1, t.scale.customers_per_district as u64) as u32;
+    let ol_cnt = rng.gen_range(5..=15u32);
+    let rollback = rng.gen_range(0..100) == 0;
+
+    let txn = db.begin()?;
+    let wh = Warehouse::decode(&read_required(db, txn, t.warehouse, &key(&[w]))?)?;
+    let mut dist = District::decode(&read_required(db, txn, t.district, &key(&[w, d]))?)?;
+    let o_id = dist.next_o_id;
+    dist.next_o_id += 1;
+    db.write(txn, t.district, &key(&[w, d]), &dist.encode())?;
+    let cust = Customer::decode(&read_required(db, txn, t.customer, &key(&[w, d, c]))?)?;
+
+    let mut all_local = true;
+    let mut total = 0.0f64;
+    for ol in 1..=ol_cnt {
+        let i_id = if rollback && ol == ol_cnt {
+            t.scale.items + 1 // unused item number → rollback
+        } else {
+            gen::nurand(rng, 8191, OL_I_ID, 1, t.scale.items as u64) as u32
+        };
+        let supply_w = if t.scale.warehouses > 1 && rng.gen_range(0..100) == 0 {
+            all_local = false;
+            loop {
+                let x = rng.gen_range(1..=t.scale.warehouses);
+                if x != w {
+                    break x;
+                }
+            }
+        } else {
+            w
+        };
+        let item_bytes = match db.read(txn, t.item, &key(&[i_id]))? {
+            Some(b) => b,
+            None => {
+                db.abort(txn)?;
+                return Ok(false);
+            }
+        };
+        let item = Item::decode(&item_bytes)?;
+        let mut stock = Stock::decode(&read_required(db, txn, t.stock, &key(&[supply_w, i_id]))?)?;
+        let qty = rng.gen_range(1..=10u32);
+        if stock.quantity >= qty as i32 + 10 {
+            stock.quantity -= qty as i32;
+        } else {
+            stock.quantity = stock.quantity - qty as i32 + 91;
+        }
+        stock.ytd += qty;
+        stock.order_cnt += 1;
+        if supply_w != w {
+            stock.remote_cnt += 1;
+        }
+        db.write(txn, t.stock, &key(&[supply_w, i_id]), &stock.encode())?;
+        let amount = qty as f64 * item.price;
+        total += amount;
+        let line = OrderLine {
+            i_id,
+            supply_w_id: supply_w,
+            delivery_d: Timestamp(0),
+            quantity: qty,
+            amount,
+            dist_info: stock.dists[(d as usize - 1) % 10].clone(),
+        };
+        db.write(txn, t.order_line, &key(&[w, d, o_id, ol]), &line.encode())?;
+    }
+    let _ = total * (1.0 - cust.discount) * (1.0 + wh.tax + dist.tax);
+    let order = Order {
+        c_id: c,
+        entry_d: db.engine().clock().now(),
+        carrier_id: 0,
+        ol_cnt,
+        all_local,
+    };
+    db.write(txn, t.orders, &key(&[w, d, o_id]), &order.encode())?;
+    db.write(txn, t.new_order, &key(&[w, d, o_id]), &[])?;
+    db.write(txn, t.order_cust_idx, &key(&[w, d, c, o_id]), &[])?;
+    db.commit(txn)?;
+    Ok(true)
+}
+
+/// Payment (clause 2.5).
+pub fn payment(db: &CompliantDb, t: &Tpcc, rng: &mut StdRng) -> Result<()> {
+    let w = rng.gen_range(1..=t.scale.warehouses);
+    let d = rng.gen_range(1..=t.scale.districts);
+    let amount = rng.gen_range(100..=500_000) as f64 / 100.0;
+
+    let txn = db.begin()?;
+    let mut wh = Warehouse::decode(&read_required(db, txn, t.warehouse, &key(&[w]))?)?;
+    wh.ytd += amount;
+    db.write(txn, t.warehouse, &key(&[w]), &wh.encode())?;
+    let mut dist = District::decode(&read_required(db, txn, t.district, &key(&[w, d]))?)?;
+    dist.ytd += amount;
+    db.write(txn, t.district, &key(&[w, d]), &dist.encode())?;
+    // 85 % local customer, 15 % remote (when multiple warehouses exist).
+    let (c_w, c_d) = if t.scale.warehouses > 1 && rng.gen_range(0..100) < 15 {
+        let rw = loop {
+            let x = rng.gen_range(1..=t.scale.warehouses);
+            if x != w {
+                break x;
+            }
+        };
+        (rw, rng.gen_range(1..=t.scale.districts))
+    } else {
+        (w, d)
+    };
+    let (c, mut cust) = pick_customer(db, txn, t, rng, c_w, c_d)?;
+    cust.balance -= amount;
+    cust.ytd_payment += amount;
+    cust.payment_cnt += 1;
+    if cust.credit == "BC" {
+        let extra = format!("{c},{c_d},{c_w},{d},{w},{amount:.2};");
+        let mut data = extra + &cust.data;
+        data.truncate(500);
+        cust.data = data;
+    }
+    db.write(txn, t.customer, &key(&[c_w, c_d, c]), &cust.encode())?;
+    let hist = History {
+        c_id: c,
+        c_d_id: c_d,
+        c_w_id: c_w,
+        date: db.engine().clock().now(),
+        amount,
+        data: format!("{}    {}", wh.name, dist.name),
+    };
+    // History key: (w, d, commit-side unique suffix) — the engine's txn id
+    // is unique, so (w, d, txn) cannot collide.
+    db.write(txn, t.history, &key(&[w, d, txn.0 as u32]), &hist.encode())?;
+    db.commit(txn)?;
+    Ok(())
+}
+
+/// Order-Status (clause 2.6). Read-only.
+pub fn order_status(db: &CompliantDb, t: &Tpcc, rng: &mut StdRng) -> Result<()> {
+    let w = rng.gen_range(1..=t.scale.warehouses);
+    let d = rng.gen_range(1..=t.scale.districts);
+    let txn = db.begin()?;
+    let (c, _cust) = pick_customer(db, txn, t, rng, w, d)?;
+    // Latest order of this customer via the secondary index.
+    let lo = key(&[w, d, c, 0]);
+    let hi = key(&[w, d, c, u32::MAX]);
+    let mut last_o: Option<u32> = None;
+    db.engine().range_current(txn, t.order_cust_idx, &lo, &hi, &mut |k, _| {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&k[12..16]);
+        last_o = Some(u32::from_be_bytes(b));
+        Ok(())
+    })?;
+    if let Some(o) = last_o {
+        let order = Order::decode(&read_required(db, txn, t.orders, &key(&[w, d, o]))?)?;
+        for ol in 1..=order.ol_cnt {
+            let _ = OrderLine::decode(&read_required(db, txn, t.order_line, &key(&[w, d, o, ol]))?)?;
+        }
+    }
+    db.commit(txn)?;
+    Ok(())
+}
+
+/// Delivery (clause 2.7): delivers the oldest undelivered order per district.
+pub fn delivery(db: &CompliantDb, t: &Tpcc, rng: &mut StdRng) -> Result<()> {
+    let w = rng.gen_range(1..=t.scale.warehouses);
+    let carrier = rng.gen_range(1..=10u32);
+    let txn = db.begin()?;
+    for d in 1..=t.scale.districts {
+        // Oldest NEW_ORDER in the district.
+        let lo = key(&[w, d, 0]);
+        let hi = key(&[w, d, u32::MAX]);
+        let mut oldest: Option<u32> = None;
+        db.engine().range_current(txn, t.new_order, &lo, &hi, &mut |k, _| {
+            if oldest.is_none() {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&k[8..12]);
+                oldest = Some(u32::from_be_bytes(b));
+            }
+            Ok(())
+        })?;
+        let Some(o) = oldest else { continue };
+        db.delete(txn, t.new_order, &key(&[w, d, o]))?;
+        let mut order = Order::decode(&read_required(db, txn, t.orders, &key(&[w, d, o]))?)?;
+        order.carrier_id = carrier;
+        db.write(txn, t.orders, &key(&[w, d, o]), &order.encode())?;
+        let now = db.engine().clock().now();
+        let mut total = 0.0;
+        for ol in 1..=order.ol_cnt {
+            let mut line =
+                OrderLine::decode(&read_required(db, txn, t.order_line, &key(&[w, d, o, ol]))?)?;
+            line.delivery_d = now;
+            total += line.amount;
+            db.write(txn, t.order_line, &key(&[w, d, o, ol]), &line.encode())?;
+        }
+        let mut cust =
+            Customer::decode(&read_required(db, txn, t.customer, &key(&[w, d, order.c_id]))?)?;
+        cust.balance += total;
+        cust.delivery_cnt += 1;
+        db.write(txn, t.customer, &key(&[w, d, order.c_id]), &cust.encode())?;
+    }
+    db.commit(txn)?;
+    Ok(())
+}
+
+/// Stock-Level (clause 2.8). Read-only.
+pub fn stock_level(db: &CompliantDb, t: &Tpcc, rng: &mut StdRng) -> Result<usize> {
+    let w = rng.gen_range(1..=t.scale.warehouses);
+    let d = rng.gen_range(1..=t.scale.districts);
+    let threshold = rng.gen_range(10..=20i32);
+    let txn = db.begin()?;
+    let dist = District::decode(&read_required(db, txn, t.district, &key(&[w, d]))?)?;
+    let first = dist.next_o_id.saturating_sub(20).max(1);
+    let mut item_ids: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    let lo = key(&[w, d, first, 0]);
+    let hi = key(&[w, d, dist.next_o_id, u32::MAX]);
+    db.engine().range_current(txn, t.order_line, &lo, &hi, &mut |_k, v| {
+        let line = OrderLine::decode(v)?;
+        item_ids.insert(line.i_id);
+        Ok(())
+    })?;
+    let mut low = 0usize;
+    for i in item_ids {
+        let stock = Stock::decode(&read_required(db, txn, t.stock, &key(&[w, i]))?)?;
+        if stock.quantity < threshold {
+            low += 1;
+        }
+    }
+    db.commit(txn)?;
+    Ok(low)
+}

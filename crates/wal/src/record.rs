@@ -1,0 +1,383 @@
+//! WAL record types and their byte encoding.
+
+use ccdb_common::{ByteReader, ByteWriter, Error, Lsn, PageNo, RelId, Result, Timestamp, TxnId};
+
+/// A physiological page operation: the unit of redo. Ops are idempotence-
+/// guarded by the page LSN (redo applies an op only when the on-page LSN is
+/// older than the op's LSN).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PageOp {
+    /// Insert `cell` at slot `idx`.
+    InsertCell {
+        /// Target page.
+        pgno: PageNo,
+        /// Slot index.
+        idx: u32,
+        /// Cell bytes.
+        cell: Vec<u8>,
+    },
+    /// Replace the cell at slot `idx` (lazy timestamping).
+    ReplaceCell {
+        /// Target page.
+        pgno: PageNo,
+        /// Slot index.
+        idx: u32,
+        /// New cell bytes.
+        cell: Vec<u8>,
+    },
+    /// Remove the cell at slot `idx` (rollback, vacuum).
+    RemoveCell {
+        /// Target page.
+        pgno: PageNo,
+        /// Slot index.
+        idx: u32,
+    },
+    /// Replace the whole page image (split outputs, parent rebuilds, page
+    /// retirement). The image's own LSN field is overwritten at redo.
+    SetImage {
+        /// Target page.
+        pgno: PageNo,
+        /// Full page image.
+        image: Vec<u8>,
+    },
+}
+
+impl PageOp {
+    /// The page this op targets.
+    pub fn pgno(&self) -> PageNo {
+        match self {
+            PageOp::InsertCell { pgno, .. }
+            | PageOp::ReplaceCell { pgno, .. }
+            | PageOp::RemoveCell { pgno, .. }
+            | PageOp::SetImage { pgno, .. } => *pgno,
+        }
+    }
+}
+
+/// Relation-metadata changes that must survive a crash without waiting for a
+/// catalog rewrite (the catalog file is only rewritten at checkpoints).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelMetaOp {
+    /// The relation's root page changed (split grew or shifted the root).
+    Root(PageNo),
+    /// A time split produced a historical page.
+    HistoricalAdd(PageNo),
+    /// A historical page left the live set (WORM migration).
+    HistoricalRemove(PageNo),
+}
+
+/// A logical write-ahead log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A transaction started.
+    Begin { txn: TxnId },
+    /// A transaction committed at `commit_time`.
+    Commit { txn: TxnId, commit_time: Timestamp },
+    /// A transaction aborted (its inserts must be rolled back).
+    Abort { txn: TxnId },
+    /// A tuple version was written. `end_of_life` marks a deletion version.
+    /// Writing the same `(txn, rel, key)` again replaces the pending version
+    /// (intra-transaction writes collapse to one version, as transaction-time
+    /// semantics dictate — versions exist per *committed* transaction).
+    Insert { txn: TxnId, rel: RelId, key: Vec<u8>, end_of_life: bool, value: Vec<u8> },
+    /// Compensation record: the pending version `(txn, rel, key)` was removed
+    /// during rollback. Redo-only; never itself undone.
+    UndoInsert { txn: TxnId, rel: RelId, key: Vec<u8> },
+    /// A checkpoint: all dirty pages were flushed before this record was
+    /// written. `active` lists in-flight transactions and their Begin LSNs so
+    /// recovery knows how far back it must scan to roll them back.
+    Checkpoint { active: Vec<(TxnId, Lsn)> },
+    /// A physiological page operation, attributed to `txn` when it is part
+    /// of a transaction's write set (`TxnId::NONE` for structural and
+    /// maintenance operations, which are redo-only).
+    Page { txn: TxnId, op: PageOp },
+    /// A relation-metadata change.
+    RelMeta { rel: RelId, meta: RelMetaOp },
+}
+
+const TAG_BEGIN: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_ABORT: u8 = 3;
+const TAG_INSERT: u8 = 4;
+const TAG_UNDO_INSERT: u8 = 5;
+const TAG_CHECKPOINT: u8 = 6;
+const TAG_PAGE: u8 = 7;
+const TAG_REL_META: u8 = 8;
+
+const PTAG_INSERT_CELL: u8 = 1;
+const PTAG_REPLACE_CELL: u8 = 2;
+const PTAG_REMOVE_CELL: u8 = 3;
+const PTAG_SET_IMAGE: u8 = 4;
+
+const MTAG_ROOT: u8 = 1;
+const MTAG_HIST_ADD: u8 = 2;
+const MTAG_HIST_REMOVE: u8 = 3;
+
+impl WalRecord {
+    /// Encodes the record body (framing is the log writer's job).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            WalRecord::Begin { txn } => {
+                w.put_u8(TAG_BEGIN);
+                w.put_u64(txn.0);
+            }
+            WalRecord::Commit { txn, commit_time } => {
+                w.put_u8(TAG_COMMIT);
+                w.put_u64(txn.0);
+                w.put_u64(commit_time.0);
+            }
+            WalRecord::Abort { txn } => {
+                w.put_u8(TAG_ABORT);
+                w.put_u64(txn.0);
+            }
+            WalRecord::Insert { txn, rel, key, end_of_life, value } => {
+                w.put_u8(TAG_INSERT);
+                w.put_u64(txn.0);
+                w.put_u32(rel.0);
+                w.put_u8(if *end_of_life { 1 } else { 0 });
+                w.put_len_bytes(key);
+                w.put_len_bytes(value);
+            }
+            WalRecord::UndoInsert { txn, rel, key } => {
+                w.put_u8(TAG_UNDO_INSERT);
+                w.put_u64(txn.0);
+                w.put_u32(rel.0);
+                w.put_len_bytes(key);
+            }
+            WalRecord::Checkpoint { active } => {
+                w.put_u8(TAG_CHECKPOINT);
+                w.put_u32(active.len() as u32);
+                for (txn, lsn) in active {
+                    w.put_u64(txn.0);
+                    w.put_u64(lsn.0);
+                }
+            }
+            WalRecord::Page { txn, op } => {
+                w.put_u8(TAG_PAGE);
+                w.put_u64(txn.0);
+                match op {
+                    PageOp::InsertCell { pgno, idx, cell } => {
+                        w.put_u8(PTAG_INSERT_CELL);
+                        w.put_u64(pgno.0);
+                        w.put_u32(*idx);
+                        w.put_len_bytes(cell);
+                    }
+                    PageOp::ReplaceCell { pgno, idx, cell } => {
+                        w.put_u8(PTAG_REPLACE_CELL);
+                        w.put_u64(pgno.0);
+                        w.put_u32(*idx);
+                        w.put_len_bytes(cell);
+                    }
+                    PageOp::RemoveCell { pgno, idx } => {
+                        w.put_u8(PTAG_REMOVE_CELL);
+                        w.put_u64(pgno.0);
+                        w.put_u32(*idx);
+                    }
+                    PageOp::SetImage { pgno, image } => {
+                        w.put_u8(PTAG_SET_IMAGE);
+                        w.put_u64(pgno.0);
+                        w.put_len_bytes(image);
+                    }
+                }
+            }
+            WalRecord::RelMeta { rel, meta } => {
+                w.put_u8(TAG_REL_META);
+                w.put_u32(rel.0);
+                match meta {
+                    RelMetaOp::Root(p) => {
+                        w.put_u8(MTAG_ROOT);
+                        w.put_u64(p.0);
+                    }
+                    RelMetaOp::HistoricalAdd(p) => {
+                        w.put_u8(MTAG_HIST_ADD);
+                        w.put_u64(p.0);
+                    }
+                    RelMetaOp::HistoricalRemove(p) => {
+                        w.put_u8(MTAG_HIST_REMOVE);
+                        w.put_u64(p.0);
+                    }
+                }
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decodes a record body.
+    pub fn decode(body: &[u8]) -> Result<WalRecord> {
+        let mut r = ByteReader::new(body);
+        let tag = r.get_u8()?;
+        let rec = match tag {
+            TAG_BEGIN => WalRecord::Begin { txn: TxnId(r.get_u64()?) },
+            TAG_COMMIT => {
+                WalRecord::Commit { txn: TxnId(r.get_u64()?), commit_time: Timestamp(r.get_u64()?) }
+            }
+            TAG_ABORT => WalRecord::Abort { txn: TxnId(r.get_u64()?) },
+            TAG_INSERT => {
+                let txn = TxnId(r.get_u64()?);
+                let rel = RelId(r.get_u32()?);
+                let eol = match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    v => return Err(Error::corruption(format!("bad eol flag {v} in WAL insert"))),
+                };
+                let key = r.get_len_bytes()?.to_vec();
+                let value = r.get_len_bytes()?.to_vec();
+                WalRecord::Insert { txn, rel, key, end_of_life: eol, value }
+            }
+            TAG_UNDO_INSERT => WalRecord::UndoInsert {
+                txn: TxnId(r.get_u64()?),
+                rel: RelId(r.get_u32()?),
+                key: r.get_len_bytes()?.to_vec(),
+            },
+            TAG_CHECKPOINT => {
+                let n = r.get_u32()? as usize;
+                let mut active = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    active.push((TxnId(r.get_u64()?), Lsn(r.get_u64()?)));
+                }
+                WalRecord::Checkpoint { active }
+            }
+            TAG_PAGE => {
+                let txn = TxnId(r.get_u64()?);
+                let ptag = r.get_u8()?;
+                let op = match ptag {
+                    PTAG_INSERT_CELL => PageOp::InsertCell {
+                        pgno: PageNo(r.get_u64()?),
+                        idx: r.get_u32()?,
+                        cell: r.get_len_bytes()?.to_vec(),
+                    },
+                    PTAG_REPLACE_CELL => PageOp::ReplaceCell {
+                        pgno: PageNo(r.get_u64()?),
+                        idx: r.get_u32()?,
+                        cell: r.get_len_bytes()?.to_vec(),
+                    },
+                    PTAG_REMOVE_CELL => {
+                        PageOp::RemoveCell { pgno: PageNo(r.get_u64()?), idx: r.get_u32()? }
+                    }
+                    PTAG_SET_IMAGE => PageOp::SetImage {
+                        pgno: PageNo(r.get_u64()?),
+                        image: r.get_len_bytes()?.to_vec(),
+                    },
+                    t => return Err(Error::corruption(format!("unknown page-op tag {t}"))),
+                };
+                WalRecord::Page { txn, op }
+            }
+            TAG_REL_META => {
+                let rel = RelId(r.get_u32()?);
+                let mtag = r.get_u8()?;
+                let meta = match mtag {
+                    MTAG_ROOT => RelMetaOp::Root(PageNo(r.get_u64()?)),
+                    MTAG_HIST_ADD => RelMetaOp::HistoricalAdd(PageNo(r.get_u64()?)),
+                    MTAG_HIST_REMOVE => RelMetaOp::HistoricalRemove(PageNo(r.get_u64()?)),
+                    t => return Err(Error::corruption(format!("unknown rel-meta tag {t}"))),
+                };
+                WalRecord::RelMeta { rel, meta }
+            }
+            t => return Err(Error::corruption(format!("unknown WAL record tag {t}"))),
+        };
+        if !r.is_exhausted() {
+            return Err(Error::corruption("trailing bytes after WAL record"));
+        }
+        Ok(rec)
+    }
+
+    /// The transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            WalRecord::Begin { txn }
+            | WalRecord::Commit { txn, .. }
+            | WalRecord::Abort { txn }
+            | WalRecord::Insert { txn, .. }
+            | WalRecord::UndoInsert { txn, .. } => Some(*txn),
+            WalRecord::Page { txn, .. } => txn.is_real().then_some(*txn),
+            WalRecord::Checkpoint { .. } | WalRecord::RelMeta { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_common::PageNo;
+
+    fn roundtrip(r: WalRecord) {
+        let enc = r.encode();
+        assert_eq!(WalRecord::decode(&enc).unwrap(), r);
+    }
+
+    #[test]
+    fn all_records_roundtrip() {
+        roundtrip(WalRecord::Begin { txn: TxnId(9) });
+        roundtrip(WalRecord::Commit { txn: TxnId(9), commit_time: Timestamp(77) });
+        roundtrip(WalRecord::Abort { txn: TxnId(9) });
+        roundtrip(WalRecord::Insert {
+            txn: TxnId(9),
+            rel: RelId(2),
+            key: b"k1".to_vec(),
+            end_of_life: false,
+            value: b"v1".to_vec(),
+        });
+        roundtrip(WalRecord::Insert {
+            txn: TxnId(9),
+            rel: RelId(2),
+            key: b"k1".to_vec(),
+            end_of_life: true,
+            value: vec![],
+        });
+        roundtrip(WalRecord::UndoInsert { txn: TxnId(9), rel: RelId(2), key: b"k1".to_vec() });
+        roundtrip(WalRecord::Checkpoint { active: vec![(TxnId(1), Lsn(10)), (TxnId(2), Lsn(20))] });
+        roundtrip(WalRecord::Checkpoint { active: vec![] });
+        roundtrip(WalRecord::Page {
+            txn: TxnId(4),
+            op: PageOp::InsertCell { pgno: PageNo(7), idx: 2, cell: b"cell".to_vec() },
+        });
+        roundtrip(WalRecord::Page {
+            txn: TxnId::NONE,
+            op: PageOp::ReplaceCell { pgno: PageNo(7), idx: 2, cell: b"cell2".to_vec() },
+        });
+        roundtrip(WalRecord::Page { txn: TxnId::NONE, op: PageOp::RemoveCell { pgno: PageNo(7), idx: 0 } });
+        roundtrip(WalRecord::Page {
+            txn: TxnId::NONE,
+            op: PageOp::SetImage { pgno: PageNo(9), image: vec![0xAB; 64] },
+        });
+        roundtrip(WalRecord::RelMeta { rel: RelId(3), meta: RelMetaOp::Root(PageNo(11)) });
+        roundtrip(WalRecord::RelMeta { rel: RelId(3), meta: RelMetaOp::HistoricalAdd(PageNo(12)) });
+        roundtrip(WalRecord::RelMeta { rel: RelId(3), meta: RelMetaOp::HistoricalRemove(PageNo(12)) });
+    }
+
+    #[test]
+    fn page_op_pgno_accessor() {
+        assert_eq!(PageOp::RemoveCell { pgno: PageNo(5), idx: 1 }.pgno(), PageNo(5));
+        assert_eq!(PageOp::SetImage { pgno: PageNo(6), image: vec![] }.pgno(), PageNo(6));
+    }
+
+    #[test]
+    fn page_record_txn_attribution() {
+        let attributed = WalRecord::Page {
+            txn: TxnId(3),
+            op: PageOp::RemoveCell { pgno: PageNo(1), idx: 0 },
+        };
+        let structural = WalRecord::Page {
+            txn: TxnId::NONE,
+            op: PageOp::RemoveCell { pgno: PageNo(1), idx: 0 },
+        };
+        assert_eq!(attributed.txn(), Some(TxnId(3)));
+        assert_eq!(structural.txn(), None);
+    }
+
+    #[test]
+    fn txn_accessor() {
+        assert_eq!(WalRecord::Begin { txn: TxnId(3) }.txn(), Some(TxnId(3)));
+        assert_eq!(WalRecord::Checkpoint { active: vec![] }.txn(), None);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(WalRecord::decode(&[]).is_err());
+        assert!(WalRecord::decode(&[200]).is_err());
+        let mut enc = WalRecord::Begin { txn: TxnId(1) }.encode();
+        enc.push(0);
+        assert!(WalRecord::decode(&enc).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Trusted per-file metadata and its append-only journal encoding.
+
+use ccdb_common::{ByteReader, ByteWriter, Error, Result, Timestamp};
+
+/// Trusted metadata the WORM server records for every file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Create time per the server's compliance clock. Trusted by the auditor.
+    pub create_time: Timestamp,
+    /// The file may not be deleted before this instant. `Timestamp::MAX`
+    /// means "indefinite hold".
+    pub retention_until: Timestamp,
+    /// Whether the file has been permanently closed to appends.
+    pub sealed: bool,
+    /// Current length in bytes.
+    pub len: u64,
+    /// Running FNV checksum of the contents (development integrity aid).
+    pub checksum: u32,
+}
+
+/// One entry in the metadata journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaEvent {
+    /// A file came into existence.
+    Create { name: String, create_time: Timestamp, retention_until: Timestamp },
+    /// Bytes were appended (new totals recorded).
+    Append { name: String, new_len: u64, new_checksum: u32 },
+    /// The file was permanently closed.
+    Seal { name: String },
+    /// Retention was extended (never shortened).
+    ExtendRetention { name: String, retention_until: Timestamp },
+    /// The (expired) file was deleted.
+    Delete { name: String },
+}
+
+const TAG_CREATE: u8 = 1;
+const TAG_APPEND: u8 = 2;
+const TAG_SEAL: u8 = 3;
+const TAG_EXTEND: u8 = 4;
+const TAG_DELETE: u8 = 5;
+
+impl MetaEvent {
+    /// Encodes the event with a length prefix so the journal is
+    /// self-delimiting.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = ByteWriter::new();
+        match self {
+            MetaEvent::Create { name, create_time, retention_until } => {
+                body.put_u8(TAG_CREATE);
+                body.put_str(name);
+                body.put_u64(create_time.0);
+                body.put_u64(retention_until.0);
+            }
+            MetaEvent::Append { name, new_len, new_checksum } => {
+                body.put_u8(TAG_APPEND);
+                body.put_str(name);
+                body.put_u64(*new_len);
+                body.put_u32(*new_checksum);
+            }
+            MetaEvent::Seal { name } => {
+                body.put_u8(TAG_SEAL);
+                body.put_str(name);
+            }
+            MetaEvent::ExtendRetention { name, retention_until } => {
+                body.put_u8(TAG_EXTEND);
+                body.put_str(name);
+                body.put_u64(retention_until.0);
+            }
+            MetaEvent::Delete { name } => {
+                body.put_u8(TAG_DELETE);
+                body.put_str(name);
+            }
+        }
+        let mut framed = ByteWriter::with_capacity(body.len() + 4);
+        framed.put_u32(body.len() as u32);
+        framed.put_bytes(body.as_slice());
+        framed.into_vec()
+    }
+
+    /// Decodes one framed event from `r`.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<MetaEvent> {
+        let frame = r.get_len_bytes()?;
+        let mut b = ByteReader::new(frame);
+        let tag = b.get_u8()?;
+        let ev = match tag {
+            TAG_CREATE => MetaEvent::Create {
+                name: b.get_str()?,
+                create_time: Timestamp(b.get_u64()?),
+                retention_until: Timestamp(b.get_u64()?),
+            },
+            TAG_APPEND => MetaEvent::Append {
+                name: b.get_str()?,
+                new_len: b.get_u64()?,
+                new_checksum: b.get_u32()?,
+            },
+            TAG_SEAL => MetaEvent::Seal { name: b.get_str()? },
+            TAG_EXTEND => MetaEvent::ExtendRetention {
+                name: b.get_str()?,
+                retention_until: Timestamp(b.get_u64()?),
+            },
+            TAG_DELETE => MetaEvent::Delete { name: b.get_str()? },
+            t => return Err(Error::corruption(format!("unknown WORM meta event tag {t}"))),
+        };
+        if !b.is_exhausted() {
+            return Err(Error::corruption("trailing bytes in WORM meta event"));
+        }
+        Ok(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ev: MetaEvent) {
+        let enc = ev.encode();
+        let mut r = ByteReader::new(&enc);
+        assert_eq!(MetaEvent::decode(&mut r).unwrap(), ev);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn all_events_roundtrip() {
+        roundtrip(MetaEvent::Create {
+            name: "L/epoch-0".into(),
+            create_time: Timestamp(42),
+            retention_until: Timestamp::MAX,
+        });
+        roundtrip(MetaEvent::Append { name: "x".into(), new_len: 100, new_checksum: 7 });
+        roundtrip(MetaEvent::Seal { name: "x".into() });
+        roundtrip(MetaEvent::ExtendRetention { name: "x".into(), retention_until: Timestamp(99) });
+        roundtrip(MetaEvent::Delete { name: "x".into() });
+    }
+
+    #[test]
+    fn stream_of_events_decodes_in_order() {
+        let evs = vec![
+            MetaEvent::Create { name: "a".into(), create_time: Timestamp(1), retention_until: Timestamp(2) },
+            MetaEvent::Append { name: "a".into(), new_len: 5, new_checksum: 9 },
+            MetaEvent::Seal { name: "a".into() },
+        ];
+        let mut buf = Vec::new();
+        for e in &evs {
+            buf.extend_from_slice(&e.encode());
+        }
+        let mut r = ByteReader::new(&buf);
+        for e in &evs {
+            assert_eq!(&MetaEvent::decode(&mut r).unwrap(), e);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn garbage_tag_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        w.put_u8(99);
+        let v = w.into_vec();
+        let mut r = ByteReader::new(&v);
+        assert!(MetaEvent::decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,543 @@
+//! The WORM server implementation.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ccdb_common::{ByteReader, ClockRef, Error, Result, Timestamp};
+use parking_lot::Mutex;
+
+use crate::meta::{FileMeta, MetaEvent};
+
+/// Aggregate statistics the benchmark harness reports (space-overhead table).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WormStats {
+    /// Number of live (undeleted) files.
+    pub files: u64,
+    /// Total payload bytes across live files.
+    pub bytes: u64,
+    /// Total appends served.
+    pub appends: u64,
+}
+
+struct Inner {
+    meta: BTreeMap<String, FileMeta>,
+    journal: fs::File,
+    appends: u64,
+}
+
+/// The trusted WORM compliance server. See the crate docs for the contract.
+pub struct WormServer {
+    root: PathBuf,
+    clock: ClockRef,
+    inner: Mutex<Inner>,
+}
+
+/// A cheap named handle to a WORM file (no open file descriptor is held; the
+/// simulator re-opens per operation, which keeps crash simulation trivial).
+#[derive(Clone, Debug)]
+pub struct WormFile {
+    name: String,
+}
+
+impl WormFile {
+    /// The file's name within the server namespace.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+fn incremental_checksum(prev: u32, data: &[u8]) -> u32 {
+    // FNV-1a continued from the previous state: equivalent to hashing the
+    // whole concatenation because FNV is a plain left-fold.
+    let mut h = prev;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Initial FNV state for an empty file.
+const EMPTY_CHECKSUM: u32 = 0x811c_9dc5;
+
+impl WormServer {
+    /// Creates or re-opens a WORM volume rooted at `root`. The `clock` is the
+    /// server's *compliance clock*: in deployments the appliance has its own
+    /// secure clock; callers must hand the server a clock the DBMS cannot
+    /// manipulate (tests pass the shared virtual clock, which is fine because
+    /// the simulated adversary never touches it).
+    pub fn open(root: impl AsRef<Path>, clock: ClockRef) -> Result<WormServer> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(root.join("data"))
+            .map_err(|e| Error::io("creating WORM data directory", e))?;
+        let journal_path = root.join("meta.journal");
+        let mut meta = BTreeMap::new();
+        if journal_path.exists() {
+            let bytes = fs::read(&journal_path)
+                .map_err(|e| Error::io("reading WORM metadata journal", e))?;
+            let mut r = ByteReader::new(&bytes);
+            while !r.is_exhausted() {
+                match MetaEvent::decode(&mut r)? {
+                    MetaEvent::Create { name, create_time, retention_until } => {
+                        meta.insert(
+                            name,
+                            FileMeta {
+                                create_time,
+                                retention_until,
+                                sealed: false,
+                                len: 0,
+                                checksum: EMPTY_CHECKSUM,
+                            },
+                        );
+                    }
+                    MetaEvent::Append { name, new_len, new_checksum } => {
+                        if let Some(m) = meta.get_mut(&name) {
+                            m.len = new_len;
+                            m.checksum = new_checksum;
+                        }
+                    }
+                    MetaEvent::Seal { name } => {
+                        if let Some(m) = meta.get_mut(&name) {
+                            m.sealed = true;
+                        }
+                    }
+                    MetaEvent::ExtendRetention { name, retention_until } => {
+                        if let Some(m) = meta.get_mut(&name) {
+                            m.retention_until = m.retention_until.max(retention_until);
+                        }
+                    }
+                    MetaEvent::Delete { name } => {
+                        meta.remove(&name);
+                    }
+                }
+            }
+        }
+        let journal = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)
+            .map_err(|e| Error::io("opening WORM metadata journal", e))?;
+        Ok(WormServer { root, clock, inner: Mutex::new(Inner { meta, journal, appends: 0 }) })
+    }
+
+    fn data_path(&self, name: &str) -> PathBuf {
+        // Namespace separators become directory separators on the backing
+        // filesystem; names are validated to prevent traversal.
+        self.root.join("data").join(name)
+    }
+
+    fn validate_name(name: &str) -> Result<()> {
+        if name.is_empty()
+            || name.starts_with('/')
+            || name.split('/').any(|c| c.is_empty() || c == "." || c == "..")
+        {
+            return Err(Error::Invalid(format!("invalid WORM file name {name:?}")));
+        }
+        Ok(())
+    }
+
+    fn journal(inner: &mut Inner, ev: &MetaEvent) -> Result<()> {
+        inner
+            .journal
+            .write_all(&ev.encode())
+            .map_err(|e| Error::io("appending to WORM metadata journal", e))?;
+        inner.journal.flush().map_err(|e| Error::io("flushing WORM metadata journal", e))
+    }
+
+    /// The server's trusted compliance-clock reading.
+    pub fn compliance_now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Creates a new file with the given retention horizon. Fails if the name
+    /// already exists — WORM files are never recreated in place (that is the
+    /// whole point).
+    pub fn create(&self, name: &str, retention_until: Timestamp) -> Result<WormFile> {
+        Self::validate_name(name)?;
+        let mut inner = self.inner.lock();
+        if inner.meta.contains_key(name) {
+            return Err(Error::WormViolation(format!(
+                "file {name:?} already exists and may not be recreated"
+            )));
+        }
+        let create_time = self.clock.now();
+        let path = self.data_path(name);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| Error::io("creating WORM subdirectory", e))?;
+        }
+        fs::OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| Error::io(format!("creating WORM file {name:?}"), e))?;
+        let ev = MetaEvent::Create { name: name.to_string(), create_time, retention_until };
+        Self::journal(&mut inner, &ev)?;
+        inner.meta.insert(
+            name.to_string(),
+            FileMeta {
+                create_time,
+                retention_until,
+                sealed: false,
+                len: 0,
+                checksum: EMPTY_CHECKSUM,
+            },
+        );
+        Ok(WormFile { name: name.to_string() })
+    }
+
+    /// Appends bytes to an existing, unsealed file. This is the only write
+    /// operation the server offers.
+    pub fn append(&self, file: &WormFile, data: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let m = inner
+            .meta
+            .get(&file.name)
+            .ok_or_else(|| Error::NotFound(format!("WORM file {:?}", file.name)))?
+            .clone();
+        if m.sealed {
+            return Err(Error::WormViolation(format!(
+                "file {:?} is sealed; appends are refused",
+                file.name
+            )));
+        }
+        let path = self.data_path(&file.name);
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| Error::io(format!("opening WORM file {:?} for append", file.name), e))?;
+        f.write_all(data)
+            .map_err(|e| Error::io(format!("appending to WORM file {:?}", file.name), e))?;
+        f.flush().map_err(|e| Error::io("flushing WORM append", e))?;
+        let new_len = m.len + data.len() as u64;
+        let new_checksum = incremental_checksum(m.checksum, data);
+        let ev = MetaEvent::Append { name: file.name.clone(), new_len, new_checksum };
+        Self::journal(&mut inner, &ev)?;
+        let m = inner.meta.get_mut(&file.name).expect("checked above");
+        m.len = new_len;
+        m.checksum = new_checksum;
+        inner.appends += 1;
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset`. Short reads at end-of-file are errors:
+    /// the trusted metadata says how long the file is.
+    pub fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let inner = self.inner.lock();
+        let m = inner
+            .meta
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
+        if offset + len as u64 > m.len {
+            return Err(Error::Invalid(format!(
+                "read past end of WORM file {name:?} ({} + {} > {})",
+                offset, len, m.len
+            )));
+        }
+        let path = self.data_path(name);
+        let mut f = fs::File::open(&path)
+            .map_err(|e| Error::io(format!("opening WORM file {name:?}"), e))?;
+        f.seek(SeekFrom::Start(offset)).map_err(|e| Error::io("seeking WORM file", e))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)
+            .map_err(|e| Error::io(format!("reading WORM file {name:?}"), e))?;
+        Ok(buf)
+    }
+
+    /// Reads the whole file, verifying the trusted running checksum — the
+    /// simulator's stand-in for appliance firmware integrity.
+    pub fn read_all(&self, name: &str) -> Result<Vec<u8>> {
+        let (len, expect) = {
+            let inner = self.inner.lock();
+            let m = inner
+                .meta
+                .get(name)
+                .ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
+            (m.len, m.checksum)
+        };
+        let data = self.read_at(name, 0, len as usize)?;
+        let got = incremental_checksum(EMPTY_CHECKSUM, &data);
+        if got != expect {
+            return Err(Error::corruption(format!(
+                "WORM backing store for {name:?} does not match trusted checksum; \
+                 the simulation's trust assumption was violated"
+            )));
+        }
+        Ok(data)
+    }
+
+    /// Permanently closes a file to appends.
+    pub fn seal(&self, name: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if !inner.meta.contains_key(name) {
+            return Err(Error::NotFound(format!("WORM file {name:?}")));
+        }
+        let ev = MetaEvent::Seal { name: name.to_string() };
+        Self::journal(&mut inner, &ev)?;
+        inner.meta.get_mut(name).expect("checked").sealed = true;
+        Ok(())
+    }
+
+    /// Extends (never shortens) a file's retention horizon.
+    pub fn extend_retention(&self, name: &str, until: Timestamp) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let m = inner
+            .meta
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
+        if until <= m.retention_until {
+            return Ok(()); // extending to an earlier time is a silent no-op
+        }
+        let ev = MetaEvent::ExtendRetention { name: name.to_string(), retention_until: until };
+        Self::journal(&mut inner, &ev)?;
+        inner.meta.get_mut(name).expect("checked").retention_until = until;
+        Ok(())
+    }
+
+    /// Deletes a whole file — refused, for anyone, before the retention
+    /// period has elapsed on the compliance clock. "The unit of deletion on
+    /// WORM is an entire file" (Section VIII).
+    pub fn delete(&self, name: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let m = inner
+            .meta
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
+        let now = self.clock.now();
+        if now < m.retention_until {
+            return Err(Error::WormViolation(format!(
+                "file {name:?} is under retention until {:?} (now {:?}); deletion refused",
+                m.retention_until, now
+            )));
+        }
+        let ev = MetaEvent::Delete { name: name.to_string() };
+        Self::journal(&mut inner, &ev)?;
+        inner.meta.remove(name);
+        let path = self.data_path(name);
+        fs::remove_file(&path)
+            .map_err(|e| Error::io(format!("deleting expired WORM file {name:?}"), e))?;
+        Ok(())
+    }
+
+    /// Trusted metadata for a file.
+    pub fn stat(&self, name: &str) -> Result<FileMeta> {
+        let inner = self.inner.lock();
+        inner
+            .meta
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))
+    }
+
+    /// Whether the file exists (has been created and not expired+deleted).
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.lock().meta.contains_key(name)
+    }
+
+    /// A handle to an existing file.
+    pub fn handle(&self, name: &str) -> Result<WormFile> {
+        if self.exists(name) {
+            Ok(WormFile { name: name.to_string() })
+        } else {
+            Err(Error::NotFound(format!("WORM file {name:?}")))
+        }
+    }
+
+    /// Lists live files whose names start with `prefix`, in name order, with
+    /// their trusted metadata.
+    pub fn list(&self, prefix: &str) -> Vec<(String, FileMeta)> {
+        self.inner
+            .lock()
+            .meta
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(n, m)| (n.clone(), m.clone()))
+            .collect()
+    }
+
+    /// Aggregate statistics for reporting.
+    pub fn stats(&self) -> WormStats {
+        let inner = self.inner.lock();
+        WormStats {
+            files: inner.meta.len() as u64,
+            bytes: inner.meta.values().map(|m| m.len).sum(),
+            appends: inner.appends,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_common::{Duration, VirtualClock};
+    use std::sync::Arc;
+
+    fn server() -> (WormServer, Arc<VirtualClock>, tempdir::TempDir) {
+        let clock = Arc::new(VirtualClock::new());
+        let dir = tempdir::TempDir::new();
+        let s = WormServer::open(dir.path(), clock.clone()).unwrap();
+        (s, clock, dir)
+    }
+
+    // A minimal temp-dir helper so the crate has no dev-dependency on
+    // an external tempfile crate.
+    mod tempdir {
+        use std::path::{Path, PathBuf};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+
+        pub struct TempDir(PathBuf);
+
+        impl TempDir {
+            pub fn new() -> TempDir {
+                let n = NEXT.fetch_add(1, Ordering::SeqCst);
+                let p = std::env::temp_dir()
+                    .join(format!("ccdb-worm-test-{}-{}", std::process::id(), n));
+                std::fs::create_dir_all(&p).unwrap();
+                TempDir(p)
+            }
+            pub fn path(&self) -> &Path {
+                &self.0
+            }
+        }
+
+        impl Drop for TempDir {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+    }
+
+    #[test]
+    fn create_append_read_roundtrip() {
+        let (s, _, _d) = server();
+        let f = s.create("L/epoch-0", Timestamp::MAX).unwrap();
+        s.append(&f, b"hello ").unwrap();
+        s.append(&f, b"worm").unwrap();
+        assert_eq!(s.read_all("L/epoch-0").unwrap(), b"hello worm");
+        assert_eq!(s.read_at("L/epoch-0", 6, 4).unwrap(), b"worm");
+        assert_eq!(s.stat("L/epoch-0").unwrap().len, 10);
+    }
+
+    #[test]
+    fn recreation_refused() {
+        let (s, _, _d) = server();
+        s.create("x", Timestamp::MAX).unwrap();
+        let err = s.create("x", Timestamp::MAX).unwrap_err();
+        assert!(matches!(err, Error::WormViolation(_)));
+    }
+
+    #[test]
+    fn sealed_file_refuses_appends() {
+        let (s, _, _d) = server();
+        let f = s.create("log", Timestamp::MAX).unwrap();
+        s.append(&f, b"a").unwrap();
+        s.seal("log").unwrap();
+        assert!(matches!(s.append(&f, b"b"), Err(Error::WormViolation(_))));
+        // reads still work
+        assert_eq!(s.read_all("log").unwrap(), b"a");
+    }
+
+    #[test]
+    fn delete_before_retention_refused() {
+        let (s, clock, _d) = server();
+        s.create("keep", Timestamp(1_000_000)).unwrap();
+        assert!(matches!(s.delete("keep"), Err(Error::WormViolation(_))));
+        clock.advance(Duration::from_secs(1));
+        s.delete("keep").unwrap();
+        assert!(!s.exists("keep"));
+    }
+
+    #[test]
+    fn retention_extends_never_shrinks() {
+        let (s, clock, _d) = server();
+        s.create("f", Timestamp(100)).unwrap();
+        s.extend_retention("f", Timestamp(50)).unwrap(); // no-op
+        assert_eq!(s.stat("f").unwrap().retention_until, Timestamp(100));
+        s.extend_retention("f", Timestamp(500)).unwrap();
+        assert_eq!(s.stat("f").unwrap().retention_until, Timestamp(500));
+        clock.advance_to(Timestamp(200));
+        assert!(s.delete("f").is_err());
+        clock.advance_to(Timestamp(500));
+        s.delete("f").unwrap();
+    }
+
+    #[test]
+    fn create_times_come_from_compliance_clock() {
+        let (s, clock, _d) = server();
+        clock.advance_to(Timestamp(777));
+        s.create("witness/0", Timestamp::MAX).unwrap();
+        assert_eq!(s.stat("witness/0").unwrap().create_time, Timestamp(777));
+    }
+
+    #[test]
+    fn list_by_prefix_ordered() {
+        let (s, _, _d) = server();
+        s.create("w/2", Timestamp::MAX).unwrap();
+        s.create("w/1", Timestamp::MAX).unwrap();
+        s.create("other", Timestamp::MAX).unwrap();
+        let names: Vec<String> = s.list("w/").into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["w/1".to_string(), "w/2".to_string()]);
+    }
+
+    #[test]
+    fn reopen_recovers_metadata() {
+        let clock = Arc::new(VirtualClock::new());
+        let dir = tempdir::TempDir::new();
+        {
+            let s = WormServer::open(dir.path(), clock.clone()).unwrap();
+            let f = s.create("persist", Timestamp(123)).unwrap();
+            s.append(&f, b"payload").unwrap();
+            s.seal("persist").unwrap();
+        }
+        let s2 = WormServer::open(dir.path(), clock.clone()).unwrap();
+        let m = s2.stat("persist").unwrap();
+        assert_eq!(m.len, 7);
+        assert!(m.sealed);
+        assert_eq!(m.retention_until, Timestamp(123));
+        assert_eq!(s2.read_all("persist").unwrap(), b"payload");
+    }
+
+    #[test]
+    fn backing_store_tamper_detected_on_read() {
+        // Violating the simulation's trust assumption must be loud.
+        let (s, _, d) = server();
+        let f = s.create("t", Timestamp::MAX).unwrap();
+        s.append(&f, b"original").unwrap();
+        std::fs::write(d.path().join("data/t"), b"tampered").unwrap();
+        assert!(matches!(s.read_all("t"), Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn name_validation() {
+        let (s, _, _d) = server();
+        for bad in ["", "/abs", "a/../b", "a//b", "."] {
+            assert!(s.create(bad, Timestamp::MAX).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn empty_file_is_valid_witness() {
+        // Witness files are empty; create time is their whole content.
+        let (s, clock, _d) = server();
+        clock.advance_to(Timestamp(5));
+        s.create("witness/interval-1", Timestamp::MAX).unwrap();
+        assert_eq!(s.read_all("witness/interval-1").unwrap(), Vec::<u8>::new());
+        assert_eq!(s.stat("witness/interval-1").unwrap().create_time, Timestamp(5));
+    }
+
+    #[test]
+    fn stats_track_files_and_bytes() {
+        let (s, _, _d) = server();
+        let a = s.create("a", Timestamp::MAX).unwrap();
+        s.append(&a, &[0u8; 10]).unwrap();
+        s.append(&a, &[0u8; 5]).unwrap();
+        s.create("b", Timestamp::MAX).unwrap();
+        let st = s.stats();
+        assert_eq!(st.files, 2);
+        assert_eq!(st.bytes, 15);
+        assert_eq!(st.appends, 2);
+    }
+}

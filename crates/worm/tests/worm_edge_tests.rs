@@ -1,0 +1,132 @@
+//! Additional WORM-server contract tests: the immutability guarantees the
+//! whole architecture rests on, exercised at the API boundary.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ccdb_common::{Clock, Duration, Error, Timestamp, VirtualClock};
+use ccdb_worm::WormServer;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "ccdb-worm-edge-{}-{}-{}",
+            std::process::id(),
+            tag,
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn server(tag: &str) -> (Arc<WormServer>, Arc<VirtualClock>, TempDir) {
+    let d = TempDir::new(tag);
+    let clock = Arc::new(VirtualClock::new());
+    let s = Arc::new(WormServer::open(&d.0, clock.clone()).unwrap());
+    (s, clock, d)
+}
+
+#[test]
+fn there_is_no_overwrite_api_only_append() {
+    // The type system is the proof: the only mutation paths are create /
+    // append / seal / extend_retention / delete-after-expiry. This test
+    // documents the byte-level consequence: earlier offsets never change.
+    let (s, _c, _d) = server("append-only");
+    let f = s.create("log", Timestamp::MAX).unwrap();
+    s.append(&f, b"first").unwrap();
+    let before = s.read_at("log", 0, 5).unwrap();
+    for _ in 0..50 {
+        s.append(&f, b"more").unwrap();
+    }
+    assert_eq!(s.read_at("log", 0, 5).unwrap(), before);
+    assert_eq!(s.stat("log").unwrap().len, 5 + 50 * 4);
+}
+
+#[test]
+fn deletion_is_whole_file_and_only_after_retention() {
+    let (s, clock, _d) = server("deletion");
+    s.create("evidence", Timestamp(1_000)).unwrap();
+    // Before expiry: refused no matter how often asked.
+    for _ in 0..3 {
+        assert!(matches!(s.delete("evidence"), Err(Error::WormViolation(_))));
+    }
+    clock.advance_to(Timestamp(1_000));
+    s.delete("evidence").unwrap();
+    // Deleted means gone — and the name can be reused only via create
+    // (fresh create time, fresh retention).
+    assert!(!s.exists("evidence"));
+    clock.advance(Duration::from_secs(1));
+    s.create("evidence", Timestamp::MAX).unwrap();
+    assert_eq!(s.stat("evidence").unwrap().len, 0);
+}
+
+#[test]
+fn create_times_are_monotone_with_the_compliance_clock() {
+    let (s, clock, _d) = server("clock");
+    let mut last = Timestamp(0);
+    for i in 0..10 {
+        clock.advance(Duration::from_secs(1));
+        s.create(&format!("f{i}"), Timestamp::MAX).unwrap();
+        let ct = s.stat(&format!("f{i}")).unwrap().create_time;
+        assert!(ct > last);
+        last = ct;
+    }
+}
+
+#[test]
+fn metadata_survives_many_reopen_cycles() {
+    let d = TempDir::new("cycles");
+    let clock = Arc::new(VirtualClock::new());
+    for round in 0..5u64 {
+        let s = WormServer::open(&d.0, clock.clone()).unwrap();
+        let name = format!("round-{round}");
+        let f = s.create(&name, Timestamp::MAX).unwrap();
+        s.append(&f, &round.to_le_bytes()).unwrap();
+        s.seal(&name).unwrap();
+        // All earlier rounds still intact and sealed.
+        for r in 0..=round {
+            let n = format!("round-{r}");
+            let meta = s.stat(&n).unwrap();
+            assert!(meta.sealed);
+            assert_eq!(s.read_all(&n).unwrap(), r.to_le_bytes());
+        }
+        clock.advance(Duration::from_secs(1));
+    }
+}
+
+#[test]
+fn listing_is_stable_under_interleaved_creates_and_deletes() {
+    let (s, clock, _d) = server("list");
+    for i in 0..20 {
+        let retention = if i % 2 == 0 { Timestamp(10) } else { Timestamp::MAX };
+        s.create(&format!("x/{i:02}"), retention).unwrap();
+    }
+    clock.advance_to(Timestamp(10));
+    for i in (0..20).step_by(2) {
+        s.delete(&format!("x/{i:02}")).unwrap();
+    }
+    let names: Vec<String> = s.list("x/").into_iter().map(|(n, _)| n).collect();
+    assert_eq!(names.len(), 10);
+    assert!(names.windows(2).all(|w| w[0] < w[1]), "sorted: {names:?}");
+    assert!(names.iter().all(|n| {
+        let i: usize = n.trim_start_matches("x/").parse().unwrap();
+        i % 2 == 1
+    }));
+}
+
+#[test]
+fn appends_to_deleted_file_fail() {
+    let (s, clock, _d) = server("stale-handle");
+    let f = s.create("gone", Timestamp(5)).unwrap();
+    s.append(&f, b"x").unwrap();
+    clock.advance_to(Timestamp(5));
+    s.delete("gone").unwrap();
+    assert!(matches!(s.append(&f, b"y"), Err(Error::NotFound(_))));
+}

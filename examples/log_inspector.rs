@@ -1,0 +1,127 @@
+//! Inspect the raw evidence trail: dump the compliance log `L`, the stamp
+//! index, and the WORM inventory for a small workload — the view a human
+//! auditor (or prosecutor) gets of the term-immutable record.
+//!
+//! ```text
+//! cargo run --release --example log_inspector
+//! ```
+
+use std::sync::Arc;
+
+use ccdb::btree::SplitPolicy;
+use ccdb::common::{Duration, VirtualClock};
+use ccdb::compliance::records::LogIter;
+use ccdb::compliance::{logger, ComplianceConfig, CompliantDb, LogRecord, Mode};
+
+fn main() -> ccdb::common::Result<()> {
+    let dir = std::env::temp_dir().join(format!("ccdb-inspect-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(50)));
+    let db = CompliantDb::open(
+        &dir,
+        clock.clone(),
+        ComplianceConfig { mode: Mode::HashOnRead, ..ComplianceConfig::default() },
+    )?;
+
+    // A small mixed workload: inserts, an update, a delete, an abort, and a
+    // physical read.
+    let rel = db.create_relation("trades", SplitPolicy::KeyOnly)?;
+    let t = db.begin()?;
+    db.write(t, rel, b"trade-001", b"AAPL buy 100 @ 191.20")?;
+    db.write(t, rel, b"trade-002", b"MSFT sell 50 @ 402.10")?;
+    db.commit(t)?;
+    let t = db.begin()?;
+    db.write(t, rel, b"trade-001", b"AAPL buy 100 @ 191.20 (amended fee)")?;
+    db.commit(t)?;
+    let t = db.begin()?;
+    db.write(t, rel, b"trade-003", b"fat finger")?;
+    db.abort(t)?;
+    let t = db.begin()?;
+    db.delete(t, rel, b"trade-002")?;
+    db.commit(t)?;
+    db.engine().run_stamper()?;
+    db.engine().clear_cache()?;
+    let t = db.begin()?;
+    let _ = db.read(t, rel, b"trade-001")?;
+    db.commit(t)?;
+    db.engine().quiesce()?;
+    db.plugin().unwrap().logger().flush()?;
+
+    // --- dump L -----------------------------------------------------------
+    let epoch = db.epoch();
+    let bytes = db.worm().read_all(&logger::epoch_log_name(epoch))?;
+    println!("== compliance log L (epoch {epoch}, {} bytes) ==", bytes.len());
+    for item in LogIter::new(&bytes) {
+        let (off, rec) = item?;
+        let line = match rec {
+            LogRecord::NewTuple { pgno, rel, cell } => {
+                let t = ccdb::storage::TupleVersion::decode_cell(&cell)?;
+                format!(
+                    "NEW_TUPLE   {pgno:?} {rel} key={:<12} seq={} time={:?} eol={} value={:?}",
+                    String::from_utf8_lossy(&t.key),
+                    t.seq,
+                    t.time,
+                    t.end_of_life,
+                    String::from_utf8_lossy(&t.value)
+                )
+            }
+            LogRecord::StampTrans { txn, commit_time } => {
+                format!("STAMP_TRANS {txn} committed at {commit_time:?}")
+            }
+            LogRecord::Abort { txn } => format!("ABORT       {txn}"),
+            LogRecord::Undo { pgno, cell, .. } => {
+                let t = ccdb::storage::TupleVersion::decode_cell(&cell)?;
+                format!(
+                    "UNDO        {pgno:?} key={} seq={} (rolled back / shredded)",
+                    String::from_utf8_lossy(&t.key),
+                    t.seq
+                )
+            }
+            LogRecord::Read { pgno, hs } => {
+                format!("READ        {pgno:?} Hs={}…", ccdb::crypto::to_hex(&hs[..8]))
+            }
+            LogRecord::DummyStamp { time } => format!("HEARTBEAT   at {time:?}"),
+            LogRecord::PageSplit { old, left, right, .. } => format!(
+                "PAGE_SPLIT  {old:?} -> {:?} ({} cells) + {:?} ({} cells)",
+                left.pgno,
+                left.cells.len(),
+                right.pgno,
+                right.cells.len()
+            ),
+            LogRecord::IndexInsert { pgno, .. } => format!("IDX_INSERT  {pgno:?}"),
+            LogRecord::IndexRemove { pgno, .. } => format!("IDX_REMOVE  {pgno:?}"),
+            LogRecord::NewRoot { pgno, .. } => format!("NEW_ROOT    {pgno:?}"),
+            LogRecord::Migrate { pgno, worm_file, .. } => {
+                format!("MIGRATE     {pgno:?} -> worm:{worm_file}")
+            }
+            LogRecord::Shredded { key, shred_time, .. } => format!(
+                "SHREDDED    key={} at {shred_time:?}",
+                String::from_utf8_lossy(&key)
+            ),
+            LogRecord::StartRecovery { time } => format!("START_RECOVERY at {time:?}"),
+        };
+        println!("{off:>8}  {line}");
+    }
+
+    // --- stamp index --------------------------------------------------------
+    let idx = db.worm().read_all(&logger::epoch_stamp_name(epoch))?;
+    let entries = logger::StampIndexEntry::decode_all(&idx)?;
+    println!("\n== auxiliary stamp index ({} entries) ==", entries.len());
+    for e in entries {
+        println!("  {e:?}");
+    }
+
+    // --- WORM inventory -------------------------------------------------------
+    println!("\n== WORM inventory ==");
+    for (name, meta) in db.worm().list("") {
+        println!(
+            "  {:<24} {:>8} bytes  created {:?}  sealed={}",
+            name, meta.len, meta.create_time, meta.sealed
+        );
+    }
+
+    let report = db.audit()?;
+    println!("\naudit: {}", if report.is_clean() { "CLEAN" } else { "VIOLATIONS" });
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

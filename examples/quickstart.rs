@@ -1,0 +1,73 @@
+//! Quickstart: open a compliant database, write data, crash, recover, and
+//! pass an audit.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use ccdb::btree::SplitPolicy;
+use ccdb::common::{Duration, VirtualClock};
+use ccdb::compliance::{ComplianceConfig, CompliantDb, Mode};
+
+fn main() -> ccdb::common::Result<()> {
+    let dir = std::env::temp_dir().join(format!("ccdb-quickstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A deterministic clock; deployments would use `SystemClock`.
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(50)));
+
+    // Open with the hash-page-on-read refinement (strongest assurances).
+    let db = CompliantDb::open(
+        &dir,
+        clock.clone(),
+        ComplianceConfig { mode: Mode::HashOnRead, ..ComplianceConfig::default() },
+    )?;
+    println!("opened compliant database (mode: {:?}) at {}", db.mode(), dir.display());
+
+    // Ordinary transactional work. Every write creates an immutable version;
+    // the compliance plugin streams NEW_TUPLE records to WORM.
+    let accounts = db.create_relation("accounts", SplitPolicy::KeyOnly)?;
+    let t1 = db.begin()?;
+    db.write(t1, accounts, b"alice", b"balance=100")?;
+    db.write(t1, accounts, b"bob", b"balance=250")?;
+    let first_commit = db.commit(t1)?;
+
+    // Updates never overwrite: the old version stays queryable.
+    let t2 = db.begin()?;
+    db.write(t2, accounts, b"alice", b"balance=75")?;
+    db.commit(t2)?;
+    let t = db.begin()?;
+    println!("alice now:          {:?}", String::from_utf8_lossy(&db.read(t, accounts, b"alice")?.unwrap()));
+    db.commit(t)?;
+    println!(
+        "alice as of commit1: {:?}",
+        String::from_utf8_lossy(&db.read_as_of(accounts, b"alice", first_commit)?.unwrap())
+    );
+
+    // Crash in the middle of a transaction; recovery is compliance-logged.
+    let t3 = db.begin()?;
+    db.write(t3, accounts, b"mallory", b"balance=1000000")?;
+    println!("crashing with mallory's transaction in flight…");
+    let db = db.crash_and_recover()?;
+    let t = db.begin()?;
+    assert_eq!(db.read(t, accounts, b"mallory")?, None, "the loser was rolled back");
+    db.commit(t)?;
+    println!("recovered: in-flight transaction rolled back, committed data intact");
+
+    // The audit: one pass over the compliance log, the previous snapshot,
+    // and the database verifies that nothing was tampered with.
+    let report = db.audit()?;
+    println!(
+        "audit of epoch {}: {} — {} records scanned, {} tuples verified",
+        report.epoch,
+        if report.is_clean() { "CLEAN" } else { "VIOLATIONS FOUND" },
+        report.stats.records_scanned,
+        report.stats.tuples_final
+    );
+    assert!(report.is_clean());
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

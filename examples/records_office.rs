@@ -1,0 +1,89 @@
+//! Government-records scenario: post-hoc insertion. The paper's secondary
+//! threat — "the insertion of tuples with start times that have already
+//! passed, in an attempt to make it appear that an activity took place
+//! though in fact it did not … records of births, deaths, marriages,
+//! property transfers, drivers' licenses, voter registrations."
+//!
+//! A clerk with root tries to forge a backdated property transfer directly
+//! in the database file. The completeness check (every tuple in the final
+//! state must be covered by the snapshot or a logged insertion) exposes it.
+//!
+//! ```text
+//! cargo run --release --example records_office
+//! ```
+
+use std::sync::Arc;
+
+use ccdb::adversary::Mala;
+use ccdb::btree::SplitPolicy;
+use ccdb::common::{Duration, Timestamp, VirtualClock};
+use ccdb::compliance::{ComplianceConfig, CompliantDb, Mode, Violation};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("ccdb-records-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(50)));
+    let db = CompliantDb::open(
+        &dir,
+        clock.clone(),
+        ComplianceConfig { mode: Mode::LogConsistent, ..ComplianceConfig::default() },
+    )
+    .unwrap();
+
+    // The county deeds registry.
+    let deeds = db.create_relation("property_deeds", SplitPolicy::KeyOnly).unwrap();
+    let mut legitimate_times = Vec::new();
+    for parcel in 0..50 {
+        let t = db.begin().unwrap();
+        db.write(
+            t,
+            deeds,
+            format!("parcel-{parcel:03}").as_bytes(),
+            format!("owner=resident-{parcel}").as_bytes(),
+        )
+        .unwrap();
+        legitimate_times.push(db.commit(t).unwrap());
+    }
+    // Year one closes with a clean audit; the signed snapshot goes to WORM.
+    let report = db.audit().unwrap();
+    assert!(report.is_clean());
+    println!("year-1 audit: clean ({} deeds on record)", 50);
+
+    // Temporal queries answer title searches from history.
+    let mid = legitimate_times[25];
+    let owner = db.read_as_of(deeds, b"parcel-010", mid).unwrap().unwrap();
+    println!("title search as of mid-year: parcel-010 owned by {}", String::from_utf8_lossy(&owner));
+
+    // Year two: the clerk forges a deed claiming a transfer happened during
+    // year one. The forgery is careful — correct sort position, valid
+    // checksum, a plausible old commit time.
+    db.engine().run_stamper().unwrap();
+    db.engine().clear_cache().unwrap();
+    let mala = Mala::new(db.engine().db_path());
+    let forged_time = Timestamp(legitimate_times[10].0 + 1);
+    assert!(mala
+        .backdate_insert(deeds, b"parcel-777", b"owner=the-clerks-cousin", forged_time)
+        .unwrap());
+    println!("\nclerk forged parcel-777 with a year-one timestamp, directly in the file");
+
+    // A title search would now show the forged deed…
+    let t = db.begin().unwrap();
+    let forged = db.read(t, deeds, b"parcel-777").unwrap();
+    db.commit(t).unwrap();
+    println!("queries now see: parcel-777 -> {:?}", forged.map(|v| String::from_utf8_lossy(&v).into_owned()));
+
+    // …but the year-two audit fails: the tuple is in the final state without
+    // a NEW_TUPLE record on WORM or a place in the year-one snapshot.
+    let report = db.audit().unwrap();
+    assert!(!report.is_clean());
+    let completeness =
+        report.violations.iter().any(|v| matches!(v, Violation::CompletenessMismatch));
+    println!(
+        "\nyear-2 audit: TAMPERING DETECTED (completeness mismatch: {})",
+        completeness
+    );
+    println!("under current regulatory interpretation, detectable tampering");
+    println!("leads to presumption of guilt — the forged deed cannot stand.");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,398 @@
+//! The threat-model gauntlet: every attack in the paper's catalogue is
+//! executed by "Mala" against a running compliant database, and the auditor
+//! must raise the *specific* violation the paper promises.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ccdb::adversary::Mala;
+use ccdb::btree::SplitPolicy;
+use ccdb::common::{Duration, RelId, Timestamp, TxnId, VirtualClock};
+use ccdb::compliance::{ComplianceConfig, CompliantDb, Mode, Violation};
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "ccdb-attack-{}-{}-{}",
+            std::process::id(),
+            tag,
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn setup(tag: &str, mode: Mode) -> (CompliantDb, Arc<VirtualClock>, TempDir) {
+    let d = TempDir::new(tag);
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(50)));
+    let db = CompliantDb::open(
+        &d.0,
+        clock.clone(),
+        ComplianceConfig {
+            mode,
+            regret_interval: Duration::from_mins(5),
+            cache_pages: 128,
+            auditor_seed: [3u8; 32],
+            fsync: false,
+            worm_artifact_retention: None,
+        },
+    )
+    .unwrap();
+    (db, clock, d)
+}
+
+/// Populates a ledger and flushes everything to disk so Mala has bytes to
+/// edit and the cache holds nothing stale.
+fn seed(db: &CompliantDb, n: usize) -> RelId {
+    let rel = db.create_relation("ledger", SplitPolicy::KeyOnly).unwrap();
+    for i in 0..n {
+        let t = db.begin().unwrap();
+        db.write(t, rel, format!("acct-{i:04}").as_bytes(), format!("balance={i}").as_bytes())
+            .unwrap();
+        db.commit(t).unwrap();
+    }
+    db.engine().run_stamper().unwrap();
+    db.engine().clear_cache().unwrap();
+    rel
+}
+
+fn mala(db: &CompliantDb) -> Mala {
+    Mala::new(db.engine().db_path())
+}
+
+#[test]
+fn altering_a_committed_tuple_is_detected() {
+    let (db, _c, _d) = setup("alter", Mode::LogConsistent);
+    seed(&db, 200);
+    assert!(mala(&db).alter_tuple_value(b"acct-0042", b"balance=1000000").unwrap());
+    let report = db.audit().unwrap();
+    assert!(!report.is_clean());
+    assert!(
+        report.violations.iter().any(|v| matches!(v, Violation::CompletenessMismatch)),
+        "{:?}",
+        report.violations
+    );
+    assert!(
+        report.violations.iter().any(|v| matches!(v, Violation::StateMismatch { .. })),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn shredding_evidence_outside_the_protocol_is_detected() {
+    let (db, _c, _d) = setup("shred", Mode::LogConsistent);
+    seed(&db, 200);
+    assert!(mala(&db).delete_tuple(b"acct-0007").unwrap());
+    let report = db.audit().unwrap();
+    assert!(report.violations.iter().any(|v| matches!(v, Violation::CompletenessMismatch)));
+}
+
+#[test]
+fn post_hoc_insertion_of_backdated_records_is_detected() {
+    // The government-records threat: "post-hoc insertion of government
+    // electronic records, such as records of births, deaths, marriages…".
+    let (db, _c, _d) = setup("backdate", Mode::LogConsistent);
+    let rel = seed(&db, 200);
+    assert!(mala(&db)
+        .backdate_insert(rel, b"acct-9999", b"born=1985", Timestamp(10))
+        .unwrap());
+    let report = db.audit().unwrap();
+    assert!(
+        report.violations.iter().any(|v| matches!(v, Violation::CompletenessMismatch)),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn fig2b_swapped_leaf_entries_detected_by_sort_check() {
+    let (db, _c, _d) = setup("fig2b", Mode::LogConsistent);
+    seed(&db, 200);
+    assert!(mala(&db).swap_leaf_entries().unwrap());
+    let report = db.audit().unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TreeIntegrity(_))),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn fig2c_tampered_separator_detected_by_parent_child_check() {
+    let (db, _c, _d) = setup("fig2c", Mode::LogConsistent);
+    seed(&db, 2000); // enough to grow internal nodes
+    assert!(mala(&db).corrupt_separator().unwrap(), "no inner page found to corrupt");
+    let report = db.audit().unwrap();
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v,
+            Violation::TreeIntegrity(_) | Violation::IndexMismatch { .. }
+        )),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn state_reversion_attack_beats_log_consistent_but_not_hash_on_read() {
+    // Section V: "With a file editor, an adversary can make arbitrary
+    // changes to a log-consistent database, as long as she undoes them
+    // before the next audit. Such changes cannot be detected by the audit" —
+    // the hash-page-on-read refinement "eliminate[s] this vulnerability
+    // completely".
+    for (mode, expect_detection) in [(Mode::LogConsistent, false), (Mode::HashOnRead, true)] {
+        let (db, _c, _d) = setup("reversion", mode);
+        let rel = seed(&db, 200);
+        let m = mala(&db);
+        // Tamper…
+        let (pgno, pristine) = m.snapshot_page_with(b"acct-0010").unwrap().unwrap();
+        assert!(m.alter_tuple_value(b"acct-0010", b"balance=0").unwrap());
+        // …queries run against tampered state…
+        let t = db.begin().unwrap();
+        let seen = db.read(t, rel, b"acct-0010").unwrap().unwrap();
+        db.commit(t).unwrap();
+        assert_eq!(seen, b"balance=0", "the query really saw tampered data");
+        // …and Mala reverts before the audit.
+        db.engine().clear_cache().unwrap();
+        m.restore_page(pgno, &pristine).unwrap();
+        let report = db.audit().unwrap();
+        if expect_detection {
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .any(|v| matches!(v, Violation::ReadHashMismatch { .. })),
+                "hash-on-read must catch reversion: {:?}",
+                report.violations
+            );
+        } else {
+            assert!(
+                report.is_clean(),
+                "log-consistent alone cannot see reverted tampering: {:?}",
+                report.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn spurious_abort_appended_to_l_is_detected() {
+    // "Mala may append spurious ABORT records to L to try to hide the
+    // existence of tuples that she regrets." She CAN write to WORM via its
+    // API — the audit must flag the conflict.
+    let (db, _c, _d) = setup("spurious-abort", Mode::LogConsistent);
+    seed(&db, 50);
+    // Find a committed transaction to "abort": txn ids start above 1.
+    let victim_txn = TxnId(5);
+    let plugin = db.plugin().unwrap().clone();
+    plugin
+        .logger()
+        .append_flush(&ccdb::compliance::LogRecord::Abort { txn: victim_txn })
+        .unwrap();
+    let report = db.audit().unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ConflictingStatus { .. })),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn backdated_stamp_appended_to_l_is_detected() {
+    // Mala appends a STAMP_TRANS claiming an old commit time (post-hoc
+    // insertion groundwork): commit times must be monotone in log order.
+    let (db, _c, _d) = setup("backdated-stamp", Mode::LogConsistent);
+    seed(&db, 50);
+    let plugin = db.plugin().unwrap().clone();
+    plugin
+        .logger()
+        .append_flush(&ccdb::compliance::LogRecord::StampTrans {
+            txn: TxnId(40_000),
+            commit_time: Timestamp(1),
+        })
+        .unwrap();
+    let report = db.audit().unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::CommitTimesNotMonotonic { .. })),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn wal_wipe_after_crash_cannot_unwind_commits() {
+    // Mala forces a crash and wipes the local WAL, hoping the commit whose
+    // pages never reached disk simply vanishes. The WORM-resident WAL tail
+    // betrays her.
+    let (db, _c, d) = setup("wal-wipe", Mode::LogConsistent);
+    let rel = db.create_relation("ledger", SplitPolicy::KeyOnly).unwrap();
+    // A committed transaction whose dirty pages stay in the buffer cache.
+    let t = db.begin().unwrap();
+    db.write(t, rel, b"incriminating", b"evidence").unwrap();
+    db.commit(t).unwrap();
+    // Crash + wipe the local WAL before recovery can run.
+    db.engine().crash();
+    if let Some(p) = db.plugin() {
+        p.logger().simulate_crash_drop_pending();
+    }
+    let wal_path = d.0.join("engine/wal.log");
+    Mala::new(db.engine().db_path()).wipe_wal(&wal_path).unwrap();
+    drop(db);
+    // Reopen: recovery finds an empty WAL and resurrects nothing.
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(50)));
+    let db = CompliantDb::open(
+        &d.0,
+        clock,
+        ComplianceConfig {
+            mode: Mode::LogConsistent,
+            regret_interval: Duration::from_mins(5),
+            cache_pages: 128,
+            auditor_seed: [3u8; 32],
+            fsync: false,
+            worm_artifact_retention: None,
+        },
+    )
+    .unwrap();
+    let rel = db.engine().rel_id("ledger").unwrap();
+    let t = db.begin().unwrap();
+    assert_eq!(db.read(t, rel, b"incriminating").unwrap(), None, "the commit is locally gone");
+    db.commit(t).unwrap();
+    let report = db.audit().unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WalTailInconsistent { .. })),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn tampering_with_pre_snapshot_data_is_detected_in_later_epochs() {
+    // Data verified by audit N and recorded in the snapshot must stay
+    // intact through audit N+1.
+    let (db, _c, _d) = setup("old-data", Mode::LogConsistent);
+    let rel = seed(&db, 100);
+    assert!(db.audit().unwrap().is_clean());
+    // Epoch 1: some fresh activity, then Mala edits epoch-0 data.
+    let t = db.begin().unwrap();
+    db.write(t, rel, b"fresh", b"data").unwrap();
+    db.commit(t).unwrap();
+    db.engine().clear_cache().unwrap();
+    assert!(mala(&db).alter_tuple_value(b"acct-0001", b"rewritten-history").unwrap());
+    let report = db.audit().unwrap();
+    assert!(
+        report.violations.iter().any(|v| matches!(v, Violation::CompletenessMismatch)),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn honest_database_stays_clean_under_the_same_scrutiny() {
+    // Control: the full gauntlet's setup, no tampering, zero violations.
+    for mode in [Mode::LogConsistent, Mode::HashOnRead] {
+        let (db, _c, _d) = setup("control", mode);
+        seed(&db, 200);
+        let report = db.audit().unwrap();
+        assert!(report.is_clean(), "{mode:?}: {:?}", report.violations);
+    }
+}
+
+#[test]
+fn forensics_localize_the_exact_tampered_tuple() {
+    // After detection, the auditor pinpoints *which* tuple was altered,
+    // which was erased, and which was forged.
+    let (db, _c, _d) = setup("forensics", Mode::LogConsistent);
+    let rel = seed(&db, 120);
+    let m = mala(&db);
+    assert!(m.alter_tuple_value(b"acct-0033", b"balance=overwritten").unwrap());
+    assert!(m.delete_tuple(b"acct-0077").unwrap());
+    assert!(m
+        .backdate_insert(rel, b"acct-zzzz", b"forged", Timestamp(99))
+        .unwrap());
+    let report = db.audit().unwrap();
+    assert!(!report.is_clean());
+    use ccdb::compliance::TupleFinding;
+    let altered = report.forensics.iter().any(|f| matches!(
+        f,
+        TupleFinding::Altered { key, found, .. }
+            if key == b"acct-0033" && found == b"balance=overwritten"
+    ));
+    let missing = report
+        .forensics
+        .iter()
+        .any(|f| matches!(f, TupleFinding::Missing { key, .. } if key == b"acct-0077"));
+    let forged = report
+        .forensics
+        .iter()
+        .any(|f| matches!(f, TupleFinding::Forged { key, .. } if key == b"acct-zzzz"));
+    assert!(altered, "{:?}", report.forensics);
+    assert!(missing, "{:?}", report.forensics);
+    assert!(forged, "{:?}", report.forensics);
+}
+
+#[test]
+fn worm_reclamation_after_audits() {
+    // "Each snapshot can expire and be deleted from WORM once the next
+    // snapshot is in place. Similarly, the compliance log file can be
+    // deleted after every audit."
+    let d = TempDir::new("reclaim");
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(50)));
+    let db = CompliantDb::open(
+        &d.0,
+        clock.clone(),
+        ComplianceConfig {
+            mode: Mode::LogConsistent,
+            regret_interval: Duration::from_mins(5),
+            cache_pages: 128,
+            auditor_seed: [3u8; 32],
+            fsync: false,
+            worm_artifact_retention: Some(Duration::from_mins(30)),
+        },
+    )
+    .unwrap();
+    let rel = db.create_relation("r", SplitPolicy::KeyOnly).unwrap();
+    for round in 0..3u8 {
+        for i in 0..30u8 {
+            let t = db.begin().unwrap();
+            db.write(t, rel, &[b'k', round, i], b"v").unwrap();
+            db.commit(t).unwrap();
+        }
+        assert!(db.audit().unwrap().is_clean());
+    }
+    let before = db.worm().stats().files;
+    // Retention on epoch-0/1 artifacts has not elapsed yet: nothing to do.
+    assert_eq!(db.reclaim_worm().unwrap(), 0);
+    clock.advance(Duration::from_mins(60));
+    let deleted = db.reclaim_worm().unwrap();
+    assert!(deleted > 0, "expired early-epoch artifacts should be reclaimable");
+    let after = db.worm().stats().files;
+    assert!(after < before);
+    // The previous snapshot (needed by the next audit) must survive.
+    for i in 0..5u8 {
+        let t = db.begin().unwrap();
+        db.write(t, rel, &[b'z', i], b"v").unwrap();
+        db.commit(t).unwrap();
+    }
+    let report = db.audit().unwrap();
+    assert!(report.is_clean(), "{:?}", report.violations);
+}

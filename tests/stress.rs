@@ -1,0 +1,101 @@
+//! Long-haul stress runs (ignored by default; run with
+//! `cargo test --release --test stress -- --ignored`).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ccdb::btree::SplitPolicy;
+use ccdb::common::{Duration, VirtualClock};
+use ccdb::compliance::{ComplianceConfig, CompliantDb, Mode};
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "ccdb-stress-{}-{}",
+            std::process::id(),
+            tag
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Tens of thousands of mixed operations across several epochs, with
+/// periodic crashes, vacuum, and migration — everything must audit clean
+/// at every epoch boundary.
+#[test]
+#[ignore = "long-running stress test"]
+fn fifty_thousand_ops_across_epochs() {
+    let d = TempDir::new("50k");
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(25)));
+    let mut db = CompliantDb::open(
+        &d.0,
+        clock.clone(),
+        ComplianceConfig {
+            mode: Mode::HashOnRead,
+            regret_interval: Duration::from_mins(5),
+            cache_pages: 512,
+            auditor_seed: [42u8; 32],
+            fsync: false,
+            worm_artifact_retention: None,
+        },
+    )
+    .unwrap();
+    let ledger = db.create_relation("ledger", SplitPolicy::KeyOnly).unwrap();
+    let hot = db.create_relation("hot", SplitPolicy::TimeSplit { threshold: 0.8 }).unwrap();
+    let t = db.begin().unwrap();
+    db.set_retention(t, "hot", Duration::from_mins(200)).unwrap();
+    db.commit(t).unwrap();
+
+    let mut committed_keys = 0u64;
+    for epoch in 0..5u32 {
+        for i in 0..10_000u32 {
+            let t = db.begin().unwrap();
+            let key = format!("e{epoch}-k{:05}", i % 4000);
+            db.write(t, ledger, key.as_bytes(), &i.to_le_bytes()).unwrap();
+            db.write(t, hot, format!("h{}", i % 16).as_bytes(), &i.to_le_bytes()).unwrap();
+            if i % 97 == 13 {
+                db.delete(t, ledger, key.as_bytes()).unwrap();
+            }
+            if i % 211 == 7 {
+                db.abort(t).unwrap();
+            } else {
+                db.commit(t).unwrap();
+                committed_keys += 1;
+            }
+            if i % 2500 == 2499 {
+                db.engine().run_stamper().unwrap();
+            }
+        }
+        if epoch % 2 == 1 {
+            db = db.crash_and_recover().unwrap();
+        }
+        if epoch == 2 {
+            db.migrate_to_worm(hot).unwrap();
+        }
+        if epoch == 3 {
+            clock.advance(Duration::from_mins(300));
+            db.remigrate_expired().unwrap();
+            let vr = db.vacuum().unwrap();
+            assert!(vr.shredded > 0);
+        }
+        let report = db.audit().unwrap();
+        assert!(
+            report.is_clean(),
+            "epoch {epoch}: {:?}",
+            &report.violations[..report.violations.len().min(5)]
+        );
+        println!(
+            "epoch {epoch}: clean ({} records, {} tuples, {} reads verified)",
+            report.stats.records_scanned, report.stats.tuples_final, report.stats.reads_verified
+        );
+    }
+    assert!(committed_keys > 45_000);
+}
