@@ -42,8 +42,8 @@ impl Mala {
     }
 
     fn read_page(&self, pgno: PageNo) -> Result<Option<Page>> {
-        let mut f = fs::File::open(&self.db_path)
-            .map_err(|e| Error::io("opening victim database", e))?;
+        let mut f =
+            fs::File::open(&self.db_path).map_err(|e| Error::io("opening victim database", e))?;
         f.seek(SeekFrom::Start(pgno.0 * PAGE_SIZE as u64))
             .map_err(|e| Error::io("seeking victim database", e))?;
         let mut buf = vec![0u8; PAGE_SIZE];
@@ -65,10 +65,7 @@ impl Mala {
     }
 
     /// Visits every parseable leaf page.
-    fn for_each_leaf(
-        &self,
-        mut f: impl FnMut(&mut Page) -> Result<bool>,
-    ) -> Result<bool> {
+    fn for_each_leaf(&self, mut f: impl FnMut(&mut Page) -> Result<bool>) -> Result<bool> {
         for i in 0..self.page_count()? {
             let Some(mut page) = self.read_page(PageNo(i))? else { continue };
             if page.page_type() != PageType::Leaf {
@@ -208,9 +205,9 @@ impl Mala {
             if page.page_type() != PageType::Leaf {
                 continue;
             }
-            let has_key = page.cells().any(|c| {
-                TupleVersion::decode_cell(c).map(|t| t.key == key).unwrap_or(false)
-            });
+            let has_key = page
+                .cells()
+                .any(|c| TupleVersion::decode_cell(c).map(|t| t.key == key).unwrap_or(false));
             if has_key {
                 let mut p = page;
                 return Ok(Some((PageNo(i), p.finalize_for_write().to_vec())));
@@ -236,8 +233,7 @@ impl Mala {
     /// reached disk, in concert with a forced crash). The WORM-resident WAL
     /// tail is what defeats this.
     pub fn wipe_wal(&self, wal_path: impl AsRef<Path>) -> Result<()> {
-        fs::write(wal_path.as_ref(), b"")
-            .map_err(|e| Error::io("truncating victim WAL", e))
+        fs::write(wal_path.as_ref(), b"").map_err(|e| Error::io("truncating victim WAL", e))
     }
 }
 
@@ -314,10 +310,8 @@ mod tests {
         assert!(mala.backdate_insert(RelId(1), b"charlie", b"forged", Timestamp(50)).unwrap());
         let page = dm.pread(pgno).unwrap();
         assert_eq!(page.cell_count(), 4);
-        let keys: Vec<Vec<u8>> = page
-            .cells()
-            .map(|c| TupleVersion::decode_cell(c).unwrap().key)
-            .collect();
+        let keys: Vec<Vec<u8>> =
+            page.cells().map(|c| TupleVersion::decode_cell(c).unwrap().key).collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted, "forged tuple is in sort position");
@@ -331,10 +325,8 @@ mod tests {
         let mala = Mala::new(&path);
         assert!(mala.swap_leaf_entries().unwrap());
         let page = dm.pread(pgno).unwrap();
-        let keys: Vec<Vec<u8>> = page
-            .cells()
-            .map(|c| TupleVersion::decode_cell(c).unwrap().key)
-            .collect();
+        let keys: Vec<Vec<u8>> =
+            page.cells().map(|c| TupleVersion::decode_cell(c).unwrap().key).collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_ne!(keys, sorted);

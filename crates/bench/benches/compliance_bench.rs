@@ -1,36 +1,31 @@
 //! Compliance-layer ablations: the per-transaction cost of each architecture
 //! mode, the plugin's page-diff cost, and WORM append throughput.
 
+use ccdb_bench::microbench::{bench, bench_with_setup, group};
 use ccdb_bench::{open_db, TempDir};
 use ccdb_core::Mode;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_txn_by_mode(c: &mut Criterion) {
+fn bench_txn_by_mode() {
     // The Figure 3 ablation at microbench granularity: one small write
     // transaction under each mode (includes WAL, compliance logging, and
     // the periodic sweep amortized in).
-    let mut g = c.benchmark_group("txn_by_mode");
-    g.sample_size(20);
+    group("txn_by_mode");
     for mode in [Mode::Regular, Mode::LogConsistent, Mode::HashOnRead] {
         let dir = TempDir::new("mode-bench");
         let (db, _clock) = open_db(&dir, mode, 1024);
-        let rel = db
-            .create_relation("bench", ccdb_btree::SplitPolicy::KeyOnly)
-            .unwrap();
+        let rel = db.create_relation("bench", ccdb_btree::SplitPolicy::KeyOnly).unwrap();
         let mut i = 0u64;
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{mode:?}")), &mode, |b, _| {
-            b.iter(|| {
-                i += 1;
-                let t = db.begin().unwrap();
-                db.write(t, rel, &i.to_be_bytes(), &[0u8; 128]).unwrap();
-                db.commit(t).unwrap()
-            })
+        bench(&format!("txn/{mode:?}"), || {
+            i += 1;
+            let t = db.begin().unwrap();
+            db.write(t, rel, &i.to_be_bytes(), &[0u8; 128]).unwrap();
+            db.commit(t).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_worm_append(c: &mut Criterion) {
+fn bench_worm_append() {
+    group("worm");
     use ccdb_common::{Timestamp, VirtualClock};
     use ccdb_worm::WormServer;
     use std::sync::Arc;
@@ -38,39 +33,38 @@ fn bench_worm_append(c: &mut Criterion) {
     let worm = WormServer::open(&dir.0, Arc::new(VirtualClock::new())).unwrap();
     let f = worm.create("bench-log", Timestamp::MAX).unwrap();
     let payload = vec![0xCDu8; 512];
-    c.bench_function("worm_append_512B", |b| b.iter(|| worm.append(&f, &payload).unwrap()));
+    bench("worm_append_512B", || worm.append(&f, &payload).unwrap());
 }
 
-fn bench_audit_scaling(c: &mut Criterion) {
+fn bench_audit_scaling() {
     // Audit cost as the epoch's activity grows: the paper's "single pass"
     // claim means roughly linear scaling in |L| + |Df|.
-    let mut g = c.benchmark_group("audit_scaling");
-    g.sample_size(10);
+    group("audit_scaling");
     for writes in [500usize, 2_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(writes), &writes, |b, &n| {
-            b.iter_with_setup(
-                || {
-                    let dir = TempDir::new("audit-bench");
-                    let (db, _clock) = open_db(&dir, Mode::HashOnRead, 1024);
-                    let rel = db
-                        .create_relation("bench", ccdb_btree::SplitPolicy::KeyOnly)
-                        .unwrap();
-                    for i in 0..n as u64 {
-                        let t = db.begin().unwrap();
-                        db.write(t, rel, &i.to_be_bytes(), &[0u8; 128]).unwrap();
-                        db.commit(t).unwrap();
-                    }
-                    (db, dir)
-                },
-                |(db, _dir)| {
-                    let report = db.audit().unwrap();
-                    assert!(report.is_clean());
-                },
-            )
-        });
+        bench_with_setup(
+            &format!("audit/{writes}"),
+            3,
+            || {
+                let dir = TempDir::new("audit-bench");
+                let (db, _clock) = open_db(&dir, Mode::HashOnRead, 1024);
+                let rel = db.create_relation("bench", ccdb_btree::SplitPolicy::KeyOnly).unwrap();
+                for i in 0..writes as u64 {
+                    let t = db.begin().unwrap();
+                    db.write(t, rel, &i.to_be_bytes(), &[0u8; 128]).unwrap();
+                    db.commit(t).unwrap();
+                }
+                (db, dir)
+            },
+            |(db, _dir)| {
+                let report = db.audit().unwrap();
+                assert!(report.is_clean());
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_txn_by_mode, bench_worm_append, bench_audit_scaling);
-criterion_main!(benches);
+fn main() {
+    bench_txn_by_mode();
+    bench_worm_append();
+    bench_audit_scaling();
+}

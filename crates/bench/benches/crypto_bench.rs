@@ -4,91 +4,79 @@
 //! Section IV-A: the baseline check sorts `L` (`O(|L| log |L|)`) and merges;
 //! the commutative incremental hash makes the check a single unordered pass.
 
+use ccdb_bench::microbench::{bench, group};
 use ccdb_bench::synthetic_tuples;
 use ccdb_crypto::{sha256, AddHash, HsChain, LamportKeyPair};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sha256");
+fn bench_sha256() {
+    group("sha256");
     for size in [64usize, 4096, 65536] {
         let data = vec![0xABu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
-            b.iter(|| sha256(d))
-        });
+        bench(&format!("sha256/{size}"), || sha256(&data));
     }
-    g.finish();
 }
 
-fn bench_completeness_check(c: &mut Criterion) {
+fn bench_completeness_check() {
     // The ablation: verifying Df = Ds ∪ L by sort+merge vs by ADD-HASH.
-    let mut g = c.benchmark_group("completeness_check");
-    g.sample_size(10);
+    group("completeness_check");
     for n in [1_000usize, 10_000] {
         let log: Vec<Vec<u8>> = synthetic_tuples(n);
         let snapshot: Vec<Vec<u8>> = synthetic_tuples(n);
-        let mut final_state: Vec<Vec<u8>> =
-            snapshot.iter().chain(log.iter()).cloned().collect();
+        let mut final_state: Vec<Vec<u8>> = snapshot.iter().chain(log.iter()).cloned().collect();
         // The final state arrives in key order, not log order.
         final_state.sort();
-        g.bench_with_input(BenchmarkId::new("sort_merge", n), &n, |b, _| {
-            b.iter(|| {
-                // Paper baseline: sort L, merge with (sorted) Ds, compare
-                // with (sorted) Df.
-                let mut l = log.clone();
-                l.sort();
-                let mut merged: Vec<&Vec<u8>> = snapshot.iter().chain(l.iter()).collect();
-                merged.sort();
-                let equal = merged.len() == final_state.len()
-                    && merged.iter().zip(final_state.iter()).all(|(a, b)| *a == b);
-                assert!(equal);
-            })
+        bench(&format!("sort_merge/{n}"), || {
+            // Paper baseline: sort L, merge with (sorted) Ds, compare
+            // with (sorted) Df.
+            let mut l = log.clone();
+            l.sort();
+            let mut merged: Vec<&Vec<u8>> = snapshot.iter().chain(l.iter()).collect();
+            merged.sort();
+            let equal = merged.len() == final_state.len()
+                && merged.iter().zip(final_state.iter()).all(|(a, b)| *a == b);
+            assert!(equal);
         });
-        g.bench_with_input(BenchmarkId::new("add_hash", n), &n, |b, _| {
-            b.iter(|| {
-                // Single unordered pass over each input.
-                let mut expected = AddHash::new();
-                for t in snapshot.iter().chain(log.iter()) {
-                    expected.add(t);
-                }
-                let mut actual = AddHash::new();
-                for t in &final_state {
-                    actual.add(t);
-                }
-                assert_eq!(expected, actual);
-            })
+        bench(&format!("add_hash/{n}"), || {
+            // Single unordered pass over each input.
+            let mut expected = AddHash::new();
+            for t in snapshot.iter().chain(log.iter()) {
+                expected.add(t);
+            }
+            let mut actual = AddHash::new();
+            for t in &final_state {
+                actual.add(t);
+            }
+            assert_eq!(expected, actual);
         });
     }
-    g.finish();
 }
 
-fn bench_hs_chain(c: &mut Criterion) {
+fn bench_hs_chain() {
+    group("hs_chain");
     let tuples = synthetic_tuples(30); // one page worth
-    c.bench_function("hs_chain_page", |b| {
-        b.iter(|| {
-            let mut chain = HsChain::new();
-            for t in &tuples {
-                chain.extend(t);
-            }
-            chain.value()
-        })
+    bench("hs_chain_page", || {
+        let mut chain = HsChain::new();
+        for t in &tuples {
+            chain.extend(t);
+        }
+        chain.value()
     });
 }
 
-fn bench_lamport(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lamport");
-    g.sample_size(10);
-    g.bench_function("keygen", |b| b.iter(|| LamportKeyPair::from_seed(&[7u8; 32])));
+fn bench_lamport() {
+    group("lamport");
+    bench("keygen", || LamportKeyPair::from_seed(&[7u8; 32]));
     let msg = b"snapshot digest";
-    g.bench_function("sign_verify", |b| {
-        b.iter(|| {
-            let kp = LamportKeyPair::from_seed(&[7u8; 32]);
-            let sig = kp.sign(msg);
-            assert!(kp.public_key().verify(msg, &sig));
-        })
+    bench("sign_verify", || {
+        let kp = LamportKeyPair::from_seed(&[7u8; 32]);
+        let sig = kp.sign(msg);
+        assert!(kp.public_key().verify(msg, &sig));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_sha256, bench_completeness_check, bench_hs_chain, bench_lamport);
-criterion_main!(benches);
+fn main() {
+    bench_sha256();
+    bench_completeness_check();
+    bench_hs_chain();
+    bench_lamport();
+}

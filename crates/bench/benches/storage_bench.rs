@@ -3,32 +3,29 @@
 
 use std::sync::Arc;
 
+use ccdb_bench::microbench::{bench, bench_with_setup, group};
 use ccdb_bench::TempDir;
 use ccdb_btree::{BTree, SplitPolicy};
 use ccdb_common::{Clock, Duration, PageNo, RelId, VirtualClock};
 use ccdb_storage::{BufferPool, DiskManager, Page, PageType, WriteTime};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_page_ops(c: &mut Criterion) {
+fn bench_page_ops() {
+    group("page");
     let cell = vec![0x5Au8; 120];
-    c.bench_function("page_insert_30_cells", |b| {
-        b.iter(|| {
-            let mut p = Page::new(PageNo(1), PageType::Leaf, RelId(1));
-            for _ in 0..30 {
-                p.append_cell(&cell).unwrap();
-            }
-            p.cell_count()
-        })
-    });
-    c.bench_function("page_checksum", |b| {
+    bench("page_insert_30_cells", || {
         let mut p = Page::new(PageNo(1), PageType::Leaf, RelId(1));
         for _ in 0..30 {
             p.append_cell(&cell).unwrap();
         }
-        b.iter(|| {
-            p.finalize_for_write();
-            p.verify_checksum()
-        })
+        p.cell_count()
+    });
+    let mut p = Page::new(PageNo(1), PageType::Leaf, RelId(1));
+    for _ in 0..30 {
+        p.append_cell(&cell).unwrap();
+    }
+    bench("page_checksum", || {
+        p.finalize_for_write();
+        p.verify_checksum()
     });
 }
 
@@ -41,12 +38,13 @@ fn setup_tree(cap: usize) -> (Arc<BufferPool>, Arc<VirtualClock>, BTree, TempDir
     (pool, clock, tree, dir)
 }
 
-fn bench_btree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("btree");
-    g.sample_size(10);
-    g.bench_function("insert_10k", |b| {
-        b.iter(|| {
-            let (_p, clock, tree, _d) = setup_tree(4096);
+fn bench_btree() {
+    group("btree");
+    bench_with_setup(
+        "insert_10k",
+        3,
+        || setup_tree(4096),
+        |(_p, clock, tree, _d)| {
             for i in 0..10_000u32 {
                 tree.insert(
                     format!("{i:08}").as_bytes(),
@@ -56,8 +54,8 @@ fn bench_btree(c: &mut Criterion) {
                 )
                 .unwrap();
             }
-        })
-    });
+        },
+    );
     // Lookup benchmark over a prebuilt tree.
     let (_pool, clock, tree, _dir) = setup_tree(4096);
     for i in 0..50_000u32 {
@@ -70,22 +68,20 @@ fn bench_btree(c: &mut Criterion) {
         .unwrap();
     }
     for probes in [1usize, 100] {
-        g.bench_with_input(BenchmarkId::new("versions_lookup", probes), &probes, |b, &n| {
-            let mut k = 0u32;
-            b.iter(|| {
-                let mut found = 0;
-                for _ in 0..n {
-                    k = (k.wrapping_mul(2654435761)) % 50_000;
-                    found += tree.versions(format!("{k:08}").as_bytes()).unwrap().len();
-                }
-                found
-            })
+        let mut k = 0u32;
+        bench(&format!("versions_lookup/{probes}"), || {
+            let mut found = 0;
+            for _ in 0..probes {
+                k = (k.wrapping_mul(2654435761)) % 50_000;
+                found += tree.versions(format!("{k:08}").as_bytes()).unwrap().len();
+            }
+            found
         });
     }
-    g.finish();
 }
 
-fn bench_buffer_pool(c: &mut Criterion) {
+fn bench_buffer_pool() {
+    group("buffer_pool");
     let dir = TempDir::new("bench-pool");
     let dm = Arc::new(DiskManager::open(dir.0.join("db.pages")).unwrap());
     let clock = Arc::new(VirtualClock::new());
@@ -97,16 +93,17 @@ fn bench_buffer_pool(c: &mut Criterion) {
         pgnos.push(pgno);
     }
     pool.flush_all().unwrap();
-    c.bench_function("pool_fetch_mixed_hit_miss", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 97) % pgnos.len();
-            let f = pool.fetch(pgnos[i]).unwrap();
-            let n = f.read().cell_count();
-            n
-        })
+    let mut i = 0usize;
+    bench("pool_fetch_mixed_hit_miss", || {
+        i = (i + 97) % pgnos.len();
+        let f = pool.fetch(pgnos[i]).unwrap();
+        let n = f.read().cell_count();
+        n
     });
 }
 
-criterion_group!(benches, bench_page_ops, bench_btree, bench_buffer_pool);
-criterion_main!(benches);
+fn main() {
+    bench_page_ops();
+    bench_btree();
+    bench_buffer_pool();
+}

@@ -129,10 +129,23 @@ fn audit_table(s: &Sizes) {
         let a = audit_timings(mode, TpccScale::small(2), 1024, s.txns);
         println!("{}:", mode_name(mode));
         println!("  execution time:        {:>10.2} s", a.run_secs);
-        println!("  audit total:           {:>10.2} s  ({:.1}% of execution)", a.audit_secs, a.audit_secs / a.run_secs * 100.0);
+        println!(
+            "  audit total:           {:>10.2} s  ({:.1}% of execution)",
+            a.audit_secs,
+            a.audit_secs / a.run_secs * 100.0
+        );
         println!("    snapshot fold:       {:>10.2} ms", a.stats.snapshot_us as f64 / 1e3);
-        println!("    log scan (+replay):  {:>10.2} ms  ({} records, {:.1} MB)", a.stats.log_scan_us as f64 / 1e3, a.stats.records_scanned, a.stats.log_bytes as f64 / 1e6);
-        println!("    final-state fold:    {:>10.2} ms  ({} tuples)", a.stats.final_state_us as f64 / 1e3, a.stats.tuples_final);
+        println!(
+            "    log scan (+replay):  {:>10.2} ms  ({} records, {:.1} MB)",
+            a.stats.log_scan_us as f64 / 1e3,
+            a.stats.records_scanned,
+            a.stats.log_bytes as f64 / 1e6
+        );
+        println!(
+            "    final-state fold:    {:>10.2} ms  ({} tuples)",
+            a.stats.final_state_us as f64 / 1e3,
+            a.stats.tuples_final
+        );
         println!("    read hashes checked: {:>10}", a.stats.reads_verified);
     }
 }

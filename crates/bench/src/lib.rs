@@ -22,11 +22,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ccdb_btree::SplitPolicy;
+use ccdb_common::SplitMix64 as StdRng;
 use ccdb_common::{Duration, VirtualClock};
 use ccdb_core::{AuditStats, ComplianceConfig, CompliantDb, Mode};
 use ccdb_tpcc::{load, Driver, Tpcc, TpccScale};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+pub mod microbench;
+pub mod torture;
 
 /// Emulated per-I/O latency of the database volume during measured runs
 /// (the paper's DB lived on an NFS-mounted NetApp filer; local-disk runs
@@ -121,7 +123,11 @@ pub fn run_tpcc(
     // emulated remote storage (the paper's NFS filer).
     if db.plugin().is_some() {
         let report = db.audit().unwrap();
-        assert!(report.is_clean(), "post-load audit: {:?}", &report.violations[..report.violations.len().min(3)]);
+        assert!(
+            report.is_clean(),
+            "post-load audit: {:?}",
+            &report.violations[..report.violations.len().min(3)]
+        );
         db.plugin().unwrap().reset_stats();
     } else {
         db.engine().checkpoint().unwrap();
@@ -239,12 +245,11 @@ pub fn fig4_point(workload: Fig4Workload, threshold: f64, tuples: usize) -> Fig4
             // The paper's measured ratio: 118 K updates over 100 K tuples —
             // one full uniform pass plus an 18 % second pass (most tuples
             // updated at most once).
-            use rand::seq::SliceRandom;
             let mut order: Vec<usize> = (0..tuples).collect();
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             let extra = tuples * 18 / 100;
             let mut second: Vec<usize> = (0..tuples).collect();
-            second.shuffle(&mut rng);
+            rng.shuffle(&mut second);
             second.truncate(extra);
             order.extend(second);
             for chunk in order.chunks(batch) {
@@ -279,7 +284,12 @@ pub struct AuditTimings {
 }
 
 /// Runs the audit-time experiment for one mode.
-pub fn audit_timings(mode: Mode, scale: TpccScale, cache_pages: usize, txns: usize) -> AuditTimings {
+pub fn audit_timings(
+    mode: Mode,
+    scale: TpccScale,
+    cache_pages: usize,
+    txns: usize,
+) -> AuditTimings {
     let (result, db, _t, _dir) = run_tpcc(mode, scale, cache_pages, txns, 1);
     let run_secs = result.points.last().map(|p| p.secs).unwrap_or(0.0);
     let start = Instant::now();
@@ -322,7 +332,7 @@ pub fn synthetic_tuples(n: usize) -> Vec<Vec<u8>> {
     let mut rng = StdRng::seed_from_u64(7);
     (0..n)
         .map(|i| {
-            let mut v = vec![0u8; 100 + rng.gen_range(0..64)];
+            let mut v = vec![0u8; 100 + rng.gen_range(0..64usize)];
             v[..8].copy_from_slice(&(i as u64).to_le_bytes());
             v
         })

@@ -1,0 +1,78 @@
+//! A dependency-free microbenchmark harness (the workspace builds with zero
+//! external crates, so `criterion` is not available offline).
+//!
+//! Deliberately small: warm-up, iteration-count calibration to a target batch
+//! duration, several batches, report the minimum (least-noise) per-iteration
+//! time. Good enough to reproduce the paper's relative ablations; not a
+//! statistics suite.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall time per measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(40);
+/// Number of measured batches.
+const BATCHES: usize = 5;
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmarks a closure, printing `name: <time>/iter`.
+/// Returns the best per-iteration time in nanoseconds.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
+    // Warm-up + calibration.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (BATCH_TARGET.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per = start.elapsed().as_nanos() as f64 / iters as f64;
+        if per < best {
+            best = per;
+        }
+    }
+    println!("{name:<40} {:>12}/iter  ({iters} iters/batch)", fmt_ns(best));
+    best
+}
+
+/// Benchmarks a routine whose input must be freshly constructed each time
+/// (setup time excluded). Runs `rounds` timed rounds, reports the minimum.
+pub fn bench_with_setup<S, R>(
+    name: &str,
+    rounds: usize,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> R,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds.max(1) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let ns = start.elapsed().as_nanos() as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    println!("{name:<40} {:>12}/iter  (best of {rounds})", fmt_ns(best));
+    best
+}
+
+/// Prints a section header.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}

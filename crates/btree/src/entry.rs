@@ -132,7 +132,11 @@ mod tests {
             end_of_life: false,
             value: vec![],
         };
-        let b = TupleVersion { key: b"b".to_vec(), time: WriteTime::Committed(Timestamp(1)), ..a.clone() };
+        let b = TupleVersion {
+            key: b"b".to_vec(),
+            time: WriteTime::Committed(Timestamp(1)),
+            ..a.clone()
+        };
         assert!(version_order(&a) < version_order(&b));
     }
 

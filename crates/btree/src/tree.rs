@@ -2,10 +2,10 @@
 
 use std::sync::Arc;
 
+use ccdb_common::sync::Mutex;
 use ccdb_common::{ClockRef, Error, PageNo, RelId, Result, Timestamp, TxnId};
 use ccdb_storage::{BufferPool, Page, PageType, TupleVersion, WriteTime};
 use ccdb_wal::{PageOp, PageOpSink, RelMetaOp};
-use parking_lot::Mutex;
 
 use crate::entry::{version_order, IndexEntry, TimeRank};
 use crate::hooks::{SplitKind, StructureHooks};
@@ -117,10 +117,28 @@ impl BTree {
         *self.sink.lock() = Some(sink);
     }
 
+    /// Logs one physiological op, applying the full-page-write rule: the
+    /// *first* op against a clean page is logged as the complete post-op
+    /// image instead. Cell-level redo presumes a readable base image, but a
+    /// torn flush can leave a frankenpage no cell op applies to; promoting
+    /// the first op after each flush to a `SetImage` guarantees every page
+    /// modified since the last completed checkpoint has a full image in the
+    /// redo window, from which recovery can rebuild the page regardless of
+    /// what the tear left behind. The page is marked dirty here so the rest
+    /// of a multi-op batch logs compact cell ops.
+    ///
+    /// Call sites mutate the page *before* logging, so `page.as_bytes()` is
+    /// the post-op image and `page.dirty` still reflects pre-op cleanliness.
     fn log_op(&self, txn: TxnId, page: &mut Page, op: PageOp) -> Result<()> {
         if let Some(s) = self.sink.lock().clone() {
+            let op = if !page.dirty && !matches!(op, PageOp::SetImage { .. }) {
+                PageOp::SetImage { pgno: page.pgno(), image: page.as_bytes().to_vec() }
+            } else {
+                op
+            };
             let lsn = s.log_page_op(txn, &op)?;
             page.set_lsn(lsn);
+            self.pool.mark_dirty(page);
         }
         Ok(())
     }
@@ -399,14 +417,8 @@ impl BTree {
         value: Vec<u8>,
     ) -> Result<()> {
         let rank = TimeRank::from(time);
-        let mut tuple = TupleVersion {
-            rel: self.rel,
-            key: key.to_vec(),
-            time,
-            seq: 0,
-            end_of_life,
-            value,
-        };
+        let mut tuple =
+            TupleVersion { rel: self.rel, key: key.to_vec(), time, seq: 0, end_of_life, value };
         let probe_len = tuple.encode_cell().len();
         for _attempt in 0..16 {
             let (path, leaf) = self.find_leaf(key, rank)?;
@@ -712,10 +724,8 @@ impl BTree {
         let mut live: Vec<TupleVersion> = Vec::new();
         let mut intermediates: Vec<TupleVersion> = Vec::new();
         for (i, v) in tuples.iter().enumerate() {
-            let next_commit = tuples
-                .get(i + 1)
-                .filter(|n| n.key == v.key)
-                .and_then(|n| n.time.committed());
+            let next_commit =
+                tuples.get(i + 1).filter(|n| n.key == v.key).and_then(|n| n.time.committed());
             match v.time {
                 WriteTime::Pending(_) => live.push(v.clone()), // in-flight: stays live as-is
                 WriteTime::Committed(_start) => {
@@ -799,8 +809,7 @@ impl BTree {
         self.historical.lock().push(hp);
         self.log_meta(RelMetaOp::HistoricalAdd(hp))?;
 
-        let e_live =
-            IndexEntry { key: tuples[0].key.clone(), rank: TimeRank::MIN, child: vp };
+        let e_live = IndexEntry { key: tuples[0].key.clone(), rank: TimeRank::MIN, child: vp };
         self.replace_in_parent(path, leaf, vec![e_live])?;
         Ok(true)
     }
@@ -887,16 +896,9 @@ impl BTree {
         self.pool.mark_dirty(&mut page);
         drop(page);
         self.stats.lock().inner_splits += 1;
-        let e_left = IndexEntry {
-            key: entries[0].key.clone(),
-            rank: entries[0].rank,
-            child: lp,
-        };
-        let e_right = IndexEntry {
-            key: entries[mid].key.clone(),
-            rank: entries[mid].rank,
-            child: rp,
-        };
+        let e_left = IndexEntry { key: entries[0].key.clone(), rank: entries[0].rank, child: lp };
+        let e_right =
+            IndexEntry { key: entries[mid].key.clone(), rank: entries[mid].rank, child: rp };
         self.replace_in_parent(&path[..path.len() - 1], parent_pgno, vec![e_left, e_right])
     }
 }

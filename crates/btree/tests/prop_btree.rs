@@ -1,15 +1,20 @@
 //! Model-based property tests: the versioned B+-tree against a
 //! `BTreeMap<(key, rank), version>` reference model, under inserts, aborts
 //! (version removal), lazy stamping, and both split policies.
+//!
+//! Gated behind the non-default `proptest` cargo feature and driven by the
+//! workspace's own seeded [`SplitMix64`]; each case's seed is printed on
+//! failure for deterministic replay.
+
+#![cfg(feature = "proptest")]
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use ccdb_btree::{check_tree, BTree, SplitPolicy, TimeRank};
-use ccdb_common::{Clock, Duration, RelId, Timestamp, TxnId, VirtualClock};
+use ccdb_common::{Clock, Duration, RelId, SplitMix64, TxnId, VirtualClock};
 use ccdb_storage::{BufferPool, DiskManager, WriteTime};
-use proptest::prelude::*;
 
 struct TempFile(PathBuf);
 impl TempFile {
@@ -36,16 +41,29 @@ enum Op {
     PendingThen(u8, Vec<u8>, bool),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48))
-            .prop_map(|(k, v)| Op::Insert(k, v)),
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48), any::<bool>())
-            .prop_map(|(k, v, commit)| Op::PendingThen(k, v, commit)),
-    ]
+fn gen_value(rng: &mut SplitMix64) -> Vec<u8> {
+    let len = rng.gen_range(0..48usize);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
 }
 
-fn run_model(ops: Vec<Op>, policy: SplitPolicy) -> Result<(), TestCaseError> {
+fn gen_op(rng: &mut SplitMix64) -> Op {
+    let k = rng.gen_range(0..=255u8);
+    let v = gen_value(rng);
+    if rng.gen_bool(0.5) {
+        Op::Insert(k, v)
+    } else {
+        Op::PendingThen(k, v, rng.gen_bool(0.5))
+    }
+}
+
+fn gen_ops(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<Op> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| gen_op(rng)).collect()
+}
+
+fn run_model(case: u64, ops: Vec<Op>, policy: SplitPolicy) {
     let tf = TempFile::new();
     let dm = Arc::new(DiskManager::open(&tf.0).unwrap());
     let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(3)));
@@ -69,12 +87,11 @@ fn run_model(ops: Vec<Op>, policy: SplitPolicy) -> Result<(), TestCaseError> {
                 if commit {
                     let t = clock.now();
                     let stamped = tree.stamp(&key, txn, t).unwrap();
-                    prop_assert_eq!(stamped, 1, "the pending version must be stamped");
+                    assert_eq!(stamped, 1, "case seed {case}: the pending version must be stamped");
                     model.insert((key, t.0), (false, v));
                 } else {
-                    let removed =
-                        tree.remove_version(&key, TimeRank::pending(txn)).unwrap();
-                    prop_assert!(removed.is_some(), "rollback must find the version");
+                    let removed = tree.remove_version(&key, TimeRank::pending(txn)).unwrap();
+                    assert!(removed.is_some(), "case seed {case}: rollback must find the version");
                 }
             }
         }
@@ -87,13 +104,11 @@ fn run_model(ops: Vec<Op>, policy: SplitPolicy) -> Result<(), TestCaseError> {
         Ok(())
     })
     .unwrap();
-    let want: Vec<(Vec<u8>, u64, Vec<u8>)> = model
-        .iter()
-        .map(|((k, t), (_eol, v))| (k.clone(), *t, v.clone()))
-        .collect();
+    let want: Vec<(Vec<u8>, u64, Vec<u8>)> =
+        model.iter().map(|((k, t), (_eol, v))| (k.clone(), *t, v.clone())).collect();
     if matches!(policy, SplitPolicy::KeyOnly) {
         // No migration, no intermediates: live contents are exactly the model.
-        prop_assert_eq!(&got, &want);
+        assert_eq!(&got, &want, "case seed {case}");
     }
     // Under either policy, every model version must be reachable (time
     // splits move originals to historical pages and add intermediates,
@@ -105,12 +120,11 @@ fn run_model(ops: Vec<Op>, policy: SplitPolicy) -> Result<(), TestCaseError> {
             .iter()
             .chain(hist.iter())
             .any(|tv| tv.time.committed().map(|c| c.0) == Some(*t) && &tv.value == v);
-        prop_assert!(found, "version ({k:?},{t}) lost");
+        assert!(found, "case seed {case}: version ({k:?},{t}) lost");
     }
     // Physical integrity holds throughout.
     let errs = check_tree(&pool, &tree).unwrap();
-    prop_assert!(errs.is_empty(), "{errs:?}");
-    Ok(())
+    assert!(errs.is_empty(), "case seed {case}: {errs:?}");
 }
 
 fn historical_versions(
@@ -133,21 +147,26 @@ fn historical_versions(
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn key_only_tree_matches_model(ops in proptest::collection::vec(op_strategy(), 0..150)) {
-        run_model(ops, SplitPolicy::KeyOnly)?;
+#[test]
+fn key_only_tree_matches_model() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xB7_EE00 + case);
+        let ops = gen_ops(&mut rng, 0, 150);
+        run_model(case, ops, SplitPolicy::KeyOnly);
     }
+}
 
-    #[test]
-    fn scan_all_is_always_sorted(ops in proptest::collection::vec(op_strategy(), 0..150)) {
+#[test]
+fn scan_all_is_always_sorted() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x5C_A400 + case);
+        let ops = gen_ops(&mut rng, 0, 150);
         let tf = TempFile::new();
         let dm = Arc::new(DiskManager::open(&tf.0).unwrap());
         let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(3)));
         let pool = Arc::new(BufferPool::new(dm, clock.clone(), 64));
-        let tree = BTree::create(pool.clone(), clock.clone(), RelId(1), SplitPolicy::KeyOnly).unwrap();
+        let tree =
+            BTree::create(pool.clone(), clock.clone(), RelId(1), SplitPolicy::KeyOnly).unwrap();
         let mut txn = 1u64;
         for op in ops {
             match op {
@@ -164,7 +183,7 @@ proptest! {
         tree.scan_all(&mut |t| {
             let cur = (t.key.clone(), TimeRank::from(t.time));
             if let Some(p) = &prev {
-                assert!(*p <= cur, "scan out of order: {p:?} then {cur:?}");
+                assert!(*p <= cur, "case seed {case}: scan out of order: {p:?} then {cur:?}");
             }
             prev = Some(cur);
             Ok(())
@@ -173,22 +192,14 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// The TSB policy preserves all committed versions across live +
-    /// historical pages, at any threshold.
-    #[test]
-    fn tsb_tree_preserves_versions(
-        ops in proptest::collection::vec(op_strategy(), 50..200),
-        threshold in 0.0f64..1.0,
-    ) {
-        run_model(ops, SplitPolicy::TimeSplit { threshold })?;
+/// The TSB policy preserves all committed versions across live +
+/// historical pages, at any threshold.
+#[test]
+fn tsb_tree_preserves_versions() {
+    for case in 0..8u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x75_B000 + case);
+        let ops = gen_ops(&mut rng, 50, 200);
+        let threshold = rng.gen_range(0..1000u32) as f64 / 1000.0;
+        run_model(case, ops, SplitPolicy::TimeSplit { threshold });
     }
-}
-
-/// `Timestamp` helper used by the model comparisons above.
-#[allow(dead_code)]
-fn ts(v: u64) -> Timestamp {
-    Timestamp(v)
 }

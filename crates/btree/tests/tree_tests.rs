@@ -3,7 +3,9 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use ccdb_btree::{check_tree, BTree, IntegrityError, SplitKind, SplitPolicy, StructureHooks, TimeRank};
+use ccdb_btree::{
+    check_tree, BTree, IntegrityError, SplitKind, SplitPolicy, StructureHooks, TimeRank,
+};
 use ccdb_common::{Clock, Duration, PageNo, RelId, Timestamp, TxnId, VirtualClock};
 use ccdb_storage::{BufferPool, DiskManager, Page, PageType, TupleVersion, WriteTime};
 
@@ -110,14 +112,10 @@ fn scan_range_bounds_inclusive() {
         tree.insert(format!("{i:03}").as_bytes(), committed(&clock), false, vec![]).unwrap();
     }
     let mut got = Vec::new();
-    tree.scan_range(
-        (b"010", TimeRank::MIN),
-        (b"020", TimeRank::MAX),
-        &mut |t| {
-            got.push(String::from_utf8(t.key.clone()).unwrap());
-            Ok(())
-        },
-    )
+    tree.scan_range((b"010", TimeRank::MIN), (b"020", TimeRank::MAX), &mut |t| {
+        got.push(String::from_utf8(t.key.clone()).unwrap());
+        Ok(())
+    })
     .unwrap();
     assert_eq!(got.len(), 11);
     assert_eq!(got[0], "010");
@@ -246,7 +244,7 @@ fn uniform_single_update_workload_avoids_time_splits_below_half_threshold() {
 
 #[test]
 fn hooks_fire_on_splits_and_root_growth() {
-    use parking_lot::Mutex;
+    use ccdb_common::sync::Mutex;
     #[derive(Default)]
     struct Recorder {
         #[allow(clippy::type_complexity)]
@@ -264,7 +262,13 @@ fn hooks_fire_on_splits_and_root_growth() {
             right: &Page,
             intermediates: &[TupleVersion],
         ) {
-            self.splits.lock().push((kind, old.pgno(), left.pgno(), right.pgno(), intermediates.len()));
+            self.splits.lock().push((
+                kind,
+                old.pgno(),
+                left.pgno(),
+                right.pgno(),
+                intermediates.len(),
+            ));
         }
         fn on_index_insert(&self, _parent: PageNo, _cell: &[u8]) {
             *self.index_inserts.lock() += 1;
@@ -328,10 +332,7 @@ fn checker_detects_swapped_leaf_entries() {
         page.replace_cell(5, &c2).unwrap();
     }
     let errs = check_tree(&pool, &tree).unwrap();
-    assert!(
-        errs.iter().any(|e| matches!(e, IntegrityError::LeafOutOfOrder { .. })),
-        "{errs:?}"
-    );
+    assert!(errs.iter().any(|e| matches!(e, IntegrityError::LeafOutOfOrder { .. })), "{errs:?}");
 }
 
 #[test]
@@ -388,17 +389,24 @@ fn tree_survives_reopen_via_root_handoff() {
     {
         let dm = Arc::new(DiskManager::open(&tf.0).unwrap());
         let pool = Arc::new(BufferPool::new(dm, clock.clone(), 64));
-        let tree = BTree::create(pool.clone(), clock.clone(), RelId(1), SplitPolicy::KeyOnly).unwrap();
+        let tree =
+            BTree::create(pool.clone(), clock.clone(), RelId(1), SplitPolicy::KeyOnly).unwrap();
         for i in 0..300 {
-            tree.insert(format!("{i:04}").as_bytes(), WriteTime::Committed(clock.now()), false, vec![1])
-                .unwrap();
+            tree.insert(
+                format!("{i:04}").as_bytes(),
+                WriteTime::Committed(clock.now()),
+                false,
+                vec![1],
+            )
+            .unwrap();
         }
         pool.flush_all().unwrap();
         root = tree.root();
     }
     let dm = Arc::new(DiskManager::open(&tf.0).unwrap());
     let pool = Arc::new(BufferPool::new(dm, clock.clone(), 64));
-    let tree = BTree::open(pool.clone(), clock.clone(), RelId(1), SplitPolicy::KeyOnly, root, vec![]);
+    let tree =
+        BTree::open(pool.clone(), clock.clone(), RelId(1), SplitPolicy::KeyOnly, root, vec![]);
     for i in (0..300).step_by(17) {
         assert_eq!(tree.versions(format!("{i:04}").as_bytes()).unwrap().len(), 1);
     }
@@ -407,7 +415,7 @@ fn tree_survives_reopen_via_root_handoff() {
 
 #[test]
 fn intermediates_reported_on_time_split() {
-    use parking_lot::Mutex;
+    use ccdb_common::sync::Mutex;
     struct Grab {
         intermediates: Mutex<Vec<TupleVersion>>,
     }
@@ -430,7 +438,13 @@ fn intermediates_reported_on_time_split() {
     tree.set_hooks(grab.clone());
     for round in 0..300u32 {
         for k in 0..8 {
-            tree.insert(format!("x{k}").as_bytes(), committed(&clock), false, round.to_le_bytes().to_vec()).unwrap();
+            tree.insert(
+                format!("x{k}").as_bytes(),
+                committed(&clock),
+                false,
+                round.to_le_bytes().to_vec(),
+            )
+            .unwrap();
         }
     }
     let inters = grab.intermediates.lock();

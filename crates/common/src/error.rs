@@ -33,6 +33,10 @@ pub enum Error {
     /// processing (the paper: "if at any point we are unable to write to L,
     /// transaction processing must halt until the problem is fixed").
     ComplianceHalt(String),
+    /// A failure injected by the deterministic fault layer
+    /// (`ccdb_storage::fault`). Distinguished from real I/O errors so the
+    /// torture harness can tell a scheduled fault from an unexpected one.
+    Injected(String),
 }
 
 impl Error {
@@ -44,6 +48,16 @@ impl Error {
     /// Builds a [`Error::Corruption`] from anything displayable.
     pub fn corruption(msg: impl Into<String>) -> Error {
         Error::Corruption(msg.into())
+    }
+
+    /// Builds an [`Error::Injected`] (deterministic fault layer).
+    pub fn injected(msg: impl Into<String>) -> Error {
+        Error::Injected(msg.into())
+    }
+
+    /// `true` if this error originated in the fault-injection layer.
+    pub fn is_injected(&self) -> bool {
+        matches!(self, Error::Injected(_))
     }
 }
 
@@ -61,6 +75,7 @@ impl fmt::Display for Error {
             Error::LockConflict(m) => write!(f, "lock conflict: {m}"),
             Error::Invalid(m) => write!(f, "invalid operation: {m}"),
             Error::ComplianceHalt(m) => write!(f, "compliance halt: {m}"),
+            Error::Injected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }

@@ -12,9 +12,12 @@
 pub mod codec;
 pub mod error;
 pub mod ids;
+pub mod rng;
+pub mod sync;
 pub mod time;
 
 pub use codec::{ByteReader, ByteWriter};
 pub use error::{Error, Result};
 pub use ids::{Lsn, PageNo, RelId, TxnId};
+pub use rng::SplitMix64;
 pub use time::{Clock, ClockRef, Duration, SystemClock, Timestamp, VirtualClock};

@@ -1,0 +1,203 @@
+//! A small deterministic PRNG so the workspace needs no external `rand`.
+//!
+//! [`SplitMix64`] (Steele, Lea & Flood, OOPSLA '14) is the mixing function
+//! used to seed xoshiro generators; on its own it is a perfectly serviceable
+//! 64-bit generator for workload drivers, fault schedules and property tests.
+//! It is *not* cryptographic — the crypto crate keeps its own primitives.
+//!
+//! Determinism contract: for a given seed, the sequence of values produced by
+//! a given sequence of method calls is stable across platforms and releases.
+//! The crash-torture harness relies on this to replay failures from a printed
+//! seed, so treat any change to the output stream as a breaking change.
+
+/// A seeded SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Named for drop-in source
+    /// compatibility with `rand::SeedableRng`.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in a range; accepts `lo..hi` and `lo..=hi` for any
+    /// integer type used in the workspace.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 bits of randomness is plenty for test probabilities.
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+
+    /// Fills a byte slice with random data.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose from empty slice");
+        &slice[self.below(slice.len() as u64) as usize]
+    }
+
+    /// Uniform in `[0, bound)` via Lemire-style rejection (debiased).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let v = self.next_u64();
+            let (hi, lo) = {
+                let wide = (v as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+}
+
+/// Ranges `gen_range` can sample from.
+pub trait SampleRange {
+    /// The produced integer type.
+    type Output;
+    /// Draws a uniform sample.
+    fn sample(self, rng: &mut SplitMix64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_answer() {
+        // Reference values from the canonical SplitMix64 with seed 0.
+        let mut r = SplitMix64::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(r.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(r.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+            let z = r.gen_range(0..=u64::MAX);
+            let _ = z;
+        }
+    }
+
+    #[test]
+    fn range_covers_endpoints() {
+        let mut r = SplitMix64::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SplitMix64::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order (astronomically unlikely)");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SplitMix64::seed_from_u64(3);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_deterministic() {
+        let mut a = SplitMix64::seed_from_u64(11);
+        let mut b = SplitMix64::seed_from_u64(11);
+        let mut x = [0u8; 13];
+        let mut y = [0u8; 13];
+        a.fill_bytes(&mut x);
+        b.fill_bytes(&mut y);
+        assert_eq!(x, y);
+        assert_ne!(x, [0u8; 13]);
+    }
+}

@@ -39,7 +39,9 @@ use ccdb_engine::Engine;
 use ccdb_storage::{BufferPool, Page, PageStore, PageType, TupleVersion, WriteTime};
 use ccdb_worm::WormServer;
 
-use crate::logger::{epoch_log_name, epoch_stamp_name, waltail_name, witness_name, StampIndexEntry};
+use crate::logger::{
+    epoch_log_name, epoch_stamp_name, waltail_name, witness_name, StampIndexEntry,
+};
 use crate::migrate::MigratedPage;
 use crate::plugin::{hs_element_bytes, inner_hs};
 use crate::records::{LogIter, LogRecord};
@@ -168,6 +170,19 @@ pub enum Violation {
     WalTailInconsistent {
         /// The transaction whose durable commit vanished.
         txn: TxnId,
+    },
+    /// A WORM file's backing store is *shorter* than its trusted metadata
+    /// length — acknowledged compliance-log bytes have been destroyed. The
+    /// WORM device promises term immutability; a truncated tail means that
+    /// promise (the architecture's root of trust) was violated, so the
+    /// auditor names the file rather than failing with an I/O error.
+    WormTruncated {
+        /// The damaged WORM file.
+        file: String,
+        /// Length the trusted metadata acknowledges.
+        trusted_len: u64,
+        /// Length actually present on the backing store.
+        backing_len: u64,
     },
 }
 
@@ -354,6 +369,24 @@ impl Auditor {
         let mut v: Vec<Violation> = Vec::new();
         let mut stats = AuditStats::default();
 
+        // --- Phase 0: WORM device integrity -------------------------------
+        // Before trusting any artifact, confirm each live WORM file's backing
+        // store is at least as long as its trusted metadata says. A short
+        // backing file means acknowledged bytes were destroyed (tail
+        // truncation) — the named violation a compliance officer acts on,
+        // as opposed to an unreadable-log I/O error.
+        for (name, meta) in self.worm.list("") {
+            if let Ok(backing) = self.worm.backing_len(&name) {
+                if backing < meta.len {
+                    v.push(Violation::WormTruncated {
+                        file: name,
+                        trusted_len: meta.len,
+                        backing_len: backing,
+                    });
+                }
+            }
+        }
+
         // --- Phase A: previous snapshot -----------------------------------
         let t0 = Instant::now();
         let prev: Option<Snapshot> = if epoch == 0 {
@@ -459,7 +492,15 @@ impl Auditor {
 
         // --- Phase C: main scan over L --------------------------------------
         let t1 = Instant::now();
-        let log_bytes = self.worm.read_all(&epoch_log_name(epoch))?;
+        let log_bytes = match self.worm.read_all(&epoch_log_name(epoch)) {
+            Ok(b) => b,
+            Err(e) => {
+                // A truncated or checksum-divergent log is itself evidence;
+                // audit what can still be audited instead of erroring out.
+                v.push(Violation::LogUnreadable { reason: e.to_string() });
+                Vec::new()
+            }
+        };
         stats.log_bytes = log_bytes.len() as u64;
         let mut recovery_windows: Vec<(u64, Timestamp)> = Vec::new();
         // (rel, key, start) → (shred_time, pgno, consumed)
@@ -468,6 +509,10 @@ impl Auditor {
         // Versions verified to live on WORM after migration: (rel, key, ct).
         let mut migrated_versions: HashSet<(RelId, Vec<u8>, Timestamp)> = HashSet::new();
 
+        // `CCDB_AUDIT_DEBUG=1` dumps the replayed record stream with offsets
+        // — the fastest way to localize an audit divergence when replaying a
+        // torture seed.
+        let debug = std::env::var("CCDB_AUDIT_DEBUG").is_ok();
         for item in LogIter::new(&log_bytes) {
             let (off, rec) = match item {
                 Ok(x) => x,
@@ -477,6 +522,10 @@ impl Auditor {
                 }
             };
             stats.records_scanned += 1;
+            if debug {
+                let d = format!("{rec:?}");
+                eprintln!("AUDIT {off}: {}", &d[..d.len().min(160)]);
+            }
             match rec {
                 LogRecord::NewTuple { pgno, rel, cell } => {
                     let t = match TupleVersion::decode_cell(&cell) {
@@ -494,11 +543,8 @@ impl Auditor {
                         WriteTime::Committed(ct) => Some(ct),
                         WriteTime::Pending(txn) => stamps.get(&txn).map(|(ct, _)| *ct),
                     };
-                    let aborted = t
-                        .time
-                        .pending()
-                        .map(|txn| aborts.contains_key(&txn))
-                        .unwrap_or(false);
+                    let aborted =
+                        t.time.pending().map(|txn| aborts.contains_key(&txn)).unwrap_or(false);
                     if let Some(ct) = resolved {
                         let id = fold_identity(&t, ct);
                         if seen.insert(id.clone()) {
@@ -570,12 +616,20 @@ impl Auditor {
                             Some(st) if st.kind == Some(PageType::Inner) => {
                                 inner_hs(st.cells.iter().map(|c| c.as_slice()))
                             }
-                            Some(st) => {
-                                leaf_read_hash(&st.tuples, &stamps, off)
-                            }
+                            Some(st) => leaf_read_hash(&st.tuples, &stamps, off),
                             None => leaf_read_hash(&[], &stamps, off),
                         };
                         if expect != hs {
+                            if debug {
+                                eprintln!(
+                                    "AUDIT MISMATCH {off} pg={pgno:?} replayed tuples {:?}",
+                                    states.get(&pgno).map(|st| st
+                                        .tuples
+                                        .iter()
+                                        .map(|t| (t.key.clone(), t.seq, t.time))
+                                        .collect::<Vec<_>>())
+                                );
+                            }
                             v.push(Violation::ReadHashMismatch { pgno, offset: off });
                         }
                         stats.reads_verified += 1;
@@ -586,11 +640,8 @@ impl Auditor {
                     let is_leaf = !matches!(old_state.kind, Some(PageType::Inner));
                     if is_leaf {
                         // Union check on resolved tuples.
-                        let mut input: Vec<ResolvedTuple> = old_state
-                            .tuples
-                            .iter()
-                            .map(|t| resolve_tuple(t, &stamps))
-                            .collect();
+                        let mut input: Vec<ResolvedTuple> =
+                            old_state.tuples.iter().map(|t| resolve_tuple(t, &stamps)).collect();
                         let mut inters = Vec::new();
                         for c in &intermediates {
                             match TupleVersion::decode_cell(c) {
@@ -621,7 +672,8 @@ impl Auditor {
                             states.insert(side.pgno, st);
                             Ok(())
                         };
-                        if install(&left, &mut states).is_err() || install(&right, &mut states).is_err()
+                        if install(&left, &mut states).is_err()
+                            || install(&right, &mut states).is_err()
                         {
                             v.push(Violation::SplitMismatch { old });
                         } else {
@@ -629,8 +681,10 @@ impl Auditor {
                             output.sort();
                             if input != output {
                                 if std::env::var("CCDB_AUDIT_DEBUG").is_ok() {
-                                    let only_in: Vec<_> = input.iter().filter(|x| !output.contains(x)).collect();
-                                    let only_out: Vec<_> = output.iter().filter(|x| !input.contains(x)).collect();
+                                    let only_in: Vec<_> =
+                                        input.iter().filter(|x| !output.contains(x)).collect();
+                                    let only_out: Vec<_> =
+                                        output.iter().filter(|x| !input.contains(x)).collect();
                                     eprintln!("SPLIT MISMATCH old={old:?} in-not-out={only_in:?} out-not-in={only_out:?}");
                                 }
                                 v.push(Violation::SplitMismatch { old });
@@ -750,7 +804,14 @@ impl Auditor {
                         }
                     }
                 }
-                LogRecord::Shredded { rel, key, start_time, pgno: _, content_hash: _, shred_time } => {
+                LogRecord::Shredded {
+                    rel,
+                    key,
+                    start_time,
+                    pgno: _,
+                    content_hash: _,
+                    shred_time,
+                } => {
                     shreds.insert((rel, key, start_time), (shred_time, false));
                 }
                 LogRecord::StartRecovery { time } => {
@@ -825,11 +886,8 @@ impl Auditor {
             if !consumed {
                 v.push(Violation::ShredIncomplete { rel: *rel, key: key.clone() });
             }
-            let rel_name = engine
-                .user_relations()
-                .into_iter()
-                .find(|(_, r)| r == rel)
-                .map(|(n, _)| n);
+            let rel_name =
+                engine.user_relations().into_iter().find(|(_, r)| r == rel).map(|(n, _)| n);
             if let Some(name) = rel_name {
                 let retention = retention_as_of(engine, &name, *shred_time).unwrap_or(None);
                 match retention {
@@ -859,7 +917,13 @@ impl Auditor {
         // and their writes present in the final state — a wiped local WAL
         // cannot silently unwind recent commits.
         if self.worm.exists(&waltail_name(epoch)) {
-            let tail_bytes = self.worm.read_all(&waltail_name(epoch))?;
+            let tail_bytes = match self.worm.read_all(&waltail_name(epoch)) {
+                Ok(b) => b,
+                Err(e) => {
+                    v.push(Violation::LogUnreadable { reason: format!("WAL tail: {e}") });
+                    Vec::new()
+                }
+            };
             let mut reader = ccdb_wal::WalReader::from_bytes(tail_bytes);
             let mut tail_commits: HashSet<TxnId> = HashSet::new();
             let mut tail_inserts: HashMap<TxnId, Vec<(RelId, Vec<u8>)>> = HashMap::new();
@@ -894,9 +958,7 @@ impl Auditor {
                         .unwrap_or(false)
                         || engine
                             .historical_versions(*rel, key)
-                            .map(|vs| {
-                                vs.iter().any(|t| t.time == WriteTime::Committed(ct))
-                            })
+                            .map(|vs| vs.iter().any(|t| t.time == WriteTime::Committed(ct)))
                             .unwrap_or(false);
                     // Vacuumed (legally shredded) and WORM-migrated
                     // versions are excused — they are accounted elsewhere.
@@ -942,10 +1004,9 @@ impl Auditor {
                     for cell in page.cells() {
                         match TupleVersion::decode_cell(cell) {
                             Ok(t) => tuples.push(t),
-                            Err(e) => v.push(Violation::BadPage {
-                                pgno,
-                                reason: format!("cell: {e}"),
-                            }),
+                            Err(e) => {
+                                v.push(Violation::BadPage { pgno, reason: format!("cell: {e}") })
+                            }
                         }
                     }
                     for t in &tuples {

@@ -15,10 +15,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use ccdb_btree::SplitPolicy;
+use ccdb_common::sync::Mutex;
 use ccdb_common::{ClockRef, Duration, Error, RelId, Result, Timestamp, TxnId};
 use ccdb_engine::{Engine, EngineConfig};
 use ccdb_worm::WormServer;
-use parking_lot::Mutex;
 
 use crate::audit::{AuditConfig, AuditReport, Auditor};
 use crate::logger::ComplianceLogger;
@@ -114,15 +114,25 @@ impl CompliantDb {
     /// Opens (or creates) a compliant database under `dir`. Layout:
     /// `dir/engine` holds the conventional-media files the adversary can
     /// edit; `dir/worm` is the WORM volume.
-    pub fn open(dir: impl AsRef<Path>, clock: ClockRef, config: ComplianceConfig) -> Result<CompliantDb> {
+    pub fn open(
+        dir: impl AsRef<Path>,
+        clock: ClockRef,
+        config: ComplianceConfig,
+    ) -> Result<CompliantDb> {
         let dir = dir.as_ref().to_path_buf();
         let worm = Arc::new(WormServer::open(dir.join("worm"), clock.clone())?);
-        // Current epoch = number of completed audits (snapshots written).
-        let epoch = worm
-            .list("snapshots/epoch-")
-            .into_iter()
-            .filter(|(n, _)| !n.ends_with(".sig") && !n.ends_with(".pub"))
-            .count() as u64;
+        // Current epoch = number of *completed* audits: epochs whose
+        // snapshot (body + signature + public key) is fully written and
+        // sealed. A crash while the snapshot was being written leaves a
+        // partial generation; that epoch's audit never finished, so the
+        // reopened database stays in it and re-audits.
+        let epoch = {
+            let mut e = 0u64;
+            while crate::snapshot::snapshot_complete(&worm, e) {
+                e += 1;
+            }
+            e
+        };
         let mut ecfg = EngineConfig::new(dir.join("engine"), config.cache_pages);
         ecfg.fsync = config.fsync;
         let (engine, plugin) = match config.mode {
@@ -526,6 +536,18 @@ impl CompliantDb {
         self.engine.disk().set_io_latency_us(us);
     }
 
+    /// Arms (or clears) a deterministic fault injector across every I/O
+    /// surface at once: the data-page disk manager, the WAL appender, and
+    /// the WORM append path. The torture harness uses this to drive a
+    /// seeded workload into a planned crash/torn-write/transient fault and
+    /// then verify recovery and audit behavior. Injectors are per-instance
+    /// and never persisted: a reopened database starts unarmed.
+    pub fn set_fault_injector(&self, inj: Option<Arc<ccdb_storage::FaultInjector>>) {
+        self.engine.disk().set_fault_injector(inj.clone());
+        self.engine.wal().set_fault_injector(inj.clone());
+        self.worm.set_fault_injector(inj);
+    }
+
     /// Reclaims WORM space: deletes compliance artifacts of epochs *before
     /// the previous one* whose retention has elapsed — "the log-consistent
     /// architecture is space-efficient because each snapshot can expire and
@@ -545,11 +567,12 @@ impl CompliantDb {
                     crate::logger::epoch_log_name(e),
                     crate::logger::epoch_stamp_name(e),
                     waltail_name(e),
-                    crate::snapshot::snapshot_name(e),
-                    format!("{}.sig", crate::snapshot::snapshot_name(e)),
-                    format!("{}.pub", crate::snapshot::snapshot_name(e)),
                 ];
+                let snap_base = crate::snapshot::snapshot_name(e);
                 if suffixes.iter().any(|s| s == name)
+                    || *name == snap_base
+                    // retry generations + .sig/.pub companions
+                    || name.starts_with(&format!("{snap_base}."))
                     || name.starts_with(&format!("witness/e{e}-"))
                 {
                     return true;

@@ -22,9 +22,9 @@
 
 use std::sync::Arc;
 
+use ccdb_common::sync::Mutex;
 use ccdb_common::{ByteReader, ByteWriter, ClockRef, Duration, Error, Result, Timestamp, TxnId};
 use ccdb_worm::{WormFile, WormServer};
-use parking_lot::Mutex;
 
 use crate::records::LogRecord;
 
@@ -500,17 +500,13 @@ mod tests {
         let (worm, clock, logger, _d) = setup("hb");
         logger.tick().unwrap(); // startup heartbeat + witness for interval 0
         clock.advance(Duration::from_mins(6)); // interval 1
-        logger
-            .append(&LogRecord::StampTrans { txn: TxnId(1), commit_time: clock.now() })
-            .unwrap();
+        logger.append(&LogRecord::StampTrans { txn: TxnId(1), commit_time: clock.now() }).unwrap();
         logger.tick().unwrap(); // same interval as the stamp: no extra heartbeat
         let bytes = worm.read_all(&epoch_log_name(0)).unwrap();
         let recs: Vec<(u64, LogRecord)> =
             LogIter::new(&bytes).collect::<ccdb_common::Result<_>>().unwrap();
-        let dummies = recs
-            .iter()
-            .filter(|(_, r)| matches!(r, LogRecord::DummyStamp { .. }))
-            .count();
+        let dummies =
+            recs.iter().filter(|(_, r)| matches!(r, LogRecord::DummyStamp { .. })).count();
         assert_eq!(dummies, 1, "only the startup heartbeat: {recs:?}");
         assert!(recs.iter().any(|(_, r)| matches!(r, LogRecord::StampTrans { .. })));
     }

@@ -134,9 +134,7 @@ pub fn migrate_relation(
                 .cells
                 .iter()
                 .filter_map(|c| {
-                    ccdb_storage::TupleVersion::decode_cell(c)
-                        .ok()
-                        .and_then(|t| t.time.committed())
+                    ccdb_storage::TupleVersion::decode_cell(c).ok().and_then(|t| t.time.committed())
                 })
                 .max()
                 .map(|t| t.saturating_add(rho))

@@ -30,11 +30,11 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use ccdb_btree::{SplitKind, StructureHooks};
+use ccdb_common::sync::Mutex;
 use ccdb_common::{ClockRef, PageNo, Result, Timestamp, TxnId};
 use ccdb_crypto::{Digest, HsChain};
 use ccdb_engine::EngineHooks;
 use ccdb_storage::{Page, PageStore, PageType, TupleVersion, WriteTime};
-use parking_lot::Mutex;
 
 use crate::logger::ComplianceLogger;
 use crate::records::{LogRecord, SplitSide};
@@ -67,10 +67,7 @@ pub fn hs_element_bytes(t: &TupleVersion, resolved_commit: Option<Timestamp>) ->
 
 /// `Hs` over a leaf page: tuples in tuple-order-number order, each resolved
 /// through `resolve` (commit time if known).
-pub fn leaf_hs(
-    tuples: &[TupleVersion],
-    resolve: impl Fn(TxnId) -> Option<Timestamp>,
-) -> Digest {
+pub fn leaf_hs(tuples: &[TupleVersion], resolve: impl Fn(TxnId) -> Option<Timestamp>) -> Digest {
     let mut sorted: Vec<&TupleVersion> = tuples.iter().collect();
     sorted.sort_by_key(|t| t.seq);
     let mut chain = HsChain::new();
@@ -116,6 +113,14 @@ struct PluginState {
     migrated: HashSet<PageNo>,
     /// Commit times known to the plugin (for read-hash normalization).
     commit_times: HashMap<TxnId, Timestamp>,
+    /// Crash recovery in flight: reads are *not* hashed. Recovery reads the
+    /// pre-crash disk state by design — pages whose compliance records
+    /// reached WORM but whose pwrite was lost in the crash legitimately lag
+    /// L, and redo is about to reconcile them with it. Hashing those
+    /// self-reads would make every honest crash recovery indistinguishable
+    /// from tampering in the audit; any divergence redo cannot justify still
+    /// surfaces through the diff records the recovery-time pwrites emit.
+    in_recovery: bool,
     stats: PluginStats,
 }
 
@@ -149,6 +154,7 @@ impl CompliancePlugin {
                 retired: HashSet::new(),
                 migrated: HashSet::new(),
                 commit_times: HashMap::new(),
+                in_recovery: false,
                 stats: PluginStats::default(),
             }),
         })
@@ -266,7 +272,11 @@ impl CompliancePlugin {
                     }
                     // A version mutated in place: not a legal transaction-time
                     // operation. Log it faithfully; the audit will flag it.
-                    self.logger.append(&LogRecord::Undo { pgno, rel: o.rel, cell: o.encode_cell() })?;
+                    self.logger.append(&LogRecord::Undo {
+                        pgno,
+                        rel: o.rel,
+                        cell: o.encode_cell(),
+                    })?;
                     self.logger.append(&LogRecord::NewTuple {
                         pgno,
                         rel: t.rel,
@@ -293,7 +303,7 @@ impl PageStore for CompliancePlugin {
             PageType::Leaf => {
                 let tuples: Vec<TupleVersion> =
                     page.cells().map(TupleVersion::decode_cell).collect::<Result<_>>()?;
-                if self.hash_on_read {
+                if self.hash_on_read && !self.state.lock().in_recovery {
                     let st = self.state.lock();
                     let hs = leaf_hs(&tuples, |txn| st.commit_times.get(&txn).copied());
                     drop(st);
@@ -303,7 +313,7 @@ impl PageStore for CompliancePlugin {
                 self.state.lock().pristine.insert(pgno, tuples);
             }
             PageType::Inner => {
-                if self.hash_on_read {
+                if self.hash_on_read && !self.state.lock().in_recovery {
                     let hs = inner_hs(page.cells());
                     self.logger.append(&LogRecord::Read { pgno, hs })?;
                     self.state.lock().stats.reads_hashed += 1;
@@ -441,8 +451,9 @@ impl EngineHooks for CompliancePlugin {
     }
 
     fn on_recovery_start(&self) -> Result<()> {
+        self.state.lock().in_recovery = true;
         // Install the commit times already recorded on L (via the stamp
-        // index) so recovery-time read hashes normalize exactly the way the
+        // index) so post-recovery read hashes normalize exactly the way the
         // auditor's offset rule expects: a tuple is hashed with its commit
         // time iff its STAMP_TRANS is on L *before* the READ record.
         let epoch = self.logger.epoch();
@@ -477,7 +488,9 @@ impl EngineHooks for CompliancePlugin {
         for txn in aborted {
             self.logger.append(&LogRecord::Abort { txn: *txn })?;
         }
-        self.logger.flush()
+        self.logger.flush()?;
+        self.state.lock().in_recovery = false;
+        Ok(())
     }
 }
 

@@ -202,11 +202,7 @@ fn put_side(w: &mut ByteWriter, s: &SplitSide) {
 }
 
 fn get_side(r: &mut ByteReader<'_>) -> Result<SplitSide> {
-    Ok(SplitSide {
-        pgno: PageNo(r.get_u64()?),
-        historical: r.get_u8()? != 0,
-        cells: get_cells(r)?,
-    })
+    Ok(SplitSide { pgno: PageNo(r.get_u64()?), historical: r.get_u8()? != 0, cells: get_cells(r)? })
 }
 
 impl LogRecord {
@@ -394,8 +390,7 @@ impl<'a> Iterator for LogIter<'a> {
         }
         let len =
             u32::from_le_bytes(self.bytes[self.pos..self.pos + 4].try_into().expect("4")) as usize;
-        let sum =
-            u32::from_le_bytes(self.bytes[self.pos + 4..self.pos + 8].try_into().expect("4"));
+        let sum = u32::from_le_bytes(self.bytes[self.pos + 4..self.pos + 8].try_into().expect("4"));
         if self.pos + 8 + len > self.bytes.len() {
             return Some(Err(Error::corruption("truncated compliance-log record")));
         }
@@ -425,7 +420,11 @@ mod tests {
                 old: PageNo(5),
                 rel: RelId(2),
                 left: SplitSide { pgno: PageNo(6), historical: true, cells: vec![b"a".to_vec()] },
-                right: SplitSide { pgno: PageNo(7), historical: false, cells: vec![b"b".to_vec(), b"c".to_vec()] },
+                right: SplitSide {
+                    pgno: PageNo(7),
+                    historical: false,
+                    cells: vec![b"b".to_vec(), b"c".to_vec()],
+                },
                 intermediates: vec![b"i".to_vec()],
             },
             LogRecord::IndexInsert { pgno: PageNo(8), cell: b"e".to_vec() },
@@ -465,8 +464,7 @@ mod tests {
             offsets.push(buf.len() as u64);
             buf.extend_from_slice(&rec.encode_framed());
         }
-        let got: Vec<(u64, LogRecord)> =
-            LogIter::new(&buf).collect::<Result<Vec<_>>>().unwrap();
+        let got: Vec<(u64, LogRecord)> = LogIter::new(&buf).collect::<Result<Vec<_>>>().unwrap();
         assert_eq!(got.len(), samples().len());
         for ((off, rec), (want_off, want_rec)) in got.iter().zip(offsets.iter().zip(samples())) {
             assert_eq!(off, want_off);

@@ -73,25 +73,22 @@ impl Hold {
 /// Places a litigation hold (a normal transaction against the holds
 /// relation, so the hold itself is version-tracked and auditable).
 pub fn place_hold(engine: &Engine, txn: TxnId, hold: &Hold) -> Result<()> {
-    let rel = engine
-        .rel_id(HOLDS_RELATION)
-        .ok_or_else(|| Error::NotFound(HOLDS_RELATION.into()))?;
+    let rel =
+        engine.rel_id(HOLDS_RELATION).ok_or_else(|| Error::NotFound(HOLDS_RELATION.into()))?;
     engine.write(txn, rel, hold.id.as_bytes(), &hold.encode_value())
 }
 
 /// Releases a hold (an end-of-life version in the holds relation).
 pub fn release_hold(engine: &Engine, txn: TxnId, hold_id: &str) -> Result<()> {
-    let rel = engine
-        .rel_id(HOLDS_RELATION)
-        .ok_or_else(|| Error::NotFound(HOLDS_RELATION.into()))?;
+    let rel =
+        engine.rel_id(HOLDS_RELATION).ok_or_else(|| Error::NotFound(HOLDS_RELATION.into()))?;
     engine.delete(txn, rel, hold_id.as_bytes())
 }
 
 /// The currently active holds.
 pub fn active_holds(engine: &Engine) -> Result<Vec<Hold>> {
-    let rel = engine
-        .rel_id(HOLDS_RELATION)
-        .ok_or_else(|| Error::NotFound(HOLDS_RELATION.into()))?;
+    let rel =
+        engine.rel_id(HOLDS_RELATION).ok_or_else(|| Error::NotFound(HOLDS_RELATION.into()))?;
     let mut holds = Vec::new();
     engine.range_current(TxnId::NONE, rel, &[], &[0xFF; 64], &mut |k, v| {
         holds.push(Hold::decode(k, v)?);
@@ -254,7 +251,11 @@ mod tests {
 
     #[test]
     fn hold_roundtrip_and_coverage() {
-        let h = Hold { id: "docket-17".into(), rel_name: "orders".into(), key_prefix: b"cust-4".to_vec() };
+        let h = Hold {
+            id: "docket-17".into(),
+            rel_name: "orders".into(),
+            key_prefix: b"cust-4".to_vec(),
+        };
         let back = Hold::decode(b"docket-17", &h.encode_value()).unwrap();
         assert_eq!(back, h);
         assert!(h.covers("orders", b"cust-42"));

@@ -51,17 +51,58 @@ pub struct Snapshot {
     pub pages: Vec<SnapPage>,
 }
 
-/// WORM name of an epoch's snapshot.
+/// WORM name of an epoch's snapshot (generation 0).
 pub fn snapshot_name(epoch: u64) -> String {
-    format!("snapshots/epoch-{epoch}")
+    gen_name(epoch, 0)
 }
 
-fn sig_name(epoch: u64) -> String {
-    format!("snapshots/epoch-{epoch}.sig")
+/// WORM name of one write *generation* of an epoch's snapshot. A snapshot
+/// is three sequentially written WORM files (body, signature, public key);
+/// a crash mid-write leaves a partial generation that can never be finished
+/// in place — WORM files are append-only and the retry's body differs
+/// (recovery changed the state and the clock moved). The retry therefore
+/// writes a fresh generation, and only a generation with **all three files
+/// sealed** counts as a completed audit.
+fn gen_name(epoch: u64, generation: u64) -> String {
+    if generation == 0 {
+        format!("snapshots/epoch-{epoch}")
+    } else {
+        format!("snapshots/epoch-{epoch}.r{generation}")
+    }
 }
 
-fn pub_name(epoch: u64) -> String {
-    format!("snapshots/epoch-{epoch}.pub")
+fn sealed_nonempty(worm: &WormServer, name: &str) -> bool {
+    worm.stat(name).map(|m| m.sealed && m.len > 0).unwrap_or(false)
+}
+
+/// The highest generation of `epoch`'s snapshot whose body, `.sig`, and
+/// `.pub` files are all sealed, if any.
+fn complete_generation(worm: &WormServer, epoch: u64) -> Option<u64> {
+    let mut best = None;
+    let mut generation = 0u64;
+    loop {
+        let name = gen_name(epoch, generation);
+        if !worm.exists(&name) {
+            break;
+        }
+        if sealed_nonempty(worm, &name)
+            && sealed_nonempty(worm, &format!("{name}.sig"))
+            && sealed_nonempty(worm, &format!("{name}.pub"))
+        {
+            best = Some(generation);
+        }
+        generation += 1;
+    }
+    best
+}
+
+/// Whether `epoch`'s audit completed: some generation of its snapshot is
+/// fully written and sealed. `CompliantDb::open` derives the current epoch
+/// from this, so a crash while the snapshot is being written (e.g. an
+/// injected torn append on the WORM device) re-runs the interrupted audit
+/// instead of trusting a half-written snapshot.
+pub fn snapshot_complete(worm: &WormServer, epoch: u64) -> bool {
+    complete_generation(worm, epoch).is_some()
 }
 
 const MAGIC: u32 = 0xCCDB_57A9;
@@ -86,7 +127,12 @@ impl SnapshotManager {
     }
 
     /// Encodes a snapshot body.
-    pub fn encode(epoch: u64, time: Timestamp, tuple_hash: &AddHash, pages: &[SnapPage]) -> Vec<u8> {
+    pub fn encode(
+        epoch: u64,
+        time: Timestamp,
+        tuple_hash: &AddHash,
+        pages: &[SnapPage],
+    ) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.put_u32(MAGIC);
         w.put_u64(epoch);
@@ -160,15 +206,26 @@ impl SnapshotManager {
         let body = Self::encode(epoch, time, tuple_hash, pages);
         let kp = self.keypair(epoch);
         let sig = kp.sign(&sha256(&body));
-        let f = self.worm.create(&snapshot_name(epoch), retention_until)?;
-        self.worm.append(&f, &body)?;
-        self.worm.seal(&snapshot_name(epoch))?;
-        let fs = self.worm.create(&sig_name(epoch), retention_until)?;
-        self.worm.append(&fs, &sig.to_bytes())?;
-        self.worm.seal(&sig_name(epoch))?;
-        let fp = self.worm.create(&pub_name(epoch), retention_until)?;
-        self.worm.append(&fp, &kp.public_key().to_bytes())?;
-        self.worm.seal(&pub_name(epoch))?;
+        // A crashed earlier attempt leaves partial (never-sealed) files;
+        // WORM forbids recreating them, so the retry writes the next free
+        // generation. At most one generation ever completes: a completed
+        // snapshot ends the audit, and no further attempts run.
+        let mut generation = 0u64;
+        while self.worm.exists(&gen_name(epoch, generation)) {
+            generation += 1;
+        }
+        let name = gen_name(epoch, generation);
+        let sig_bytes = sig.to_bytes();
+        let pub_bytes = kp.public_key().to_bytes();
+        for (file, bytes) in [
+            (name.clone(), body.as_slice()),
+            (format!("{name}.sig"), sig_bytes.as_slice()),
+            (format!("{name}.pub"), pub_bytes.as_slice()),
+        ] {
+            let f = self.worm.create(&file, retention_until)?;
+            self.worm.append(&f, bytes)?;
+            self.worm.seal(&file)?;
+        }
         Ok(())
     }
 
@@ -183,15 +240,23 @@ impl SnapshotManager {
         self.write_with_retention(epoch, time, tuple_hash, pages, Timestamp::MAX)
     }
 
-    /// Loads and signature-verifies the snapshot for `epoch`. Returns
-    /// `Ok(None)` when no snapshot exists (the first audit of a database).
+    /// Loads and signature-verifies the snapshot for `epoch` (its highest
+    /// complete generation). Returns `Ok(None)` when no snapshot was ever
+    /// attempted (the first audit of a database); a partial-only snapshot
+    /// (crash mid-write, epoch never completed) is an error.
     pub fn load(&self, epoch: u64) -> Result<Option<Snapshot>> {
-        if !self.worm.exists(&snapshot_name(epoch)) {
+        if !self.worm.exists(&gen_name(epoch, 0)) {
             return Ok(None);
         }
-        let body = self.worm.read_all(&snapshot_name(epoch))?;
-        let sig_bytes = self.worm.read_all(&sig_name(epoch))?;
-        let pub_bytes = self.worm.read_all(&pub_name(epoch))?;
+        let Some(generation) = complete_generation(&self.worm, epoch) else {
+            return Err(Error::corruption(format!(
+                "no complete generation of snapshot for epoch {epoch} (crashed mid-write?)"
+            )));
+        };
+        let name = gen_name(epoch, generation);
+        let body = self.worm.read_all(&name)?;
+        let sig_bytes = self.worm.read_all(&format!("{name}.sig"))?;
+        let pub_bytes = self.worm.read_all(&format!("{name}.pub"))?;
         let sig = LamportSignature::from_bytes(&sig_bytes)
             .ok_or_else(|| Error::corruption("malformed snapshot signature"))?;
         let pk = LamportPublicKey::from_bytes(&pub_bytes)
@@ -207,7 +272,6 @@ impl SnapshotManager {
         }
         Ok(Some(Self::decode(&body)?))
     }
-
 }
 
 #[cfg(test)]

@@ -13,8 +13,8 @@ use std::sync::Arc;
 
 use ccdb_btree::SplitPolicy;
 use ccdb_common::{Clock, Duration, Timestamp, TxnId, VirtualClock};
-use ccdb_storage::PageStore;
 use ccdb_core::{logger, ComplianceConfig, CompliantDb, LogRecord, Mode, Violation};
+use ccdb_storage::PageStore;
 
 struct TempDir(PathBuf);
 impl TempDir {

@@ -228,10 +228,7 @@ fn worm_migration_audits_clean_and_history_stays_queryable() {
         times.push(db.commit(t).unwrap());
         db.engine().run_stamper().unwrap();
     }
-    assert!(
-        !db.engine().tree(rel).unwrap().historical_pages().is_empty(),
-        "expected time splits"
-    );
+    assert!(!db.engine().tree(rel).unwrap().historical_pages().is_empty(), "expected time splits");
     let mr = db.migrate_to_worm(rel).unwrap();
     assert!(mr.pages_migrated > 0);
     assert!(mr.tuples_migrated > 0);
@@ -338,10 +335,7 @@ fn query_verification_interval_closes_at_audit() {
     let (_v, ticket2) = db2.read_verifiable(t, rel2, b"k").unwrap();
     db2.commit(t).unwrap();
     assert!(db2.audit().unwrap().is_clean());
-    assert!(
-        !ticket2.is_verified(&db2),
-        "log-consistent alone never verifies reads (infinite QVI)"
-    );
+    assert!(!ticket2.is_verified(&db2), "log-consistent alone never verifies reads (infinite QVI)");
 }
 
 #[test]

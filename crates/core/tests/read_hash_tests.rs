@@ -174,9 +174,6 @@ fn version_history_spans_all_storage_tiers() {
     assert!(history.len() >= 150, "history shrank: {}", history.len());
     // Values are in commit order: first recorded round is 0, last is 149.
     assert_eq!(u32::from_le_bytes(history[0].2.clone().try_into().unwrap()), 0);
-    assert_eq!(
-        u32::from_le_bytes(history.last().unwrap().2.clone().try_into().unwrap()),
-        149
-    );
+    assert_eq!(u32::from_le_bytes(history.last().unwrap().2.clone().try_into().unwrap()), 149);
     assert!(db.audit().unwrap().is_clean());
 }

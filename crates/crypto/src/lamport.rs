@@ -30,7 +30,6 @@ impl core::fmt::Debug for LamportPublicKey {
     }
 }
 
-
 /// A Lamport signing key (one-time use).
 pub struct LamportKeyPair {
     secret: Box<[[Digest; 2]]>,

@@ -1,18 +1,39 @@
 //! Property tests for the cryptographic invariants the architecture
 //! depends on.
+//!
+//! Gated behind the non-default `proptest` cargo feature and driven by the
+//! workspace's own seeded [`SplitMix64`] (no external registry access), with
+//! the classic property-test shape: N random cases per property, and every
+//! assertion failure names the case seed so it replays deterministically.
 
+#![cfg(feature = "proptest")]
+
+use ccdb_common::SplitMix64;
 use ccdb_crypto::{sha256, AddHash, HsChain, Sha256};
-use proptest::prelude::*;
 
-proptest! {
-    /// Incremental SHA-256 equals one-shot for any chunking.
-    #[test]
-    fn sha256_incremental_matches_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..2048),
-        cuts in proptest::collection::vec(0usize..2048, 0..8),
-    ) {
+const CASES: u64 = 256;
+
+fn bytes(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn byte_vecs(rng: &mut SplitMix64, max_items: usize, max_len: usize) -> Vec<Vec<u8>> {
+    let n = rng.gen_range(0..=max_items);
+    (0..n).map(|_| bytes(rng, max_len)).collect()
+}
+
+/// Incremental SHA-256 equals one-shot for any chunking.
+#[test]
+fn sha256_incremental_matches_oneshot() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0x5A_0000 + case);
+        let data = bytes(&mut rng, 2048);
         let expected = sha256(&data);
-        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        let mut bounds: Vec<usize> =
+            (0..rng.gen_range(0..8usize)).map(|_| rng.gen_range(0..=data.len())).collect();
         bounds.push(0);
         bounds.push(data.len());
         bounds.sort_unstable();
@@ -20,35 +41,32 @@ proptest! {
         for w in bounds.windows(2) {
             h.update(&data[w[0]..w[1]]);
         }
-        prop_assert_eq!(h.finalize(), expected);
+        assert_eq!(h.finalize(), expected, "case seed {case}");
     }
+}
 
-    /// ADD-HASH is permutation-invariant (commutativity: the property that
-    /// lets the auditor skip sorting L).
-    #[test]
-    fn addhash_is_permutation_invariant(
-        items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..40),
-        seed in any::<u64>(),
-    ) {
+/// ADD-HASH is permutation-invariant (commutativity: the property that
+/// lets the auditor skip sorting L).
+#[test]
+fn addhash_is_permutation_invariant() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0xADD_0000 + case);
+        let items = byte_vecs(&mut rng, 40, 64);
         let forward = AddHash::of(items.iter().map(|v| v.as_slice()));
         let mut shuffled = items.clone();
-        // Deterministic Fisher–Yates from the seed.
-        let mut state = seed | 1;
-        for i in (1..shuffled.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (state >> 33) as usize % (i + 1);
-            shuffled.swap(i, j);
-        }
+        rng.shuffle(&mut shuffled);
         let backward = AddHash::of(shuffled.iter().map(|v| v.as_slice()));
-        prop_assert_eq!(forward, backward);
+        assert_eq!(forward, backward, "case seed {case}");
     }
+}
 
-    /// remove() is the exact inverse of add() in any interleaving.
-    #[test]
-    fn addhash_remove_inverts_add(
-        base in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..20),
-        extra in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..20),
-    ) {
+/// remove() is the exact inverse of add() in any interleaving.
+#[test]
+fn addhash_remove_inverts_add() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0x1F_0000 + case);
+        let base = byte_vecs(&mut rng, 20, 32);
+        let extra = byte_vecs(&mut rng, 20, 32);
         let mut acc = AddHash::of(base.iter().map(|v| v.as_slice()));
         let snapshot = acc;
         for e in &extra {
@@ -57,16 +75,19 @@ proptest! {
         for e in extra.iter().rev() {
             acc.remove(e);
         }
-        prop_assert_eq!(acc, snapshot);
+        assert_eq!(acc, snapshot, "case seed {case}");
     }
+}
 
-    /// Multiset sensitivity: two multisets with different element counts
-    /// hash differently (probabilistically; collisions would falsify).
-    #[test]
-    fn addhash_counts_multiplicity(
-        item in proptest::collection::vec(any::<u8>(), 1..32),
-        n in 1usize..5,
-    ) {
+/// Multiset sensitivity: two multisets with different element counts
+/// hash differently (probabilistically; collisions would falsify).
+#[test]
+fn addhash_counts_multiplicity() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0x2C_0000 + case);
+        let mut item = bytes(&mut rng, 31);
+        item.push(rng.gen_range(0..=255u8));
+        let n = rng.gen_range(1..5usize);
         let mut a = AddHash::new();
         let mut b = AddHash::new();
         for _ in 0..n {
@@ -75,42 +96,47 @@ proptest! {
         for _ in 0..n + 1 {
             b.add(&item);
         }
-        prop_assert_ne!(a, b);
+        assert_ne!(a, b, "case seed {case}");
     }
+}
 
-    /// Hs chains extend incrementally and are order sensitive.
-    #[test]
-    fn hs_chain_incremental_and_ordered(
-        items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 2..20),
-    ) {
+/// Hs chains extend incrementally and are order sensitive.
+#[test]
+fn hs_chain_incremental_and_ordered() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0x45_0000 + case);
+        let n = rng.gen_range(2..20usize);
+        let items: Vec<Vec<u8>> = (0..n).map(|_| bytes(&mut rng, 32)).collect();
         let batch = HsChain::of(items.iter().map(|v| v.as_slice()));
         let mut inc = HsChain::new();
         for i in &items {
             inc.extend(i);
         }
-        prop_assert_eq!(batch, inc);
+        assert_eq!(batch, inc, "case seed {case}");
         // Swapping two distinct adjacent elements changes the chain.
         let mut swapped = items.clone();
         if swapped[0] != swapped[1] {
             swapped.swap(0, 1);
             let other = HsChain::of(swapped.iter().map(|v| v.as_slice()));
-            prop_assert_ne!(batch, other);
+            assert_ne!(batch, other, "case seed {case}");
         }
     }
+}
 
-    /// The completeness-check equivalence the audit rests on: for random
-    /// multisets, ADD-HASH equality coincides with multiset equality.
-    #[test]
-    fn addhash_equality_matches_multiset_equality(
-        a in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..30),
-        b in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..30),
-    ) {
+/// The completeness-check equivalence the audit rests on: for random
+/// multisets, ADD-HASH equality coincides with multiset equality.
+#[test]
+fn addhash_equality_matches_multiset_equality() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0x3E_0000 + case);
+        let a = byte_vecs(&mut rng, 30, 16);
+        let b = if rng.gen_bool(0.3) { a.clone() } else { byte_vecs(&mut rng, 30, 16) };
         let ha = AddHash::of(a.iter().map(|v| v.as_slice()));
         let hb = AddHash::of(b.iter().map(|v| v.as_slice()));
         let mut sa = a.clone();
         let mut sb = b.clone();
         sa.sort();
         sb.sort();
-        prop_assert_eq!(ha == hb, sa == sb);
+        assert_eq!(ha == hb, sa == sb, "case seed {case}");
     }
 }

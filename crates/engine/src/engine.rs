@@ -7,13 +7,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ccdb_btree::{BTree, SplitPolicy, StructureHooks, TimeRank};
-use ccdb_common::{
-    ClockRef, Duration, Error, Lsn, RelId, Result, Timestamp, TxnId,
-};
+use ccdb_common::sync::Mutex;
+use ccdb_common::{ClockRef, Duration, Error, Lsn, RelId, Result, Timestamp, TxnId};
 use ccdb_storage::{BufferPool, BufferStats, DiskManager, PageStore, TupleVersion, WriteTime};
 use ccdb_wal::log::MasterRecord;
 use ccdb_wal::{PageOp, PageOpSink, RelMetaOp, WalRecord, WalWriter};
-use parking_lot::Mutex;
 
 use crate::catalog::Catalog;
 use crate::hooks::EngineHooks;
@@ -338,16 +336,11 @@ impl Engine {
         Ok(txn)
     }
 
-    fn tree_and_track(
-        &self,
-        txn: TxnId,
-        rel: RelId,
-        key: &[u8],
-    ) -> Result<Arc<BTree>> {
+    fn tree_and_track(&self, txn: TxnId, rel: RelId, key: &[u8]) -> Result<Arc<BTree>> {
         let mut txns = self.txns.lock();
-        let state = txns.get_mut(&txn).ok_or_else(|| {
-            Error::InvalidTransactionState(format!("{txn} is not active"))
-        })?;
+        let state = txns
+            .get_mut(&txn)
+            .ok_or_else(|| Error::InvalidTransactionState(format!("{txn} is not active")))?;
         state.writes.push((rel, key.to_vec()));
         drop(txns);
         self.tree(rel)
@@ -552,17 +545,15 @@ impl Engine {
     /// relation inside `txn`, so the change is itself version-tracked and
     /// auditable).
     pub fn set_retention(&self, txn: TxnId, rel_name: &str, period: Duration) -> Result<()> {
-        let expiry = self
-            .rel_id(EXPIRY_RELATION)
-            .ok_or_else(|| Error::NotFound(EXPIRY_RELATION.into()))?;
+        let expiry =
+            self.rel_id(EXPIRY_RELATION).ok_or_else(|| Error::NotFound(EXPIRY_RELATION.into()))?;
         self.write(txn, expiry, rel_name.as_bytes(), &period.0.to_le_bytes())
     }
 
     /// The current retention period for `rel_name`, if one is set.
     pub fn retention(&self, rel_name: &str) -> Result<Option<Duration>> {
-        let expiry = self
-            .rel_id(EXPIRY_RELATION)
-            .ok_or_else(|| Error::NotFound(EXPIRY_RELATION.into()))?;
+        let expiry =
+            self.rel_id(EXPIRY_RELATION).ok_or_else(|| Error::NotFound(EXPIRY_RELATION.into()))?;
         Ok(self.read_latest(expiry, rel_name.as_bytes())?.map(|v| {
             let mut b = [0u8; 8];
             b.copy_from_slice(&v[..8]);
@@ -729,10 +720,7 @@ impl Engine {
     pub fn forget_historical(&self, rel: RelId, pgno: ccdb_common::PageNo) -> Result<()> {
         let tree = self.tree(rel)?;
         tree.forget_historical(&[pgno]);
-        self.wal.append(&WalRecord::RelMeta {
-            rel,
-            meta: RelMetaOp::HistoricalRemove(pgno),
-        })?;
+        self.wal.append(&WalRecord::RelMeta { rel, meta: RelMetaOp::HistoricalRemove(pgno) })?;
         Ok(())
     }
 
@@ -786,10 +774,15 @@ impl Engine {
             let t = TupleVersion::decode_cell(page.cell(i))?;
             if t.key == key && t.time == WriteTime::Committed(commit_time) {
                 page.remove_cell(i);
-                let lsn = self.wal.append(&WalRecord::Page {
-                    txn: TxnId::NONE,
-                    op: PageOp::RemoveCell { pgno, idx: i as u32 },
-                })?;
+                // Full-page-write rule (see `BTree::log_op`): the first op
+                // against a clean page logs the whole post-op image so a
+                // torn flush of this page stays recoverable.
+                let op = if page.dirty {
+                    PageOp::RemoveCell { pgno, idx: i as u32 }
+                } else {
+                    PageOp::SetImage { pgno, image: page.as_bytes().to_vec() }
+                };
+                let lsn = self.wal.append(&WalRecord::Page { txn: TxnId::NONE, op })?;
                 page.set_lsn(lsn);
                 self.pool.mark_dirty(&mut page);
                 return Ok(Some(t));

@@ -25,7 +25,7 @@ use std::collections::{BTreeMap, HashMap};
 use ccdb_btree::TimeRank;
 use ccdb_common::{Error, Lsn, PageNo, RelId, Result, Timestamp, TxnId};
 use ccdb_storage::Page;
-use ccdb_wal::{PageOp, RelMetaOp, WalRecord, WalReader};
+use ccdb_wal::{PageOp, RelMetaOp, WalReader, WalRecord};
 
 use crate::engine::Engine;
 
@@ -114,9 +114,7 @@ pub(crate) fn run(engine: &Engine, unclean: bool) -> Result<RecoveryReport> {
             }
         }
     }
-    engine
-        .next_txn
-        .fetch_max(max_txn, std::sync::atomic::Ordering::SeqCst);
+    engine.next_txn.fetch_max(max_txn, std::sync::atomic::Ordering::SeqCst);
 
     // --- redo ---------------------------------------------------------------
     for (lsn, _txn, op) in &redo_ops {

@@ -88,10 +88,7 @@ fn update_creates_new_version_delete_creates_eol() {
     assert_eq!(e.read_as_of(rel, b"k", commit_times[0]).unwrap(), Some(b"v1".to_vec()));
     assert_eq!(e.read_as_of(rel, b"k", commit_times[2]).unwrap(), Some(b"v3".to_vec()));
     assert_eq!(e.read_as_of(rel, b"k", del_time).unwrap(), None);
-    assert_eq!(
-        e.read_as_of(rel, b"k", Timestamp(commit_times[0].0 - 1)).unwrap(),
-        None
-    );
+    assert_eq!(e.read_as_of(rel, b"k", Timestamp(commit_times[0].0 - 1)).unwrap(), None);
     // Four physical versions exist (3 values + end-of-life).
     assert_eq!(e.tree(rel).unwrap().versions(b"k").unwrap().len(), 4);
 }
@@ -366,7 +363,7 @@ fn expiry_relation_tracks_retention() {
 
 #[test]
 fn engine_hooks_receive_lifecycle_events() {
-    use parking_lot::Mutex;
+    use ccdb_common::sync::Mutex;
     #[derive(Default)]
     struct Recorder {
         events: Mutex<Vec<String>>,
@@ -416,7 +413,7 @@ fn engine_hooks_receive_lifecycle_events() {
 
 #[test]
 fn recovery_hooks_fire_on_unclean_restart() {
-    use parking_lot::Mutex;
+    use ccdb_common::sync::Mutex;
     #[derive(Default)]
     struct Recorder {
         started: Mutex<bool>,

@@ -23,8 +23,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use ccdb_common::sync::{Mutex, RwLock};
 use ccdb_common::{ClockRef, PageNo, RelId, Result, Timestamp};
-use parking_lot::{Mutex, RwLock};
 
 use crate::disk::PageStore;
 use crate::page::{Page, PageType};
@@ -275,12 +275,7 @@ impl BufferPool {
     /// Page numbers of dirty buffered pages.
     pub fn dirty_pages(&self) -> Vec<PageNo> {
         let inner = self.inner.lock();
-        inner
-            .frames
-            .iter()
-            .filter(|(_, f)| f.read().dirty)
-            .map(|(p, _)| *p)
-            .collect()
+        inner.frames.iter().filter(|(_, f)| f.read().dirty).map(|(p, _)| *p).collect()
     }
 
     /// Discards all buffered pages *without writing them* — the crash

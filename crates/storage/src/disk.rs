@@ -13,10 +13,12 @@ use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use ccdb_common::sync::Mutex;
 use ccdb_common::{Error, PageNo, Result};
-use parking_lot::Mutex;
 
+use crate::fault::{FaultInjector, Injection, IoPoint};
 use crate::page::{Page, PAGE_SIZE};
 
 /// The pread/pwrite seam. Implementations must be usable from behind an
@@ -48,6 +50,8 @@ pub struct DiskManager {
     /// Artificial per-I/O latency in microseconds (benchmark knob emulating
     /// remote storage — the paper's database lived on an NFS-mounted filer).
     io_latency_us: AtomicU64,
+    /// Optional deterministic fault layer (crash/torn-write torture tests).
+    injector: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl DiskManager {
@@ -82,7 +86,26 @@ impl DiskManager {
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             io_latency_us: AtomicU64::new(0),
+            injector: Mutex::new(None),
         })
+    }
+
+    /// Installs (or removes) the deterministic fault injector. All physical
+    /// preads/pwrites/fsyncs consult it first.
+    pub fn set_fault_injector(&self, inj: Option<Arc<FaultInjector>>) {
+        *self.injector.lock() = inj;
+    }
+
+    fn injection(&self, point: IoPoint, payload_len: usize) -> Injection {
+        match self.injector.lock().as_ref() {
+            Some(inj) => inj.check(point, payload_len),
+            None => Injection::Proceed,
+        }
+    }
+
+    /// `true` if an installed injector has fired a crash fault.
+    pub fn fault_crashed(&self) -> bool {
+        self.injector.lock().as_ref().is_some_and(|i| i.crashed())
     }
 
     /// The backing file path (the adversary crate edits this directly).
@@ -126,8 +149,7 @@ impl DiskManager {
         f.seek(SeekFrom::Start(pgno.0 * PAGE_SIZE as u64))
             .map_err(|e| Error::io("seeking database file", e))?;
         let mut buf = vec![0u8; PAGE_SIZE];
-        f.read_exact(&mut buf)
-            .map_err(|e| Error::io(format!("reading raw page {pgno}"), e))?;
+        f.read_exact(&mut buf).map_err(|e| Error::io(format!("reading raw page {pgno}"), e))?;
         Ok(buf)
     }
 }
@@ -136,6 +158,11 @@ impl PageStore for DiskManager {
     fn pread(&self, pgno: PageNo) -> Result<Page> {
         if pgno.0 >= self.next_pgno.load(Ordering::SeqCst) {
             return Err(Error::NotFound(format!("page {pgno} beyond end of database")));
+        }
+        match self.injection(IoPoint::PageRead, 0) {
+            Injection::Proceed => {}
+            Injection::Fail(e) => return Err(e),
+            Injection::Torn { .. } => return Err(Error::injected("torn fault at read site")),
         }
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.simulate_latency();
@@ -155,17 +182,32 @@ impl PageStore for DiskManager {
         if pgno.0 >= self.next_pgno.load(Ordering::SeqCst) {
             return Err(Error::Invalid(format!("pwrite of unallocated page {pgno}")));
         }
+        let torn_keep = match self.injection(IoPoint::PageWrite, PAGE_SIZE) {
+            Injection::Proceed => None,
+            Injection::Fail(e) => return Err(e),
+            Injection::Torn { keep } => Some(keep),
+        };
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.simulate_latency();
         let img = page.finalize_for_write().to_vec();
         let mut f = self.file.lock();
         f.seek(SeekFrom::Start(pgno.0 * PAGE_SIZE as u64))
             .map_err(|e| Error::io("seeking database file", e))?;
+        if let Some(keep) = torn_keep {
+            // Torn write: only a prefix of the page image reaches the medium
+            // before the simulated power loss.
+            f.write_all(&img[..keep])
+                .map_err(|e| Error::io(format!("torn write of page {pgno}"), e))?;
+            return Err(Error::injected(format!("torn write of page {pgno} ({keep} bytes kept)")));
+        }
         f.write_all(&img).map_err(|e| Error::io(format!("writing page {pgno}"), e))?;
         Ok(())
     }
 
     fn allocate(&self) -> Result<PageNo> {
+        if self.fault_crashed() {
+            return Err(Error::injected("post-crash allocate suppressed"));
+        }
         let pgno = PageNo(self.next_pgno.fetch_add(1, Ordering::SeqCst));
         // Extend the file with a zeroed (Free) placeholder so pread of an
         // allocated-but-unwritten page fails loudly on the magic check rather
@@ -173,8 +215,7 @@ impl PageStore for DiskManager {
         let mut f = self.file.lock();
         f.seek(SeekFrom::Start(pgno.0 * PAGE_SIZE as u64))
             .map_err(|e| Error::io("seeking database file", e))?;
-        f.write_all(&[0u8; PAGE_SIZE])
-            .map_err(|e| Error::io("extending database file", e))?;
+        f.write_all(&[0u8; PAGE_SIZE]).map_err(|e| Error::io("extending database file", e))?;
         Ok(pgno)
     }
 
@@ -183,6 +224,9 @@ impl PageStore for DiskManager {
     }
 
     fn sync(&self) -> Result<()> {
+        if let Some(inj) = self.injector.lock().clone() {
+            inj.check_fatal(IoPoint::PageSync)?;
+        }
         self.file.lock().sync_data().map_err(|e| Error::io("fsync of database file", e))
     }
 }
@@ -200,7 +244,10 @@ mod tests {
                 "ccdb-disk-{}-{}-{}.db",
                 std::process::id(),
                 tag,
-                std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
             ));
             TempFile(p)
         }
@@ -289,6 +336,82 @@ mod tests {
             f.write_all(&img).unwrap();
         }
         assert!(dm.pread(b).is_err());
+    }
+
+    #[test]
+    fn injected_crash_stops_all_io() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan, IoPoint};
+        let tf = TempFile::new("inj-crash");
+        let dm = DiskManager::open(&tf.0).unwrap();
+        let inj = Arc::new(FaultInjector::armed(FaultPlan::single(
+            IoPoint::PageWrite,
+            2,
+            FaultKind::Crash,
+        )));
+        dm.set_fault_injector(Some(inj.clone()));
+        let a = dm.allocate().unwrap();
+        let b = dm.allocate().unwrap();
+        let mut pa = Page::new(a, PageType::Leaf, RelId(1));
+        dm.pwrite(&mut pa).unwrap();
+        let mut pb = Page::new(b, PageType::Leaf, RelId(1));
+        let err = dm.pwrite(&mut pb).unwrap_err();
+        assert!(err.is_injected(), "{err}");
+        assert!(inj.crashed());
+        // The simulated process is dead: reads fail too, and nothing mutates.
+        assert!(dm.pread(a).unwrap_err().is_injected());
+        assert!(dm.allocate().unwrap_err().is_injected());
+        assert!(dm.sync().unwrap_err().is_injected());
+    }
+
+    #[test]
+    fn injected_torn_page_write_persists_prefix_only() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan, IoPoint};
+        let tf = TempFile::new("inj-torn");
+        let dm = DiskManager::open(&tf.0).unwrap();
+        let pgno = dm.allocate().unwrap();
+        let mut p = Page::new(pgno, PageType::Leaf, RelId(1));
+        p.append_cell(b"first image").unwrap();
+        dm.pwrite(&mut p).unwrap();
+        // Arm a half-page tear for the next write of the same slot.
+        dm.set_fault_injector(Some(Arc::new(FaultInjector::armed(FaultPlan::single(
+            IoPoint::PageWrite,
+            1,
+            FaultKind::Torn { keep_permille: 500 },
+        )))));
+        let mut p2 = Page::new(pgno, PageType::Leaf, RelId(1));
+        for _ in 0..20 {
+            p2.append_cell(b"second image, bigger").unwrap();
+        }
+        assert!(dm.pwrite(&mut p2).unwrap_err().is_injected());
+        // Disarm (simulating a post-crash reopen) and inspect what survived:
+        // the slot holds the new header prefix over the old image's suffix —
+        // a checksum-failing frankenpage, exactly what a real torn write
+        // leaves behind.
+        dm.set_fault_injector(None);
+        let raw = dm.read_raw(pgno).unwrap();
+        let fresh = p2.finalize_for_write().to_vec();
+        assert_eq!(&raw[..PAGE_SIZE / 2], &fresh[..PAGE_SIZE / 2]);
+        assert_ne!(&raw[PAGE_SIZE / 2..], &fresh[PAGE_SIZE / 2..]);
+        let err = dm.pread(pgno).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)), "torn page must read as corruption: {err}");
+    }
+
+    #[test]
+    fn injected_transient_error_is_retryable() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan, IoPoint};
+        let tf = TempFile::new("inj-transient");
+        let dm = DiskManager::open(&tf.0).unwrap();
+        let pgno = dm.allocate().unwrap();
+        let mut p = Page::new(pgno, PageType::Leaf, RelId(1));
+        dm.pwrite(&mut p).unwrap();
+        dm.set_fault_injector(Some(Arc::new(FaultInjector::armed(FaultPlan::single(
+            IoPoint::PageRead,
+            1,
+            FaultKind::Transient,
+        )))));
+        assert!(dm.pread(pgno).unwrap_err().is_injected());
+        // The very next read succeeds.
+        assert!(dm.pread(pgno).is_ok());
     }
 
     #[test]

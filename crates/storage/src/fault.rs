@@ -1,0 +1,367 @@
+//! Deterministic fault injection for the I/O stack.
+//!
+//! The paper's central robustness claim is that *crash recovery cannot be
+//! used as a tampering vector*: after any unclean shutdown the auditor must
+//! still establish tuple completeness (`Df = Ds ∪ L`) against the WORM log.
+//! Exercising that claim requires crashing the system at arbitrary points in
+//! its I/O stream — reproducibly. This module is the mechanism:
+//!
+//! * [`FaultPlan`] — a declarative schedule: "at the Nth operation of kind K,
+//!   do X", where X is a process crash, a torn write (persist only a prefix
+//!   of the payload, then crash), or a transient error.
+//! * [`FaultInjector`] — the armed runtime object. Instrumented I/O sites
+//!   ([`DiskManager`](crate::DiskManager), the WAL appender, the WORM server
+//!   append path) call [`FaultInjector::check`] before each physical
+//!   operation and obey the returned [`Injection`].
+//!
+//! Determinism contract: a plan is pure data. Driving the same workload with
+//! the same plan fires the same fault at the same byte. The crash-torture
+//! harness derives plans from printed seeds, so any failure replays exactly.
+//!
+//! After a `Crash` or `Torn` fault fires, the injector enters the *crashed*
+//! state: every subsequent checked operation fails with
+//! [`Error::Injected`](ccdb_common::Error::Injected). This models the
+//! process being gone — nothing else reaches the disk — and guarantees that
+//! a workload cannot "write through" its own crash.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use ccdb_common::sync::Mutex;
+use ccdb_common::{Error, Result};
+
+/// The instrumented operations of the I/O stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IoPoint {
+    /// A physical page read (`DiskManager::pread`).
+    PageRead,
+    /// A physical page write (`DiskManager::pwrite`).
+    PageWrite,
+    /// An fsync of the database file (`DiskManager::sync`).
+    PageSync,
+    /// A WAL record append (buffered; a crash here loses the pending tail).
+    WalAppend,
+    /// A WAL flush (the write+fsync of buffered records — the torn-write
+    /// site for the log).
+    WalFlush,
+    /// An append to a WORM compliance-log file.
+    WormAppend,
+}
+
+impl IoPoint {
+    /// All instrumented points, in a stable order (used by schedules and
+    /// reporting).
+    pub const ALL: [IoPoint; 6] = [
+        IoPoint::PageRead,
+        IoPoint::PageWrite,
+        IoPoint::PageSync,
+        IoPoint::WalAppend,
+        IoPoint::WalFlush,
+        IoPoint::WormAppend,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            IoPoint::PageRead => 0,
+            IoPoint::PageWrite => 1,
+            IoPoint::PageSync => 2,
+            IoPoint::WalAppend => 3,
+            IoPoint::WalFlush => 4,
+            IoPoint::WormAppend => 5,
+        }
+    }
+
+    /// Short stable name (seed reports, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            IoPoint::PageRead => "page-read",
+            IoPoint::PageWrite => "page-write",
+            IoPoint::PageSync => "page-sync",
+            IoPoint::WalAppend => "wal-append",
+            IoPoint::WalFlush => "wal-flush",
+            IoPoint::WormAppend => "worm-append",
+        }
+    }
+}
+
+/// What happens when an armed fault fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The process dies: the operation fails with no side effects and every
+    /// later operation fails too.
+    Crash,
+    /// A torn write: only the first `keep_permille`/1000 of the payload
+    /// reaches the medium, then the process dies. At a read site (where
+    /// there is nothing to tear) this degrades to [`FaultKind::Crash`].
+    Torn {
+        /// Fraction of the payload persisted, in permille of its length.
+        keep_permille: u16,
+    },
+    /// A transient I/O error: this one operation fails, the system lives on.
+    Transient,
+}
+
+/// One armed fault: fire `kind` at the `at_count`-th operation (1-based) of
+/// `point`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// Which instrumented operation to intercept.
+    pub point: IoPoint,
+    /// 1-based ordinal of the intercepted operation.
+    pub at_count: u64,
+    /// What to do when it fires.
+    pub kind: FaultKind,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} at {} #{}", self.kind, self.point.name(), self.at_count)
+    }
+}
+
+/// A deterministic fault schedule: pure data, buildable from a seed by the
+/// torture harness and printable for replay.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The armed faults. Multiple faults may be armed (e.g. a transient
+    /// error followed by a crash); each fires at most once.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the injector only counts operations).
+    pub fn none() -> FaultPlan {
+        FaultPlan { faults: Vec::new() }
+    }
+
+    /// A plan with a single fault.
+    pub fn single(point: IoPoint, at_count: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan { faults: vec![Fault { point, at_count, kind }] }
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with(mut self, point: IoPoint, at_count: u64, kind: FaultKind) -> FaultPlan {
+        self.faults.push(Fault { point, at_count, kind });
+        self
+    }
+}
+
+/// The instruction an instrumented I/O site receives for one operation.
+#[derive(Debug)]
+pub enum Injection {
+    /// Perform the operation normally.
+    Proceed,
+    /// Fail the operation with this error; perform no side effects.
+    Fail(Error),
+    /// Persist only the first `keep` bytes of the payload, then fail with
+    /// [`Error::Injected`]. Only returned at write sites.
+    Torn {
+        /// Number of leading payload bytes to persist.
+        keep: usize,
+    },
+}
+
+/// Per-run armed injector. Shared (behind `Arc`) by every instrumented
+/// component of one database instance.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: Mutex<Vec<Fault>>,
+    counts: [AtomicU64; 6],
+    crashed: AtomicBool,
+    fired: Mutex<Vec<Fault>>,
+}
+
+impl FaultInjector {
+    /// An injector with no armed faults: counts operations only. Used by the
+    /// torture harness's profiling pass to learn a workload's I/O shape.
+    pub fn counting() -> FaultInjector {
+        FaultInjector::armed(FaultPlan::none())
+    }
+
+    /// Arms a plan.
+    pub fn armed(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan: Mutex::new(plan.faults),
+            counts: Default::default(),
+            crashed: AtomicBool::new(false),
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The heart of the mechanism: called by an instrumented site before a
+    /// physical operation on `payload_len` bytes (0 where meaningless).
+    pub fn check(&self, point: IoPoint, payload_len: usize) -> Injection {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Injection::Fail(Error::injected(format!(
+                "post-crash {} suppressed",
+                point.name()
+            )));
+        }
+        let n = self.counts[point.index()].fetch_add(1, Ordering::SeqCst) + 1;
+        let hit = {
+            let mut plan = self.plan.lock();
+            plan.iter().position(|f| f.point == point && f.at_count == n).map(|i| plan.remove(i))
+        };
+        let Some(fault) = hit else { return Injection::Proceed };
+        self.fired.lock().push(fault);
+        match fault.kind {
+            FaultKind::Crash => {
+                self.crashed.store(true, Ordering::SeqCst);
+                Injection::Fail(Error::injected(format!("crash at {} #{n}", point.name())))
+            }
+            FaultKind::Torn { keep_permille } => {
+                self.crashed.store(true, Ordering::SeqCst);
+                if payload_len == 0 {
+                    // Nothing to tear (e.g. a read): degrade to a crash.
+                    Injection::Fail(Error::injected(format!(
+                        "crash (torn, empty payload) at {} #{n}",
+                        point.name()
+                    )))
+                } else {
+                    let keep =
+                        (payload_len as u64 * u64::from(keep_permille.min(999)) / 1000) as usize;
+                    Injection::Torn { keep }
+                }
+            }
+            FaultKind::Transient => Injection::Fail(Error::injected(format!(
+                "transient I/O error at {} #{n}",
+                point.name()
+            ))),
+        }
+    }
+
+    /// Convenience for sites with nothing tearable: maps [`Injection::Torn`]
+    /// to an error as well, returning `Ok(())` only on `Proceed`.
+    pub fn check_fatal(&self, point: IoPoint) -> Result<()> {
+        match self.check(point, 0) {
+            Injection::Proceed => Ok(()),
+            Injection::Fail(e) => Err(e),
+            Injection::Torn { .. } => {
+                Err(Error::injected(format!("torn at untearable {}", point.name())))
+            }
+        }
+    }
+
+    /// `true` once a `Crash`/`Torn` fault has fired (the simulated process
+    /// is dead; all further I/O through this injector fails).
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Operations observed so far at `point` (including the faulted one).
+    pub fn count(&self, point: IoPoint) -> u64 {
+        self.counts[point.index()].load(Ordering::SeqCst)
+    }
+
+    /// All observed counts, indexed like [`IoPoint::ALL`].
+    pub fn counts(&self) -> [u64; 6] {
+        IoPoint::ALL.map(|p| self.count(p))
+    }
+
+    /// The faults that have fired, in firing order.
+    pub fn fired(&self) -> Vec<Fault> {
+        self.fired.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_injector_never_fires() {
+        let inj = FaultInjector::counting();
+        for _ in 0..100 {
+            assert!(matches!(inj.check(IoPoint::PageWrite, 4096), Injection::Proceed));
+        }
+        assert_eq!(inj.count(IoPoint::PageWrite), 100);
+        assert!(!inj.crashed());
+        assert!(inj.fired().is_empty());
+    }
+
+    #[test]
+    fn crash_fires_at_exact_ordinal_then_fails_everything() {
+        let inj = FaultInjector::armed(FaultPlan::single(IoPoint::PageWrite, 3, FaultKind::Crash));
+        assert!(matches!(inj.check(IoPoint::PageWrite, 10), Injection::Proceed));
+        assert!(matches!(inj.check(IoPoint::PageWrite, 10), Injection::Proceed));
+        assert!(matches!(inj.check(IoPoint::PageWrite, 10), Injection::Fail(_)));
+        assert!(inj.crashed());
+        // Every point now fails, not just the armed one.
+        assert!(matches!(inj.check(IoPoint::PageRead, 0), Injection::Fail(_)));
+        assert!(matches!(inj.check(IoPoint::WalFlush, 64), Injection::Fail(_)));
+        assert_eq!(inj.fired().len(), 1);
+    }
+
+    #[test]
+    fn torn_keeps_prefix_and_crashes() {
+        let inj = FaultInjector::armed(FaultPlan::single(
+            IoPoint::WalFlush,
+            1,
+            FaultKind::Torn { keep_permille: 500 },
+        ));
+        match inj.check(IoPoint::WalFlush, 1000) {
+            Injection::Torn { keep } => assert_eq!(keep, 500),
+            other => panic!("expected torn, got {other:?}"),
+        }
+        assert!(inj.crashed());
+    }
+
+    #[test]
+    fn torn_on_read_degrades_to_crash() {
+        let inj = FaultInjector::armed(FaultPlan::single(
+            IoPoint::PageRead,
+            1,
+            FaultKind::Torn { keep_permille: 500 },
+        ));
+        assert!(matches!(inj.check(IoPoint::PageRead, 0), Injection::Fail(_)));
+        assert!(inj.crashed());
+    }
+
+    #[test]
+    fn transient_fails_once_then_recovers() {
+        let inj =
+            FaultInjector::armed(FaultPlan::single(IoPoint::WormAppend, 2, FaultKind::Transient));
+        assert!(matches!(inj.check(IoPoint::WormAppend, 100), Injection::Proceed));
+        match inj.check(IoPoint::WormAppend, 100) {
+            Injection::Fail(e) => assert!(e.is_injected()),
+            other => panic!("expected fail, got {other:?}"),
+        }
+        assert!(!inj.crashed());
+        assert!(matches!(inj.check(IoPoint::WormAppend, 100), Injection::Proceed));
+    }
+
+    #[test]
+    fn multiple_faults_fire_independently() {
+        let plan = FaultPlan::none().with(IoPoint::PageWrite, 1, FaultKind::Transient).with(
+            IoPoint::PageWrite,
+            3,
+            FaultKind::Crash,
+        );
+        let inj = FaultInjector::armed(plan);
+        assert!(matches!(inj.check(IoPoint::PageWrite, 10), Injection::Fail(_)));
+        assert!(matches!(inj.check(IoPoint::PageWrite, 10), Injection::Proceed));
+        assert!(matches!(inj.check(IoPoint::PageWrite, 10), Injection::Fail(_)));
+        assert!(inj.crashed());
+        assert_eq!(inj.fired().len(), 2);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        // Identical plans + identical call sequences fire identically.
+        let run = || {
+            let inj =
+                FaultInjector::armed(FaultPlan::single(IoPoint::PageRead, 5, FaultKind::Transient));
+            let mut outcomes = Vec::new();
+            for _ in 0..8 {
+                outcomes.push(matches!(inj.check(IoPoint::PageRead, 0), Injection::Proceed));
+            }
+            outcomes
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        let f = Fault { point: IoPoint::WalFlush, at_count: 7, kind: FaultKind::Crash };
+        assert_eq!(f.to_string(), "Crash at wal-flush #7");
+    }
+}

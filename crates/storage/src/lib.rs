@@ -23,11 +23,13 @@
 
 pub mod buffer;
 pub mod disk;
+pub mod fault;
 pub mod page;
 pub mod tuple;
 
 pub use buffer::{BufferPool, BufferStats, PageRef};
 pub use disk::{DiskManager, PageStore};
+pub use fault::{Fault, FaultInjector, FaultKind, FaultPlan, Injection, IoPoint};
 pub use page::{Page, PageType, HEADER_SIZE, PAGE_SIZE, PAGE_USABLE};
 
 /// The page-header size (re-exported for layout math in other crates).

@@ -334,7 +334,10 @@ impl Page {
             return Err(Error::TupleTooLarge { size: cell.len(), max: PAGE_USABLE });
         }
         if cell.len() + 2 + 2 > self.total_free() {
-            return Err(Error::TupleTooLarge { size: cell.len(), max: self.total_free().saturating_sub(4) });
+            return Err(Error::TupleTooLarge {
+                size: cell.len(),
+                max: self.total_free().saturating_sub(4),
+            });
         }
         if cell.len() + 2 + 2 > self.contiguous_free() {
             self.defragment();

@@ -127,7 +127,9 @@ impl TupleVersion {
         let t = match self.time {
             WriteTime::Committed(t) => t,
             WriteTime::Pending(txn) => {
-                panic!("canonical_bytes on unstamped version of {txn}; resolve via STAMP_TRANS first")
+                panic!(
+                    "canonical_bytes on unstamped version of {txn}; resolve via STAMP_TRANS first"
+                )
             }
         };
         self.canonical_bytes_with_time(t)

@@ -1,9 +1,21 @@
 //! Model-based property tests: a slotted page against `Vec<Vec<u8>>`, and
 //! tuple-codec round trips.
+//!
+//! Gated behind the non-default `proptest` cargo feature and driven by the
+//! workspace's own seeded [`SplitMix64`]; each case's seed is printed on
+//! failure for deterministic replay.
 
-use ccdb_common::{PageNo, RelId, Timestamp, TxnId};
+#![cfg(feature = "proptest")]
+
+use ccdb_common::{PageNo, RelId, SplitMix64, Timestamp, TxnId};
 use ccdb_storage::{Page, PageType, TupleVersion, WriteTime, PAGE_USABLE};
-use proptest::prelude::*;
+
+fn bytes(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
 
 /// Operations on a slotted page.
 #[derive(Clone, Debug)]
@@ -13,26 +25,26 @@ enum Op {
     Replace(usize, Vec<u8>),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(|(i, v)| Op::Insert(i, v)),
-        any::<usize>().prop_map(Op::Remove),
-        (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(|(i, v)| Op::Replace(i, v)),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> Op {
+    match rng.gen_range(0..3u32) {
+        0 => Op::Insert(rng.gen_range(0..=usize::MAX), bytes(rng, 200)),
+        1 => Op::Remove(rng.gen_range(0..=usize::MAX)),
+        _ => Op::Replace(rng.gen_range(0..=usize::MAX), bytes(rng, 200)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The page behaves exactly like a vector of byte strings, through any
-    /// sequence of inserts/removes/replacements (with defragmentation
-    /// happening invisibly), and always revalidates and round-trips.
-    #[test]
-    fn page_matches_vec_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+/// The page behaves exactly like a vector of byte strings, through any
+/// sequence of inserts/removes/replacements (with defragmentation
+/// happening invisibly), and always revalidates and round-trips.
+#[test]
+fn page_matches_vec_model() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x7A_6E00 + case);
+        let nops = rng.gen_range(0..60usize);
         let mut page = Page::new(PageNo(1), PageType::Leaf, RelId(1));
         let mut model: Vec<Vec<u8>> = Vec::new();
-        for op in ops {
-            match op {
+        for _ in 0..nops {
+            match gen_op(&mut rng) {
                 Op::Insert(i, cell) => {
                     let i = i % (model.len() + 1);
                     if page.can_fit(cell.len()) {
@@ -51,9 +63,7 @@ proptest! {
                     if !model.is_empty() {
                         let i = i % model.len();
                         // Replacement may fail only for space reasons.
-                        if cell.len() <= model[i].len()
-                            || page.can_fit(cell.len())
-                        {
+                        if cell.len() <= model[i].len() || page.can_fit(cell.len()) {
                             page.replace_cell(i, &cell).unwrap();
                             model[i] = cell;
                         }
@@ -63,71 +73,77 @@ proptest! {
             page.validate_slots().unwrap();
         }
         let got: Vec<Vec<u8>> = page.cells().map(|c| c.to_vec()).collect();
-        prop_assert_eq!(&got, &model);
+        assert_eq!(&got, &model, "case seed {case}");
         // Disk round trip preserves everything.
         let img = page.finalize_for_write().to_vec();
         let back = Page::from_bytes(&img).unwrap();
-        prop_assert!(back.verify_checksum());
+        assert!(back.verify_checksum(), "case seed {case}");
         let got2: Vec<Vec<u8>> = back.cells().map(|c| c.to_vec()).collect();
-        prop_assert_eq!(&got2, &model);
+        assert_eq!(&got2, &model, "case seed {case}");
     }
+}
 
-    /// Tuple cells round-trip for arbitrary contents.
-    #[test]
-    fn tuple_cell_roundtrip(
-        rel in any::<u32>(),
-        key in proptest::collection::vec(any::<u8>(), 0..64),
-        pending in any::<bool>(),
-        time in any::<u64>(),
-        seq in any::<u16>(),
-        eol in any::<bool>(),
-        value in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
+/// Tuple cells round-trip for arbitrary contents.
+#[test]
+fn tuple_cell_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x7C_E100 + case);
+        let time = rng.next_u64();
+        let pending = rng.gen_bool(0.5);
         let t = TupleVersion {
-            rel: RelId(rel),
-            key,
-            time: if pending { WriteTime::Pending(TxnId(time)) } else { WriteTime::Committed(Timestamp(time)) },
-            seq,
-            end_of_life: eol,
-            value,
+            rel: RelId(rng.gen_range(0..=u32::MAX)),
+            key: bytes(&mut rng, 64),
+            time: if pending {
+                WriteTime::Pending(TxnId(time))
+            } else {
+                WriteTime::Committed(Timestamp(time))
+            },
+            seq: rng.gen_range(0..=u16::MAX),
+            end_of_life: rng.gen_bool(0.5),
+            value: bytes(&mut rng, 512),
         };
         let cell = t.encode_cell();
-        prop_assert!(cell.len() <= PAGE_USABLE || t.key.len() + t.value.len() > PAGE_USABLE - 32);
-        prop_assert_eq!(TupleVersion::decode_cell(&cell).unwrap(), t);
+        assert!(
+            cell.len() <= PAGE_USABLE || t.key.len() + t.value.len() > PAGE_USABLE - 32,
+            "case seed {case}"
+        );
+        assert_eq!(TupleVersion::decode_cell(&cell).unwrap(), t, "case seed {case}");
     }
+}
 
-    /// Canonical identity is stable under seq/page movement but sensitive to
-    /// every semantic field.
-    #[test]
-    fn canonical_identity_properties(
-        key in proptest::collection::vec(any::<u8>(), 0..32),
-        time in any::<u64>(),
-        value in proptest::collection::vec(any::<u8>(), 0..64),
-        seq_a in any::<u16>(),
-        seq_b in any::<u16>(),
-    ) {
+/// Canonical identity is stable under seq/page movement but sensitive to
+/// every semantic field.
+#[test]
+fn canonical_identity_properties() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xCA_4000 + case);
+        let time = rng.next_u64();
         let base = TupleVersion {
             rel: RelId(1),
-            key,
+            key: bytes(&mut rng, 32),
             time: WriteTime::Committed(Timestamp(time)),
-            seq: seq_a,
+            seq: rng.gen_range(0..=u16::MAX),
             end_of_life: false,
-            value,
+            value: bytes(&mut rng, 64),
         };
-        let moved = TupleVersion { seq: seq_b, ..base.clone() };
-        prop_assert_eq!(base.canonical_bytes(), moved.canonical_bytes());
+        let moved = TupleVersion { seq: rng.gen_range(0..=u16::MAX), ..base.clone() };
+        assert_eq!(base.canonical_bytes(), moved.canonical_bytes(), "case seed {case}");
         let eol = TupleVersion { end_of_life: true, ..base.clone() };
-        prop_assert_ne!(base.canonical_bytes(), eol.canonical_bytes());
+        assert_ne!(base.canonical_bytes(), eol.canonical_bytes(), "case seed {case}");
         let later = TupleVersion {
             time: WriteTime::Committed(Timestamp(time.wrapping_add(1))),
             ..base.clone()
         };
-        prop_assert_ne!(base.canonical_bytes(), later.canonical_bytes());
+        assert_ne!(base.canonical_bytes(), later.canonical_bytes(), "case seed {case}");
     }
+}
 
-    /// Arbitrary bytes never panic the defensive decoders.
-    #[test]
-    fn decoders_never_panic(garbage in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Arbitrary bytes never panic the defensive decoders.
+#[test]
+fn decoders_never_panic() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(0xDE_C0 + case);
+        let garbage = bytes(&mut rng, 256);
         let _ = TupleVersion::decode_cell(&garbage);
         let mut padded = garbage.clone();
         padded.resize(ccdb_storage::PAGE_SIZE, 0);

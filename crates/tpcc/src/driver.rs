@@ -1,10 +1,8 @@
 //! The workload driver: the standard TPC-C transaction mix.
 
 use ccdb_common::Result;
+use ccdb_common::SplitMix64 as StdRng;
 use ccdb_core::CompliantDb;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 use crate::loader::Tpcc;
 use crate::txns;
@@ -71,14 +69,14 @@ impl Driver {
         deck.extend(std::iter::repeat_n(TxnKind::Delivery, 4));
         deck.extend(std::iter::repeat_n(TxnKind::StockLevel, 4));
         let mut rng = StdRng::seed_from_u64(seed);
-        deck.shuffle(&mut rng);
+        rng.shuffle(&mut deck);
         Driver { rng, deck, pos: 0, stats: MixStats::default() }
     }
 
     /// Runs one transaction from the deck; returns its kind.
     pub fn run_one(&mut self, db: &CompliantDb, t: &Tpcc) -> Result<TxnKind> {
         if self.pos >= self.deck.len() {
-            self.deck.shuffle(&mut self.rng);
+            self.rng.shuffle(&mut self.deck);
             self.pos = 0;
         }
         let kind = self.deck[self.pos];

@@ -1,7 +1,6 @@
 //! TPC-C random-data generators: NURand skew, last names, strings.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use ccdb_common::SplitMix64 as StdRng;
 
 /// TPC-C clause 2.1.6: constants for the non-uniform distribution. Fixed
 /// values keep runs reproducible (the spec permits any constant per field).
@@ -69,7 +68,6 @@ pub fn item_data(rng: &mut StdRng) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)

@@ -1,10 +1,9 @@
 //! Schema creation and initial population (TPC-C clause 4.3).
 
 use ccdb_btree::SplitPolicy;
+use ccdb_common::SplitMix64 as StdRng;
 use ccdb_common::{RelId, Result, Timestamp};
 use ccdb_core::CompliantDb;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::gen;
 use crate::rows::*;
@@ -107,7 +106,7 @@ pub fn load(db: &CompliantDb, scale: TpccScale, policy: SplitPolicy) -> Result<T
     };
     for i in 1..=scale.items {
         let row = Item {
-            im_id: rng.gen_range(1..=10_000),
+            im_id: rng.gen_range(1..=10_000u32),
             name: gen::astring(&mut rng, 14, 24),
             price: rng.gen_range(100..=10_000) as f64 / 100.0,
             data: gen::item_data(&mut rng),

@@ -500,7 +500,8 @@ mod tests {
 
     #[test]
     fn order_and_line_roundtrip() {
-        let o = Order { c_id: 7, entry_d: Timestamp(9), carrier_id: 0, ol_cnt: 11, all_local: true };
+        let o =
+            Order { c_id: 7, entry_d: Timestamp(9), carrier_id: 0, ol_cnt: 11, all_local: true };
         assert_eq!(Order::decode(&o.encode()).unwrap(), o);
         let ol = OrderLine {
             i_id: 5,

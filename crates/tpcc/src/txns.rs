@@ -1,15 +1,19 @@
 //! The five TPC-C transactions (clauses 2.4–2.8).
 
+use ccdb_common::SplitMix64 as StdRng;
 use ccdb_common::{Error, Result, Timestamp, TxnId};
 use ccdb_core::CompliantDb;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::gen::{self, C_ID, C_LAST, OL_I_ID};
 use crate::loader::{name_idx_prefix, Tpcc};
 use crate::rows::*;
 
-fn read_required(db: &CompliantDb, txn: TxnId, rel: ccdb_common::RelId, k: &[u8]) -> Result<Vec<u8>> {
+fn read_required(
+    db: &CompliantDb,
+    txn: TxnId,
+    rel: ccdb_common::RelId,
+    k: &[u8],
+) -> Result<Vec<u8>> {
     db.read(txn, rel, k)?
         .ok_or_else(|| Error::NotFound(format!("TPC-C row missing in {rel}: {k:02x?}")))
 }
@@ -122,13 +126,8 @@ pub fn new_order(db: &CompliantDb, t: &Tpcc, rng: &mut StdRng) -> Result<bool> {
         db.write(txn, t.order_line, &key(&[w, d, o_id, ol]), &line.encode())?;
     }
     let _ = total * (1.0 - cust.discount) * (1.0 + wh.tax + dist.tax);
-    let order = Order {
-        c_id: c,
-        entry_d: db.engine().clock().now(),
-        carrier_id: 0,
-        ol_cnt,
-        all_local,
-    };
+    let order =
+        Order { c_id: c, entry_d: db.engine().clock().now(), carrier_id: 0, ol_cnt, all_local };
     db.write(txn, t.orders, &key(&[w, d, o_id]), &order.encode())?;
     db.write(txn, t.new_order, &key(&[w, d, o_id]), &[])?;
     db.write(txn, t.order_cust_idx, &key(&[w, d, c, o_id]), &[])?;
@@ -206,7 +205,8 @@ pub fn order_status(db: &CompliantDb, t: &Tpcc, rng: &mut StdRng) -> Result<()> 
     if let Some(o) = last_o {
         let order = Order::decode(&read_required(db, txn, t.orders, &key(&[w, d, o]))?)?;
         for ol in 1..=order.ol_cnt {
-            let _ = OrderLine::decode(&read_required(db, txn, t.order_line, &key(&[w, d, o, ol]))?)?;
+            let _ =
+                OrderLine::decode(&read_required(db, txn, t.order_line, &key(&[w, d, o, ol]))?)?;
         }
     }
     db.commit(txn)?;

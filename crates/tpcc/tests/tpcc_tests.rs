@@ -3,12 +3,11 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use ccdb_common::SplitMix64 as StdRng;
 use ccdb_common::{Duration, TxnId, VirtualClock};
 use ccdb_core::{ComplianceConfig, CompliantDb, Mode};
 use ccdb_tpcc::rows::{key, District, Order, Warehouse};
 use ccdb_tpcc::{load, Driver, Tpcc, TpccScale};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 struct TempDir(PathBuf);
 impl TempDir {
@@ -55,7 +54,8 @@ fn load_populates_all_relations() {
     let txn = db.begin().unwrap();
     let wh = Warehouse::decode(&db.read(txn, t.warehouse, &key(&[1])).unwrap().unwrap()).unwrap();
     assert!(wh.tax >= 0.0 && wh.tax <= 0.2);
-    let dist = District::decode(&db.read(txn, t.district, &key(&[1, 2])).unwrap().unwrap()).unwrap();
+    let dist =
+        District::decode(&db.read(txn, t.district, &key(&[1, 2])).unwrap().unwrap()).unwrap();
     assert_eq!(dist.next_o_id, 1);
     assert!(db.read(txn, t.customer, &key(&[1, 1, 1])).unwrap().is_some());
     assert!(db.read(txn, t.customer, &key(&[1, 1, 30])).unwrap().is_some());
@@ -100,17 +100,15 @@ fn payment_moves_money_and_writes_history() {
     let (db, t, _d) = setup("payment", Mode::Regular);
     let mut rng = StdRng::seed_from_u64(2);
     let txn = db.begin().unwrap();
-    let before = Warehouse::decode(&db.read(txn, t.warehouse, &key(&[1])).unwrap().unwrap())
-        .unwrap()
-        .ytd;
+    let before =
+        Warehouse::decode(&db.read(txn, t.warehouse, &key(&[1])).unwrap().unwrap()).unwrap().ytd;
     db.commit(txn).unwrap();
     for _ in 0..10 {
         ccdb_tpcc::txns::payment(&db, &t, &mut rng).unwrap();
     }
     let txn = db.begin().unwrap();
-    let after = Warehouse::decode(&db.read(txn, t.warehouse, &key(&[1])).unwrap().unwrap())
-        .unwrap()
-        .ytd;
+    let after =
+        Warehouse::decode(&db.read(txn, t.warehouse, &key(&[1])).unwrap().unwrap()).unwrap().ytd;
     assert!(after > before, "warehouse YTD grows with payments");
     db.commit(txn).unwrap();
 }
@@ -126,10 +124,16 @@ fn delivery_consumes_new_orders() {
         let txn = db.begin().unwrap();
         let mut n = 0;
         db.engine()
-            .range_current(txn, t.new_order, &key(&[0, 0, 0]), &key(&[9, 9, u32::MAX]), &mut |_, _| {
-                n += 1;
-                Ok(())
-            })
+            .range_current(
+                txn,
+                t.new_order,
+                &key(&[0, 0, 0]),
+                &key(&[9, 9, u32::MAX]),
+                &mut |_, _| {
+                    n += 1;
+                    Ok(())
+                },
+            )
             .unwrap();
         db.commit(txn).unwrap();
         n
@@ -160,11 +164,19 @@ fn tpcc_under_compliance_audits_clean() {
     let mut driver = Driver::new(11);
     driver.run(&db, &t, 200).unwrap();
     let report = db.audit().unwrap();
-    assert!(report.is_clean(), "violations: {:?}", &report.violations[..report.violations.len().min(5)]);
+    assert!(
+        report.is_clean(),
+        "violations: {:?}",
+        &report.violations[..report.violations.len().min(5)]
+    );
     // Second epoch: keep going, audit again.
     driver.run(&db, &t, 100).unwrap();
     let report = db.audit().unwrap();
-    assert!(report.is_clean(), "violations: {:?}", &report.violations[..report.violations.len().min(5)]);
+    assert!(
+        report.is_clean(),
+        "violations: {:?}",
+        &report.violations[..report.violations.len().min(5)]
+    );
 }
 
 #[test]
@@ -176,7 +188,11 @@ fn tpcc_survives_crash_mid_workload() {
     let mut driver = Driver::new(17);
     driver.run(&db, &t, 50).unwrap();
     let report = db.audit().unwrap();
-    assert!(report.is_clean(), "violations: {:?}", &report.violations[..report.violations.len().min(5)]);
+    assert!(
+        report.is_clean(),
+        "violations: {:?}",
+        &report.violations[..report.violations.len().min(5)]
+    );
 }
 
 #[test]
@@ -193,11 +209,12 @@ fn temporal_queries_see_tpcc_history() {
     }
     db.engine().run_stamper().unwrap();
     // As-of before the payments: the original YTD.
-    let old =
-        Warehouse::decode(&db.read_as_of(t.warehouse, &key(&[1]), before_payments).unwrap().unwrap())
-            .unwrap();
+    let old = Warehouse::decode(
+        &db.read_as_of(t.warehouse, &key(&[1]), before_payments).unwrap().unwrap(),
+    )
+    .unwrap();
     assert_eq!(old.ytd, w0.ytd);
-    let now =
-        Warehouse::decode(&db.read(TxnId::NONE, t.warehouse, &key(&[1])).unwrap().unwrap()).unwrap();
+    let now = Warehouse::decode(&db.read(TxnId::NONE, t.warehouse, &key(&[1])).unwrap().unwrap())
+        .unwrap();
     assert!(now.ytd >= w0.ytd);
 }

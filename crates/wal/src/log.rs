@@ -13,8 +13,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use ccdb_common::codec::checksum32;
+use ccdb_common::sync::Mutex;
 use ccdb_common::{Error, Lsn, Result};
-use parking_lot::Mutex;
+use ccdb_storage::fault::{FaultInjector, Injection, IoPoint};
 
 use crate::record::WalRecord;
 
@@ -41,6 +42,8 @@ pub struct WalWriter {
     /// in this workspace is process-level, not OS-level, so correctness
     /// tests are unaffected); durability-sensitive deployments keep it on.
     sync: std::sync::atomic::AtomicBool,
+    /// Optional deterministic fault layer (crash/torn-write torture tests).
+    injector: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl WalWriter {
@@ -76,7 +79,21 @@ impl WalWriter {
             }),
             mirror: Mutex::new(None),
             sync: std::sync::atomic::AtomicBool::new(true),
+            injector: Mutex::new(None),
         })
+    }
+
+    /// Installs (or removes) the deterministic fault injector. Appends and
+    /// flushes consult it first.
+    pub fn set_fault_injector(&self, inj: Option<Arc<FaultInjector>>) {
+        *self.injector.lock() = inj;
+    }
+
+    fn injection(&self, point: IoPoint, payload_len: usize) -> Injection {
+        match self.injector.lock().as_ref() {
+            Some(inj) => inj.check(point, payload_len),
+            None => Injection::Proceed,
+        }
     }
 
     /// The log file path.
@@ -98,6 +115,14 @@ impl WalWriter {
     /// [`WalWriter::flush`] (or rely on commit, which flushes) for
     /// durability.
     pub fn append(&self, rec: &WalRecord) -> Result<Lsn> {
+        match self.injection(IoPoint::WalAppend, 0) {
+            Injection::Proceed => {}
+            Injection::Fail(e) => return Err(e),
+            // Appends only buffer in memory; there is nothing to tear yet.
+            Injection::Torn { .. } => {
+                return Err(Error::injected("crash (torn degenerates) at wal-append"))
+            }
+        }
         let body = rec.encode();
         let mut frame = Vec::with_capacity(body.len() + 8);
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -124,12 +149,30 @@ impl WalWriter {
         if inner.pending.is_empty() {
             return Ok(());
         }
+        let torn_keep = match self.injection(IoPoint::WalFlush, inner.pending.len()) {
+            Injection::Proceed => None,
+            // Pending bytes stay buffered: a transient error is retryable,
+            // and after a crash the buffer is dead memory anyway.
+            Injection::Fail(e) => return Err(e),
+            Injection::Torn { keep } => Some(keep),
+        };
         let start = inner.flushed;
         let bytes = std::mem::take(&mut inner.pending);
         inner
             .file
             .seek(SeekFrom::Start(start))
             .map_err(|e| Error::io("seeking WAL for flush", e))?;
+        if let Some(keep) = torn_keep {
+            // Torn flush: a prefix of the group reaches the medium, then the
+            // simulated power loss. `flushed` is not advanced and the WORM
+            // mirror never sees the bytes — exactly the state a reopen's
+            // torn-tail scan must cope with.
+            inner.file.write_all(&bytes[..keep]).map_err(|e| Error::io("torn WAL write", e))?;
+            return Err(Error::injected(format!(
+                "torn WAL flush at offset {start} ({keep} of {} bytes kept)",
+                bytes.len()
+            )));
+        }
         inner.file.write_all(&bytes).map_err(|e| Error::io("writing WAL", e))?;
         if self.sync.load(std::sync::atomic::Ordering::Relaxed) {
             inner.file.sync_data().map_err(|e| Error::io("fsync of WAL", e))?;
@@ -436,11 +479,66 @@ mod tests {
     fn mirror_failure_propagates() {
         let tf = TempFile::new("mirror-fail");
         let w = WalWriter::open(&tf.0).unwrap();
-        w.set_tail_mirror(Arc::new(|_l, _b: &[u8]| {
-            Err(Error::ComplianceHalt("WORM down".into()))
-        }));
+        w.set_tail_mirror(Arc::new(|_l, _b: &[u8]| Err(Error::ComplianceHalt("WORM down".into()))));
         w.append(&WalRecord::Begin { txn: TxnId(1) }).unwrap();
         assert!(w.flush().is_err());
+    }
+
+    #[test]
+    fn injected_torn_flush_leaves_recoverable_tail() {
+        use ccdb_storage::fault::{FaultInjector, FaultKind, FaultPlan, IoPoint};
+        let tf = TempFile::new("inj-torn");
+        {
+            let w = WalWriter::open(&tf.0).unwrap();
+            let seen = Arc::new(Mutex::new(0usize));
+            let seen2 = seen.clone();
+            w.set_tail_mirror(Arc::new(move |_l, b: &[u8]| {
+                *seen2.lock() += b.len();
+                Ok(())
+            }));
+            w.set_fault_injector(Some(Arc::new(FaultInjector::armed(FaultPlan::single(
+                IoPoint::WalFlush,
+                1,
+                FaultKind::Torn { keep_permille: 600 },
+            )))));
+            for r in sample_records() {
+                w.append(&r).unwrap();
+            }
+            let err = w.flush().unwrap_err();
+            assert!(err.is_injected(), "{err}");
+            // The mirror never saw the torn bytes.
+            assert_eq!(*seen.lock(), 0);
+        }
+        // Reopen: the torn tail is truncated to a whole-frame prefix and the
+        // log accepts new appends.
+        let w2 = WalWriter::open(&tf.0).unwrap();
+        let survivors = WalReader::open(&tf.0).unwrap().collect_records().len();
+        assert!(survivors < 3, "a 60% tear cannot have kept all three records");
+        w2.append_flush(&WalRecord::Abort { txn: TxnId(9) }).unwrap();
+        let after = WalReader::open(&tf.0).unwrap().collect_records();
+        assert_eq!(after.len(), survivors + 1);
+        assert_eq!(after.last().unwrap().1, WalRecord::Abort { txn: TxnId(9) });
+    }
+
+    #[test]
+    fn injected_crash_at_append_loses_only_buffered_records() {
+        use ccdb_storage::fault::{FaultInjector, FaultKind, FaultPlan, IoPoint};
+        let tf = TempFile::new("inj-append");
+        let w = WalWriter::open(&tf.0).unwrap();
+        w.append_flush(&WalRecord::Begin { txn: TxnId(1) }).unwrap();
+        w.set_fault_injector(Some(Arc::new(FaultInjector::armed(FaultPlan::single(
+            IoPoint::WalAppend,
+            1,
+            FaultKind::Crash,
+        )))));
+        assert!(w
+            .append(&WalRecord::Commit { txn: TxnId(1), commit_time: Timestamp(3) })
+            .unwrap_err()
+            .is_injected());
+        // Post-crash flush fails too; the durable prefix is intact.
+        assert!(w.flush().is_err() || WalReader::open(&tf.0).unwrap().collect_records().len() == 1);
+        let got = WalReader::open(&tf.0).unwrap().collect_records();
+        assert_eq!(got.len(), 1);
     }
 
     #[test]

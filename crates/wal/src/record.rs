@@ -336,14 +336,20 @@ mod tests {
             txn: TxnId::NONE,
             op: PageOp::ReplaceCell { pgno: PageNo(7), idx: 2, cell: b"cell2".to_vec() },
         });
-        roundtrip(WalRecord::Page { txn: TxnId::NONE, op: PageOp::RemoveCell { pgno: PageNo(7), idx: 0 } });
+        roundtrip(WalRecord::Page {
+            txn: TxnId::NONE,
+            op: PageOp::RemoveCell { pgno: PageNo(7), idx: 0 },
+        });
         roundtrip(WalRecord::Page {
             txn: TxnId::NONE,
             op: PageOp::SetImage { pgno: PageNo(9), image: vec![0xAB; 64] },
         });
         roundtrip(WalRecord::RelMeta { rel: RelId(3), meta: RelMetaOp::Root(PageNo(11)) });
         roundtrip(WalRecord::RelMeta { rel: RelId(3), meta: RelMetaOp::HistoricalAdd(PageNo(12)) });
-        roundtrip(WalRecord::RelMeta { rel: RelId(3), meta: RelMetaOp::HistoricalRemove(PageNo(12)) });
+        roundtrip(WalRecord::RelMeta {
+            rel: RelId(3),
+            meta: RelMetaOp::HistoricalRemove(PageNo(12)),
+        });
     }
 
     #[test]
@@ -354,10 +360,8 @@ mod tests {
 
     #[test]
     fn page_record_txn_attribution() {
-        let attributed = WalRecord::Page {
-            txn: TxnId(3),
-            op: PageOp::RemoveCell { pgno: PageNo(1), idx: 0 },
-        };
+        let attributed =
+            WalRecord::Page { txn: TxnId(3), op: PageOp::RemoveCell { pgno: PageNo(1), idx: 0 } };
         let structural = WalRecord::Page {
             txn: TxnId::NONE,
             op: PageOp::RemoveCell { pgno: PageNo(1), idx: 0 },

@@ -135,7 +135,11 @@ mod tests {
     #[test]
     fn stream_of_events_decodes_in_order() {
         let evs = vec![
-            MetaEvent::Create { name: "a".into(), create_time: Timestamp(1), retention_until: Timestamp(2) },
+            MetaEvent::Create {
+                name: "a".into(),
+                create_time: Timestamp(1),
+                retention_until: Timestamp(2),
+            },
             MetaEvent::Append { name: "a".into(), new_len: 5, new_checksum: 9 },
             MetaEvent::Seal { name: "a".into() },
         ];

@@ -5,8 +5,9 @@ use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use ccdb_common::sync::Mutex;
 use ccdb_common::{ByteReader, ClockRef, Error, Result, Timestamp};
-use parking_lot::Mutex;
+use ccdb_storage::fault::{FaultInjector, Injection, IoPoint};
 
 use crate::meta::{FileMeta, MetaEvent};
 
@@ -32,6 +33,7 @@ pub struct WormServer {
     root: PathBuf,
     clock: ClockRef,
     inner: Mutex<Inner>,
+    injector: Mutex<Option<std::sync::Arc<FaultInjector>>>,
 }
 
 /// A cheap named handle to a WORM file (no open file descriptor is held; the
@@ -119,7 +121,65 @@ impl WormServer {
             .append(true)
             .open(&journal_path)
             .map_err(|e| Error::io("opening WORM metadata journal", e))?;
-        Ok(WormServer { root, clock, inner: Mutex::new(Inner { meta, journal, appends: 0 }) })
+        let server = WormServer {
+            root,
+            clock,
+            inner: Mutex::new(Inner { meta, journal, appends: 0 }),
+            injector: Mutex::new(None),
+        };
+        server.reconcile_backing_store()?;
+        Ok(server)
+    }
+
+    /// Startup reconciliation: appends write the data file *before* the
+    /// trusted metadata journal acknowledges them, so a crash (or injected
+    /// torn write) mid-append can leave the backing file **longer** than the
+    /// trusted length. Those tail bytes were never acknowledged — the append
+    /// RPC returned an error — so discarding them is not a WORM deletion; it
+    /// is the appliance firmware rolling back an incomplete operation.
+    ///
+    /// A backing file **shorter** than the trusted length is the opposite
+    /// situation: acknowledged bytes are gone. That is evidence of tampering
+    /// (retention violation), and reconciliation deliberately leaves it in
+    /// place for `read_all`/the auditor to report.
+    fn reconcile_backing_store(&self) -> Result<()> {
+        let inner = self.inner.lock();
+        for (name, m) in inner.meta.iter() {
+            let path = self.data_path(name);
+            let on_disk = match fs::metadata(&path) {
+                Ok(md) => md.len(),
+                Err(_) => continue, // missing file: surfaced later as a read failure
+            };
+            if on_disk > m.len {
+                let f = fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| Error::io("opening WORM file for reconciliation", e))?;
+                f.set_len(m.len)
+                    .map_err(|e| Error::io("truncating unacknowledged WORM append tail", e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs (or clears) a deterministic fault injector on the append
+    /// path. Testing hook; see [`ccdb_storage::fault`].
+    pub fn set_fault_injector(&self, injector: Option<std::sync::Arc<FaultInjector>>) {
+        *self.injector.lock() = injector;
+    }
+
+    /// Raw length of the backing data file for `name`, bypassing the trusted
+    /// metadata. The auditor compares this against `stat(name).len` to
+    /// distinguish tail truncation (tampering) from unacknowledged appends.
+    pub fn backing_len(&self, name: &str) -> Result<u64> {
+        let inner = self.inner.lock();
+        if !inner.meta.contains_key(name) {
+            return Err(Error::NotFound(format!("WORM file {name:?}")));
+        }
+        drop(inner);
+        fs::metadata(self.data_path(name))
+            .map(|md| md.len())
+            .map_err(|e| Error::io(format!("statting WORM backing file {name:?}"), e))
     }
 
     fn data_path(&self, name: &str) -> PathBuf {
@@ -202,11 +262,40 @@ impl WormServer {
                 file.name
             )));
         }
+        // Fault-injection point: the data file is written *before* the
+        // metadata journal acknowledges the append, so a fault here (full
+        // crash or torn prefix) leaves unacknowledged bytes that
+        // `reconcile_backing_store` truncates on reopen. The append-only
+        // contract holds under every injected failure: trusted metadata
+        // never acknowledges bytes that were not durably written.
+        let injection = {
+            let inj = self.injector.lock().clone();
+            match inj {
+                Some(inj) => inj.check(IoPoint::WormAppend, data.len()),
+                None => Injection::Proceed,
+            }
+        };
+        let torn_keep = match injection {
+            Injection::Proceed => None,
+            Injection::Fail(e) => return Err(e),
+            Injection::Torn { keep } => Some(keep),
+        };
         let path = self.data_path(&file.name);
         let mut f = fs::OpenOptions::new()
             .append(true)
             .open(&path)
             .map_err(|e| Error::io(format!("opening WORM file {:?} for append", file.name), e))?;
+        if let Some(keep) = torn_keep {
+            // Persist only a prefix and fail WITHOUT journaling: the trusted
+            // metadata must never admit bytes the device did not accept.
+            f.write_all(&data[..keep]).map_err(|e| Error::io("torn WORM append", e))?;
+            let _ = f.flush();
+            return Err(Error::injected(format!(
+                "torn append to WORM file {:?} ({keep} of {} bytes kept)",
+                file.name,
+                data.len()
+            )));
+        }
         f.write_all(data)
             .map_err(|e| Error::io(format!("appending to WORM file {:?}", file.name), e))?;
         f.flush().map_err(|e| Error::io("flushing WORM append", e))?;
@@ -225,10 +314,8 @@ impl WormServer {
     /// the trusted metadata says how long the file is.
     pub fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         let inner = self.inner.lock();
-        let m = inner
-            .meta
-            .get(name)
-            .ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
+        let m =
+            inner.meta.get(name).ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
         if offset + len as u64 > m.len {
             return Err(Error::Invalid(format!(
                 "read past end of WORM file {name:?} ({} + {} > {})",
@@ -240,8 +327,7 @@ impl WormServer {
             .map_err(|e| Error::io(format!("opening WORM file {name:?}"), e))?;
         f.seek(SeekFrom::Start(offset)).map_err(|e| Error::io("seeking WORM file", e))?;
         let mut buf = vec![0u8; len];
-        f.read_exact(&mut buf)
-            .map_err(|e| Error::io(format!("reading WORM file {name:?}"), e))?;
+        f.read_exact(&mut buf).map_err(|e| Error::io(format!("reading WORM file {name:?}"), e))?;
         Ok(buf)
     }
 
@@ -282,10 +368,8 @@ impl WormServer {
     /// Extends (never shortens) a file's retention horizon.
     pub fn extend_retention(&self, name: &str, until: Timestamp) -> Result<()> {
         let mut inner = self.inner.lock();
-        let m = inner
-            .meta
-            .get(name)
-            .ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
+        let m =
+            inner.meta.get(name).ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
         if until <= m.retention_until {
             return Ok(()); // extending to an earlier time is a silent no-op
         }
@@ -300,10 +384,8 @@ impl WormServer {
     /// WORM is an entire file" (Section VIII).
     pub fn delete(&self, name: &str) -> Result<()> {
         let mut inner = self.inner.lock();
-        let m = inner
-            .meta
-            .get(name)
-            .ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
+        let m =
+            inner.meta.get(name).ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
         let now = self.clock.now();
         if now < m.retention_until {
             return Err(Error::WormViolation(format!(
@@ -323,11 +405,7 @@ impl WormServer {
     /// Trusted metadata for a file.
     pub fn stat(&self, name: &str) -> Result<FileMeta> {
         let inner = self.inner.lock();
-        inner
-            .meta
-            .get(name)
-            .cloned()
-            .ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))
+        inner.meta.get(name).cloned().ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))
     }
 
     /// Whether the file exists (has been created and not expired+deleted).
@@ -393,8 +471,11 @@ mod tests {
         impl TempDir {
             pub fn new() -> TempDir {
                 let n = NEXT.fetch_add(1, Ordering::SeqCst);
-                let p = std::env::temp_dir()
-                    .join(format!("ccdb-worm-test-{}-{}", std::process::id(), n));
+                let p = std::env::temp_dir().join(format!(
+                    "ccdb-worm-test-{}-{}",
+                    std::process::id(),
+                    n
+                ));
                 std::fs::create_dir_all(&p).unwrap();
                 TempDir(p)
             }
@@ -526,6 +607,100 @@ mod tests {
         s.create("witness/interval-1", Timestamp::MAX).unwrap();
         assert_eq!(s.read_all("witness/interval-1").unwrap(), Vec::<u8>::new());
         assert_eq!(s.stat("witness/interval-1").unwrap().create_time, Timestamp(5));
+    }
+
+    #[test]
+    fn injected_torn_append_is_never_acknowledged() {
+        use ccdb_storage::{FaultInjector, FaultKind, FaultPlan};
+        let clock = Arc::new(VirtualClock::new());
+        let dir = tempdir::TempDir::new();
+        {
+            let s = WormServer::open(dir.path(), clock.clone()).unwrap();
+            let f = s.create("L/e0", Timestamp::MAX).unwrap();
+            // Tear the second append: only a prefix of the payload reaches the
+            // backing file, and the trusted metadata never sees it.
+            let inj = Arc::new(FaultInjector::armed(FaultPlan::single(
+                IoPoint::WormAppend,
+                2,
+                FaultKind::Torn { keep_permille: 500 },
+            )));
+            s.set_fault_injector(Some(inj.clone()));
+            s.append(&f, b"good-record|").unwrap();
+            let err = s.append(&f, b"second-record").unwrap_err();
+            assert!(err.is_injected(), "unexpected error {err:?}");
+            // Trusted metadata still describes only the acknowledged bytes.
+            assert_eq!(s.stat("L/e0").unwrap().len, 12);
+            // …but the backing file is longer (the torn prefix).
+            assert!(s.backing_len("L/e0").unwrap() > 12);
+            // Post-crash: all further appends are suppressed (append-only
+            // contract holds — the device never half-works).
+            assert!(s.append(&f, b"more").unwrap_err().is_injected());
+        }
+        // Reopen = device restart. Reconciliation truncates the
+        // unacknowledged tail; reads are consistent with trusted metadata.
+        let s2 = WormServer::open(dir.path(), clock).unwrap();
+        assert_eq!(s2.stat("L/e0").unwrap().len, 12);
+        assert_eq!(s2.backing_len("L/e0").unwrap(), 12);
+        assert_eq!(s2.read_all("L/e0").unwrap(), b"good-record|");
+        // The file is still appendable — it was never sealed or corrupted.
+        let f = s2.handle("L/e0").unwrap();
+        s2.append(&f, b"after").unwrap();
+        assert_eq!(s2.read_all("L/e0").unwrap(), b"good-record|after");
+    }
+
+    #[test]
+    fn injected_transient_append_error_is_retryable() {
+        use ccdb_storage::{FaultInjector, FaultKind, FaultPlan};
+        let (s, _, _d) = server();
+        let f = s.create("x", Timestamp::MAX).unwrap();
+        let inj = Arc::new(FaultInjector::armed(FaultPlan::single(
+            IoPoint::WormAppend,
+            1,
+            FaultKind::Transient,
+        )));
+        s.set_fault_injector(Some(inj));
+        let err = s.append(&f, b"payload").unwrap_err();
+        assert!(err.is_injected());
+        // Nothing was written, nothing acknowledged.
+        assert_eq!(s.stat("x").unwrap().len, 0);
+        assert_eq!(s.backing_len("x").unwrap(), 0);
+        // The retry succeeds (transient faults fire once).
+        s.append(&f, b"payload").unwrap();
+        assert_eq!(s.read_all("x").unwrap(), b"payload");
+    }
+
+    #[test]
+    fn backing_len_exposes_tail_truncation() {
+        // The accessor the auditor uses to call out WORM tampering.
+        let (s, _, d) = server();
+        let f = s.create("t", Timestamp::MAX).unwrap();
+        s.append(&f, b"0123456789").unwrap();
+        assert_eq!(s.backing_len("t").unwrap(), 10);
+        let path = d.path().join("data/t");
+        let fh = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        fh.set_len(4).unwrap();
+        assert_eq!(s.backing_len("t").unwrap(), 4);
+        assert_eq!(s.stat("t").unwrap().len, 10); // trusted length unchanged
+    }
+
+    #[test]
+    fn reconcile_leaves_short_backing_files_alone() {
+        // A SHORT backing file is tampering evidence; reopen must not mask it.
+        let clock = Arc::new(VirtualClock::new());
+        let dir = tempdir::TempDir::new();
+        {
+            let s = WormServer::open(dir.path(), clock.clone()).unwrap();
+            let f = s.create("t", Timestamp::MAX).unwrap();
+            s.append(&f, b"0123456789").unwrap();
+        }
+        let path = dir.path().join("data/t");
+        let fh = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        fh.set_len(4).unwrap();
+        drop(fh);
+        let s2 = WormServer::open(dir.path(), clock).unwrap();
+        assert_eq!(s2.backing_len("t").unwrap(), 4);
+        assert_eq!(s2.stat("t").unwrap().len, 10);
+        assert!(s2.read_all("t").is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use ccdb_common::{Clock, Duration, Error, Timestamp, VirtualClock};
+use ccdb_common::{Duration, Error, Timestamp, VirtualClock};
 use ccdb_worm::WormServer;
 
 struct TempDir(PathBuf);

@@ -78,9 +78,8 @@ fn main() {
     assert!(db.audit().unwrap().is_clean());
 
     // --- WORM migration: hot audit-log relation sheds its history ---------
-    let visits = db
-        .create_relation("visit_counters", SplitPolicy::TimeSplit { threshold: 0.8 })
-        .unwrap();
+    let visits =
+        db.create_relation("visit_counters", SplitPolicy::TimeSplit { threshold: 0.8 }).unwrap();
     for round in 0..150u32 {
         let t = db.begin().unwrap();
         for room in 0..8 {

@@ -47,8 +47,7 @@ fn main() {
         let db = open(&dir, Mode::LogConsistent);
         seed_ledger(&db);
         let mala = Mala::new(db.engine().db_path());
-        mala.alter_tuple_value(b"2007-Q3-offshore-transfer", b"amount=$0;approved=NOBODY")
-            .unwrap();
+        mala.alter_tuple_value(b"2007-Q3-offshore-transfer", b"amount=$0;approved=NOBODY").unwrap();
         println!("Mala rewrote Q3 with a file editor (checksum fixed, sort order kept)");
         let report = db.audit().unwrap();
         assert!(!report.is_clean());
@@ -70,7 +69,8 @@ fn main() {
         let ledger = seed_ledger(&db);
         let mala = Mala::new(db.engine().db_path());
         // Tamper, let a regulator's query read the fake value…
-        let (pgno, pristine) = mala.snapshot_page_with(b"2007-Q5-offshore-transfer").unwrap().unwrap();
+        let (pgno, pristine) =
+            mala.snapshot_page_with(b"2007-Q5-offshore-transfer").unwrap().unwrap();
         mala.alter_tuple_value(b"2007-Q5-offshore-transfer", b"amount=$0;approved=NOBODY").unwrap();
         let t = db.begin().unwrap();
         let seen = db.read(t, ledger, b"2007-Q5-offshore-transfer").unwrap().unwrap();
@@ -80,10 +80,8 @@ fn main() {
         db.engine().clear_cache().unwrap();
         mala.restore_page(pgno, &pristine).unwrap();
         let report = db.audit().unwrap();
-        let caught = report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::ReadHashMismatch { .. }));
+        let caught =
+            report.violations.iter().any(|v| matches!(v, Violation::ReadHashMismatch { .. }));
         println!(
             "[{label}] audit: {}",
             if report.is_clean() {

@@ -94,10 +94,9 @@ fn main() -> ccdb::common::Result<()> {
             LogRecord::Migrate { pgno, worm_file, .. } => {
                 format!("MIGRATE     {pgno:?} -> worm:{worm_file}")
             }
-            LogRecord::Shredded { key, shred_time, .. } => format!(
-                "SHREDDED    key={} at {shred_time:?}",
-                String::from_utf8_lossy(&key)
-            ),
+            LogRecord::Shredded { key, shred_time, .. } => {
+                format!("SHREDDED    key={} at {shred_time:?}", String::from_utf8_lossy(&key))
+            }
             LogRecord::StartRecovery { time } => format!("START_RECOVERY at {time:?}"),
         };
         println!("{off:>8}  {line}");

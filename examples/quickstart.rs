@@ -39,7 +39,10 @@ fn main() -> ccdb::common::Result<()> {
     db.write(t2, accounts, b"alice", b"balance=75")?;
     db.commit(t2)?;
     let t = db.begin()?;
-    println!("alice now:          {:?}", String::from_utf8_lossy(&db.read(t, accounts, b"alice")?.unwrap()));
+    println!(
+        "alice now:          {:?}",
+        String::from_utf8_lossy(&db.read(t, accounts, b"alice")?.unwrap())
+    );
     db.commit(t)?;
     println!(
         "alice as of commit1: {:?}",

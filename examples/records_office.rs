@@ -52,7 +52,10 @@ fn main() {
     // Temporal queries answer title searches from history.
     let mid = legitimate_times[25];
     let owner = db.read_as_of(deeds, b"parcel-010", mid).unwrap().unwrap();
-    println!("title search as of mid-year: parcel-010 owned by {}", String::from_utf8_lossy(&owner));
+    println!(
+        "title search as of mid-year: parcel-010 owned by {}",
+        String::from_utf8_lossy(&owner)
+    );
 
     // Year two: the clerk forges a deed claiming a transfer happened during
     // year one. The forgery is careful — correct sort position, valid
@@ -70,7 +73,10 @@ fn main() {
     let t = db.begin().unwrap();
     let forged = db.read(t, deeds, b"parcel-777").unwrap();
     db.commit(t).unwrap();
-    println!("queries now see: parcel-777 -> {:?}", forged.map(|v| String::from_utf8_lossy(&v).into_owned()));
+    println!(
+        "queries now see: parcel-777 -> {:?}",
+        forged.map(|v| String::from_utf8_lossy(&v).into_owned())
+    );
 
     // …but the year-two audit fails: the tuple is in the final state without
     // a NEW_TUPLE record on WORM or a place in the year-one snapshot.
@@ -78,10 +84,7 @@ fn main() {
     assert!(!report.is_clean());
     let completeness =
         report.violations.iter().any(|v| matches!(v, Violation::CompletenessMismatch));
-    println!(
-        "\nyear-2 audit: TAMPERING DETECTED (completeness mismatch: {})",
-        completeness
-    );
+    println!("\nyear-2 audit: TAMPERING DETECTED (completeness mismatch: {})", completeness);
     println!("under current regulatory interpretation, detectable tampering");
     println!("leads to presumption of guilt — the forged deed cannot stand.");
 

@@ -101,9 +101,7 @@ fn post_hoc_insertion_of_backdated_records_is_detected() {
     // electronic records, such as records of births, deaths, marriages…".
     let (db, _c, _d) = setup("backdate", Mode::LogConsistent);
     let rel = seed(&db, 200);
-    assert!(mala(&db)
-        .backdate_insert(rel, b"acct-9999", b"born=1985", Timestamp(10))
-        .unwrap());
+    assert!(mala(&db).backdate_insert(rel, b"acct-9999", b"born=1985", Timestamp(10)).unwrap());
     let report = db.audit().unwrap();
     assert!(
         report.violations.iter().any(|v| matches!(v, Violation::CompletenessMismatch)),
@@ -119,10 +117,7 @@ fn fig2b_swapped_leaf_entries_detected_by_sort_check() {
     assert!(mala(&db).swap_leaf_entries().unwrap());
     let report = db.audit().unwrap();
     assert!(
-        report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::TreeIntegrity(_))),
+        report.violations.iter().any(|v| matches!(v, Violation::TreeIntegrity(_))),
         "{:?}",
         report.violations
     );
@@ -135,10 +130,10 @@ fn fig2c_tampered_separator_detected_by_parent_child_check() {
     assert!(mala(&db).corrupt_separator().unwrap(), "no inner page found to corrupt");
     let report = db.audit().unwrap();
     assert!(
-        report.violations.iter().any(|v| matches!(
-            v,
-            Violation::TreeIntegrity(_) | Violation::IndexMismatch { .. }
-        )),
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TreeIntegrity(_) | Violation::IndexMismatch { .. })),
         "{:?}",
         report.violations
     );
@@ -169,10 +164,7 @@ fn state_reversion_attack_beats_log_consistent_but_not_hash_on_read() {
         let report = db.audit().unwrap();
         if expect_detection {
             assert!(
-                report
-                    .violations
-                    .iter()
-                    .any(|v| matches!(v, Violation::ReadHashMismatch { .. })),
+                report.violations.iter().any(|v| matches!(v, Violation::ReadHashMismatch { .. })),
                 "hash-on-read must catch reversion: {:?}",
                 report.violations
             );
@@ -196,16 +188,10 @@ fn spurious_abort_appended_to_l_is_detected() {
     // Find a committed transaction to "abort": txn ids start above 1.
     let victim_txn = TxnId(5);
     let plugin = db.plugin().unwrap().clone();
-    plugin
-        .logger()
-        .append_flush(&ccdb::compliance::LogRecord::Abort { txn: victim_txn })
-        .unwrap();
+    plugin.logger().append_flush(&ccdb::compliance::LogRecord::Abort { txn: victim_txn }).unwrap();
     let report = db.audit().unwrap();
     assert!(
-        report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::ConflictingStatus { .. })),
+        report.violations.iter().any(|v| matches!(v, Violation::ConflictingStatus { .. })),
         "{:?}",
         report.violations
     );
@@ -227,10 +213,7 @@ fn backdated_stamp_appended_to_l_is_detected() {
         .unwrap();
     let report = db.audit().unwrap();
     assert!(
-        report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::CommitTimesNotMonotonic { .. })),
+        report.violations.iter().any(|v| matches!(v, Violation::CommitTimesNotMonotonic { .. })),
         "{:?}",
         report.violations
     );
@@ -276,10 +259,7 @@ fn wal_wipe_after_crash_cannot_unwind_commits() {
     db.commit(t).unwrap();
     let report = db.audit().unwrap();
     assert!(
-        report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::WalTailInconsistent { .. })),
+        report.violations.iter().any(|v| matches!(v, Violation::WalTailInconsistent { .. })),
         "{:?}",
         report.violations
     );
@@ -326,17 +306,17 @@ fn forensics_localize_the_exact_tampered_tuple() {
     let m = mala(&db);
     assert!(m.alter_tuple_value(b"acct-0033", b"balance=overwritten").unwrap());
     assert!(m.delete_tuple(b"acct-0077").unwrap());
-    assert!(m
-        .backdate_insert(rel, b"acct-zzzz", b"forged", Timestamp(99))
-        .unwrap());
+    assert!(m.backdate_insert(rel, b"acct-zzzz", b"forged", Timestamp(99)).unwrap());
     let report = db.audit().unwrap();
     assert!(!report.is_clean());
     use ccdb::compliance::TupleFinding;
-    let altered = report.forensics.iter().any(|f| matches!(
-        f,
-        TupleFinding::Altered { key, found, .. }
-            if key == b"acct-0033" && found == b"balance=overwritten"
-    ));
+    let altered = report.forensics.iter().any(|f| {
+        matches!(
+            f,
+            TupleFinding::Altered { key, found, .. }
+                if key == b"acct-0033" && found == b"balance=overwritten"
+        )
+    });
     let missing = report
         .forensics
         .iter()

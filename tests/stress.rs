@@ -11,11 +11,7 @@ use ccdb::compliance::{ComplianceConfig, CompliantDb, Mode};
 struct TempDir(PathBuf);
 impl TempDir {
     fn new(tag: &str) -> TempDir {
-        let p = std::env::temp_dir().join(format!(
-            "ccdb-stress-{}-{}",
-            std::process::id(),
-            tag
-        ));
+        let p = std::env::temp_dir().join(format!("ccdb-stress-{}-{}", std::process::id(), tag));
         let _ = std::fs::remove_dir_all(&p);
         std::fs::create_dir_all(&p).unwrap();
         TempDir(p)
