@@ -1,0 +1,140 @@
+//! Commit-pipeline benchmark: group-commit WAL flushing vs the per-commit
+//! fsync baseline, single-threaded and with 8 concurrent committers.
+//!
+//! Runs against the raw engine (no compliance plugin) with **fsync on** —
+//! the whole point of group commit is amortizing the fsync, so benching
+//! with fsync off would measure nothing. Writes `BENCH_PR4.json` into the
+//! repo root (override with `CCDB_BENCH_OUT`).
+//!
+//! Usage: `cargo run --release -p ccdb-bench --bin commit_bench`
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ccdb_bench::TempDir;
+use ccdb_btree::SplitPolicy;
+use ccdb_common::{Duration, VirtualClock};
+use ccdb_engine::{Engine, EngineConfig};
+
+/// Transactions per scenario (divisible by every thread count).
+const TXNS: u32 = 480;
+/// Runs per scenario; the best (least interference) run is reported.
+const RUNS: usize = 2;
+
+struct Scenario {
+    threads: u32,
+    group_commit: bool,
+}
+
+struct Outcome {
+    threads: u32,
+    group_commit: bool,
+    secs: f64,
+    commits_per_sec: f64,
+    batches: u64,
+    txns_per_batch: f64,
+    fsyncs_saved: u64,
+}
+
+fn run(s: &Scenario) -> Outcome {
+    let d = TempDir::new(&format!("commit-{}t-{}", s.threads, s.group_commit));
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(25)));
+    let mut cfg = EngineConfig::new(&d.0, 256);
+    cfg.group_commit = s.group_commit;
+    let e = Arc::new(Engine::open(cfg, clock).unwrap());
+    let rel = e.create_relation("bench", SplitPolicy::KeyOnly).unwrap();
+
+    let per_thread = TXNS / s.threads;
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..s.threads {
+        let e = e.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per_thread {
+                let t = e.begin().unwrap();
+                e.write(t, rel, format!("w{w}-k{i:05}").as_bytes(), &i.to_le_bytes()).unwrap();
+                e.commit(t).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let stats = e.stats();
+    Outcome {
+        threads: s.threads,
+        group_commit: s.group_commit,
+        secs,
+        commits_per_sec: f64::from(TXNS) / secs,
+        batches: stats.group_commit_batches,
+        txns_per_batch: if stats.group_commit_batches > 0 {
+            stats.group_commit_txns as f64 / stats.group_commit_batches as f64
+        } else {
+            0.0
+        },
+        fsyncs_saved: stats.fsyncs_saved,
+    }
+}
+
+fn main() {
+    let scenarios = [
+        Scenario { threads: 1, group_commit: false },
+        Scenario { threads: 1, group_commit: true },
+        Scenario { threads: 8, group_commit: false },
+        Scenario { threads: 8, group_commit: true },
+    ];
+    let mut outcomes = Vec::new();
+    for s in &scenarios {
+        let o = (0..RUNS)
+            .map(|_| run(s))
+            .max_by(|a, b| a.commits_per_sec.total_cmp(&b.commits_per_sec))
+            .expect("RUNS > 0");
+        println!(
+            "{} thread(s), group_commit={:<5} {:8.1} commits/s  ({:.3}s, {} batches, {:.1} txns/batch, {} fsyncs saved)",
+            o.threads, o.group_commit, o.commits_per_sec, o.secs, o.batches, o.txns_per_batch, o.fsyncs_saved
+        );
+        outcomes.push(o);
+    }
+    let base_8t = outcomes
+        .iter()
+        .find(|o| o.threads == 8 && !o.group_commit)
+        .map(|o| o.commits_per_sec)
+        .unwrap();
+    let group_8t = outcomes
+        .iter()
+        .find(|o| o.threads == 8 && o.group_commit)
+        .map(|o| o.commits_per_sec)
+        .unwrap();
+    let speedup = group_8t / base_8t;
+    println!("8-thread speedup (group commit vs per-commit fsync): {speedup:.2}x");
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"commit-pipeline\",\n");
+    json.push_str("  \"fsync\": true,\n");
+    json.push_str(&format!("  \"txns_per_scenario\": {TXNS},\n"));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"group_commit\": {}, \"secs\": {:.4}, \"commits_per_sec\": {:.1}, \"batches\": {}, \"txns_per_batch\": {:.2}, \"fsyncs_saved\": {}}}{}\n",
+            o.threads,
+            o.group_commit,
+            o.secs,
+            o.commits_per_sec,
+            o.batches,
+            o.txns_per_batch,
+            o.fsyncs_saved,
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_8t_group_vs_per_commit_fsync\": {speedup:.2}\n"));
+    json.push_str("}\n");
+
+    let out = std::env::var("CCDB_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json"));
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {}", out.display());
+}

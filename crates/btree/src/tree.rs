@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use ccdb_common::sync::Mutex;
+use ccdb_common::sync::{Mutex, RwLock};
 use ccdb_common::{ClockRef, Error, PageNo, RelId, Result, Timestamp, TxnId};
 use ccdb_storage::{BufferPool, Page, PageType, TupleVersion, WriteTime};
 use ccdb_wal::{PageOp, PageOpSink, RelMetaOp};
@@ -36,14 +36,28 @@ pub struct TreeStats {
 }
 
 /// A versioned B+-tree over one relation.
+///
+/// # Concurrency
+///
+/// Each tree carries its own **operation lock** (`op`): mutations
+/// (`insert`/`stamp`/`remove_version`) take it exclusively — a split
+/// restructures multiple pages and must not interleave with a descent —
+/// while scans take it shared, so readers of one relation run concurrently
+/// with each other and operations on *different* relations (different
+/// `BTree` instances) never serialize at all. Public entry points take the
+/// lock exactly once and delegate to non-locking internals (std `RwLock` is
+/// not reentrant). In the lock hierarchy the op lock ranks below the
+/// engine's maps and above the buffer pool's shard locks.
 pub struct BTree {
     pool: Arc<BufferPool>,
     clock: ClockRef,
     rel: RelId,
     policy: SplitPolicy,
+    /// Tree-structure operation lock (see the type-level docs).
+    op: RwLock<()>,
     root: Mutex<PageNo>,
-    hooks: Mutex<Option<Arc<dyn StructureHooks>>>,
-    sink: Mutex<Option<Arc<dyn PageOpSink>>>,
+    hooks: RwLock<Option<Arc<dyn StructureHooks>>>,
+    sink: RwLock<Option<Arc<dyn PageOpSink>>>,
     historical: Mutex<Vec<PageNo>>,
     stats: Mutex<TreeStats>,
 }
@@ -76,9 +90,10 @@ impl BTree {
             clock,
             rel,
             policy,
+            op: RwLock::new(()),
             root: Mutex::new(root),
-            hooks: Mutex::new(None),
-            sink: Mutex::new(None),
+            hooks: RwLock::new(None),
+            sink: RwLock::new(None),
             historical: Mutex::new(Vec::new()),
             stats: Mutex::new(TreeStats::default()),
         })
@@ -99,9 +114,10 @@ impl BTree {
             clock,
             rel,
             policy,
+            op: RwLock::new(()),
             root: Mutex::new(root),
-            hooks: Mutex::new(None),
-            sink: Mutex::new(None),
+            hooks: RwLock::new(None),
+            sink: RwLock::new(None),
             historical: Mutex::new(historical),
             stats: Mutex::new(TreeStats::default()),
         }
@@ -109,12 +125,12 @@ impl BTree {
 
     /// Installs structure-modification hooks (the compliance plugin).
     pub fn set_hooks(&self, hooks: Arc<dyn StructureHooks>) {
-        *self.hooks.lock() = Some(hooks);
+        *self.hooks.write() = Some(hooks);
     }
 
     /// Installs the redo-log sink (the engine's WAL).
     pub fn set_sink(&self, sink: Arc<dyn PageOpSink>) {
-        *self.sink.lock() = Some(sink);
+        *self.sink.write() = Some(sink);
     }
 
     /// Logs one physiological op, applying the full-page-write rule: the
@@ -130,7 +146,7 @@ impl BTree {
     /// Call sites mutate the page *before* logging, so `page.as_bytes()` is
     /// the post-op image and `page.dirty` still reflects pre-op cleanliness.
     fn log_op(&self, txn: TxnId, page: &mut Page, op: PageOp) -> Result<()> {
-        if let Some(s) = self.sink.lock().clone() {
+        if let Some(s) = self.sink.read().clone() {
             let op = if !page.dirty && !matches!(op, PageOp::SetImage { .. }) {
                 PageOp::SetImage { pgno: page.pgno(), image: page.as_bytes().to_vec() }
             } else {
@@ -149,7 +165,7 @@ impl BTree {
     }
 
     fn log_meta(&self, meta: RelMetaOp) -> Result<()> {
-        if let Some(s) = self.sink.lock().clone() {
+        if let Some(s) = self.sink.read().clone() {
             s.log_rel_meta(self.rel, &meta)?;
         }
         Ok(())
@@ -190,7 +206,7 @@ impl BTree {
     }
 
     fn with_hooks(&self, f: impl FnOnce(&dyn StructureHooks)) {
-        if let Some(h) = self.hooks.lock().clone() {
+        if let Some(h) = self.hooks.read().clone() {
             f(h.as_ref());
         }
     }
@@ -283,13 +299,15 @@ impl BTree {
     }
 
     /// Calls `f` on every live tuple version with order in `[lo, hi]`
-    /// (inclusive), in order.
+    /// (inclusive), in order. Takes the tree's shared operation lock: scans
+    /// run concurrently with each other but not with splits.
     pub fn scan_range(
         &self,
         lo: (&[u8], TimeRank),
         hi: (&[u8], TimeRank),
         f: &mut dyn FnMut(&TupleVersion) -> Result<()>,
     ) -> Result<()> {
+        let _shared = self.op.read();
         self.scan_node(self.root(), lo, hi, f)
     }
 
@@ -337,8 +355,9 @@ impl BTree {
     /// All live versions of `key`, in time order (live tree only; historical
     /// pages are the engine's to search).
     pub fn versions(&self, key: &[u8]) -> Result<Vec<TupleVersion>> {
+        let _shared = self.op.read();
         let mut out = Vec::new();
-        self.scan_range((key, TimeRank::MIN), (key, TimeRank::MAX), &mut |t| {
+        self.scan_node(self.root(), (key, TimeRank::MIN), (key, TimeRank::MAX), &mut |t| {
             out.push(t.clone());
             Ok(())
         })?;
@@ -347,7 +366,10 @@ impl BTree {
 
     /// Every live tuple version in the tree, in `(key, time)` order.
     pub fn scan_all(&self, f: &mut dyn FnMut(&TupleVersion) -> Result<()>) -> Result<()> {
-        for leaf in self.leaf_pgnos()? {
+        let _shared = self.op.read();
+        let mut leaves = Vec::new();
+        self.collect_leaves(self.root(), &mut leaves)?;
+        for leaf in leaves {
             let frame = self.pool.fetch(leaf)?;
             let page = frame.read();
             for cell in page.cells() {
@@ -360,6 +382,7 @@ impl BTree {
 
     /// The leaf pages of the live tree, in key order.
     pub fn leaf_pgnos(&self) -> Result<Vec<PageNo>> {
+        let _shared = self.op.read();
         let mut out = Vec::new();
         self.collect_leaves(self.root(), &mut out)?;
         Ok(out)
@@ -387,6 +410,7 @@ impl BTree {
 
     /// Number of inner pages in the live tree.
     pub fn inner_page_count(&self) -> Result<usize> {
+        let _shared = self.op.read();
         fn walk(tree: &BTree, pgno: PageNo, acc: &mut usize) -> Result<()> {
             let frame = tree.pool.fetch(pgno)?;
             let page = frame.read();
@@ -416,6 +440,7 @@ impl BTree {
         end_of_life: bool,
         value: Vec<u8>,
     ) -> Result<()> {
+        let _excl = self.op.write();
         let rank = TimeRank::from(time);
         let mut tuple =
             TupleVersion { rel: self.rel, key: key.to_vec(), time, seq: 0, end_of_life, value };
@@ -463,6 +488,7 @@ impl BTree {
     /// so everything left of the stamped version is already committed and
     /// the lowered bound stays above the left sibling's maximum.
     pub fn stamp(&self, key: &[u8], txn: TxnId, commit: Timestamp) -> Result<usize> {
+        let _excl = self.op.write();
         let rank = TimeRank::pending(txn);
         let mut stamped = 0;
         for (path, leaf) in self.leaf_paths_for_range((key, rank), (key, rank))? {
@@ -544,6 +570,7 @@ impl BTree {
     /// an aborted write, or vacuuming of an expired version). Returns the
     /// removed version.
     pub fn remove_version(&self, key: &[u8], rank: TimeRank) -> Result<Option<TupleVersion>> {
+        let _excl = self.op.write();
         for (_path, leaf) in self.leaf_paths_for_range((key, rank), (key, rank))? {
             let frame = self.pool.fetch(leaf)?;
             let mut page = frame.write();
@@ -724,13 +751,21 @@ impl BTree {
         let mut live: Vec<TupleVersion> = Vec::new();
         let mut intermediates: Vec<TupleVersion> = Vec::new();
         for (i, v) in tuples.iter().enumerate() {
-            let next_commit =
-                tuples.get(i + 1).filter(|n| n.key == v.key).and_then(|n| n.time.committed());
+            let next = tuples.get(i + 1).filter(|n| n.key == v.key);
+            let next_commit = next.and_then(|n| n.time.committed());
             match v.time {
                 WriteTime::Pending(_) => live.push(v.clone()), // in-flight: stays live as-is
                 WriteTime::Committed(_start) => {
                     match next_commit {
                         Some(nc) if nc <= t_split => historical.push(v.clone()), // dead before t
+                        // Successor exists but is still pending: with lazy
+                        // timestamping its txn may already have committed at
+                        // a time *before* `t_split`, so `v`'s death time is
+                        // unknown here. It must stay live as-is — creating an
+                        // intermediate at `t_split` would leave the live leaf
+                        // out of (key, time) order once the successor stamps,
+                        // and would shadow the successor for AS OF reads.
+                        None if next.is_some() => live.push(v.clone()),
                         _ => {
                             // Current version: validity spans t_split.
                             // Original goes to the historical page; an

@@ -461,3 +461,50 @@ fn timestamp_value_visible_in_time_rank_roundtrip() {
     let t = Timestamp(123);
     assert_eq!(TimeRank::committed(t), TimeRank::from(WriteTime::Committed(t)));
 }
+
+#[test]
+fn time_split_with_lazily_stamped_versions_keeps_leaf_order() {
+    // Lazy timestamping means a Pending version's txn may already have
+    // committed — at a time *earlier* than any split that happens before the
+    // stamper catches up. A time split must therefore never synthesize an
+    // intermediate (at t_split) for a version whose successor is still
+    // pending: when the successor later stamps below t_split, the leaf would
+    // go out of (key, time) order and the intermediate would shadow the
+    // successor for AS OF reads.
+    let (pool, clock, tree, _tf) = setup("lazystamp", SplitPolicy::TimeSplit { threshold: 0.5 });
+    let mut txn = 0u64;
+    // (key, txn, commit time) not yet stamped — a tiny stamp queue.
+    let mut queue: Vec<(String, TxnId, Timestamp)> = Vec::new();
+    for round in 0..120u32 {
+        for k in 0..8 {
+            let key = format!("hot-{k}");
+            txn += 1;
+            tree.insert(key.as_bytes(), WriteTime::Pending(TxnId(txn)), false, vec![k as u8])
+                .unwrap();
+            // Commit "now", but stamp lazily a few rounds later — splits in
+            // between see the version as Pending.
+            queue.push((key, TxnId(txn), clock.now()));
+        }
+        if round % 5 == 4 {
+            for (key, t, commit) in queue.drain(..) {
+                assert_eq!(tree.stamp(key.as_bytes(), t, commit).unwrap(), 1);
+            }
+        }
+    }
+    for (key, t, commit) in queue.drain(..) {
+        assert_eq!(tree.stamp(key.as_bytes(), t, commit).unwrap(), 1);
+    }
+    assert!(tree.stats().time_splits > 0, "workload must exercise time splits: {:?}", tree.stats());
+    let errs = check_tree(&pool, &tree).unwrap();
+    assert!(errs.is_empty(), "tree integrity after lazy stamping: {errs:?}");
+    // Version history per key is in nondecreasing commit-time order.
+    for k in 0..8 {
+        let vs = tree.versions(format!("hot-{k}").as_bytes()).unwrap();
+        let mut last = Timestamp(0);
+        for v in &vs {
+            let t = v.time.committed().expect("all stamped");
+            assert!(t >= last, "hot-{k}: {t:?} after {last:?}");
+            last = t;
+        }
+    }
+}

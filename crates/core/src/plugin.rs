@@ -303,23 +303,30 @@ impl PageStore for CompliancePlugin {
             PageType::Leaf => {
                 let tuples: Vec<TupleVersion> =
                     page.cells().map(TupleVersion::decode_cell).collect::<Result<_>>()?;
-                if self.hash_on_read && !self.state.lock().in_recovery {
-                    let st = self.state.lock();
+                // Hash + READ append happen under one state-lock hold: the
+                // auditor's replay rule is "a tuple hashes with its commit
+                // time iff its STAMP_TRANS appears earlier in L than the
+                // READ". A concurrent commit interleaving its STAMP_TRANS
+                // between our hash (which resolved the txn as pending) and
+                // our READ append would make an honest read audit as a
+                // violation, so both must be atomic against `on_commit`.
+                let mut st = self.state.lock();
+                if self.hash_on_read && !st.in_recovery {
                     let hs = leaf_hs(&tuples, |txn| st.commit_times.get(&txn).copied());
-                    drop(st);
                     self.logger.append(&LogRecord::Read { pgno, hs })?;
-                    self.state.lock().stats.reads_hashed += 1;
+                    st.stats.reads_hashed += 1;
                 }
-                self.state.lock().pristine.insert(pgno, tuples);
+                st.pristine.insert(pgno, tuples);
             }
             PageType::Inner => {
-                if self.hash_on_read && !self.state.lock().in_recovery {
-                    let hs = inner_hs(page.cells());
-                    self.logger.append(&LogRecord::Read { pgno, hs })?;
-                    self.state.lock().stats.reads_hashed += 1;
-                }
                 let cells: Vec<Vec<u8>> = page.cells().map(|c| c.to_vec()).collect();
-                self.state.lock().pristine_inner.insert(pgno, cells);
+                let mut st = self.state.lock();
+                if self.hash_on_read && !st.in_recovery {
+                    let hs = inner_hs(cells.iter().map(|c| c.as_slice()));
+                    self.logger.append(&LogRecord::Read { pgno, hs })?;
+                    st.stats.reads_hashed += 1;
+                }
+                st.pristine_inner.insert(pgno, cells);
             }
             _ => {}
         }
@@ -440,8 +447,16 @@ impl StructureHooks for CompliancePlugin {
 
 impl EngineHooks for CompliancePlugin {
     fn on_commit(&self, txn: TxnId, commit_time: Timestamp) -> Result<()> {
-        self.state.lock().commit_times.insert(txn, commit_time);
+        // Commit-time installation and the STAMP_TRANS append are one
+        // critical section (against the hash-on-read path in `pread`):
+        // otherwise a reader could hash this txn as pending yet append its
+        // READ *after* our STAMP_TRANS, which the auditor rejects. The
+        // engine invokes this hook in ticket order, so STAMP_TRANS records
+        // land on L in strictly increasing commit-time order.
+        let mut st = self.state.lock();
+        st.commit_times.insert(txn, commit_time);
         self.logger.append(&LogRecord::StampTrans { txn, commit_time })?;
+        drop(st);
         Ok(())
     }
 

@@ -1,21 +1,26 @@
 //! The engine proper: transactions, reads, writes, checkpoints, crash
 //! simulation, and the compliance seams.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ccdb_btree::{BTree, SplitPolicy, StructureHooks, TimeRank};
-use ccdb_common::sync::Mutex;
+use ccdb_common::sync::{Mutex, RwLock};
 use ccdb_common::{ClockRef, Duration, Error, Lsn, RelId, Result, Timestamp, TxnId};
 use ccdb_storage::{BufferPool, BufferStats, DiskManager, PageStore, TupleVersion, WriteTime};
 use ccdb_wal::log::MasterRecord;
 use ccdb_wal::{PageOp, PageOpSink, RelMetaOp, WalRecord, WalWriter};
 
 use crate::catalog::Catalog;
+use crate::commit::CommitPipeline;
 use crate::hooks::EngineHooks;
 use crate::recovery::{self, RecoveryReport};
+
+/// Default bound on the lazy-timestamping queue before committers start
+/// draining it incrementally (see [`EngineConfig::stamp_queue_limit`]).
+pub const DEFAULT_STAMP_QUEUE_LIMIT: usize = 1024;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -27,17 +32,55 @@ pub struct EngineConfig {
     /// Whether WAL flushes fsync (benchmarks disable; the workspace crash
     /// model is process-level).
     pub fsync: bool,
+    /// Group commit: committers enqueue their WAL record and a leader
+    /// flushes the whole batch with one fsync + one WORM tail-mirror
+    /// append. Disabling reverts to one flush per commit (the baseline).
+    pub group_commit: bool,
+    /// How long a flush leader stalls waiting for the batch to fill (µs).
+    /// 0 flushes immediately — batching still happens naturally because
+    /// followers accumulate while the leader's fsync is in flight.
+    pub flush_interval_us: u64,
+    /// Target batch size that ends the leader's stall early.
+    pub group_size: usize,
+    /// Lazy-timestamping queue bound: beyond this, committers drain the
+    /// queue incrementally instead of waiting for the next checkpoint.
+    pub stamp_queue_limit: usize,
 }
 
 impl EngineConfig {
-    /// Convenience constructor (fsync on).
+    /// Convenience constructor (fsync on, group commit on).
     pub fn new(dir: impl Into<PathBuf>, cache_pages: usize) -> EngineConfig {
-        EngineConfig { dir: dir.into(), cache_pages, fsync: true }
+        EngineConfig {
+            dir: dir.into(),
+            cache_pages,
+            fsync: true,
+            group_commit: true,
+            flush_interval_us: 0,
+            group_size: 8,
+            stamp_queue_limit: DEFAULT_STAMP_QUEUE_LIMIT,
+        }
     }
 
     /// Disables fsync (benchmark configurations).
     pub fn no_fsync(mut self) -> EngineConfig {
         self.fsync = false;
+        self
+    }
+
+    /// Disables group commit (per-commit flush — the pre-pipeline baseline).
+    pub fn no_group_commit(mut self) -> EngineConfig {
+        self.group_commit = false;
+        self
+    }
+
+    /// Sets the leader's batch-formation stall and target batch size.
+    pub fn group_commit_window(
+        mut self,
+        flush_interval_us: u64,
+        group_size: usize,
+    ) -> EngineConfig {
+        self.flush_interval_us = flush_interval_us;
+        self.group_size = group_size;
         self
     }
 }
@@ -47,6 +90,8 @@ impl EngineConfig {
 pub struct EngineStats {
     /// Buffer-pool counters.
     pub buffer: BufferStats,
+    /// Buffer-pool hit rate (0.0 when no fetches yet).
+    pub buffer_hit_rate: f64,
     /// WAL length in bytes.
     pub wal_bytes: u64,
     /// Pages ever allocated in the database file.
@@ -55,6 +100,73 @@ pub struct EngineStats {
     pub commits: u64,
     /// Transactions aborted.
     pub aborts: u64,
+    /// Group-commit batches flushed (each is one fsync + one tail-mirror
+    /// append).
+    pub group_commit_batches: u64,
+    /// Transactions made durable through the group-commit pipeline.
+    pub group_commit_txns: u64,
+    /// Fsyncs avoided by batching (`group_commit_txns - group_commit_batches`).
+    pub fsyncs_saved: u64,
+    /// Current lazy-timestamping queue length.
+    pub stamp_queue_len: usize,
+}
+
+/// Number of shards in the active-transaction table.
+const TXN_SHARDS: usize = 16;
+
+/// Sharded map of active transactions: commits/aborts/writes of different
+/// transactions touch different shards and never contend.
+struct TxnTable {
+    shards: Vec<Mutex<HashMap<TxnId, TxnState>>>,
+}
+
+impl TxnTable {
+    fn new() -> TxnTable {
+        TxnTable { shards: (0..TXN_SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, txn: TxnId) -> &Mutex<HashMap<TxnId, TxnState>> {
+        &self.shards[(txn.0 as usize) % TXN_SHARDS]
+    }
+
+    fn insert(&self, txn: TxnId, state: TxnState) {
+        self.shard(txn).lock().insert(txn, state);
+    }
+
+    fn remove(&self, txn: TxnId) -> Option<TxnState> {
+        self.shard(txn).lock().remove(&txn)
+    }
+
+    fn contains(&self, txn: TxnId) -> bool {
+        self.shard(txn).lock().contains_key(&txn)
+    }
+
+    fn track_write(&self, txn: TxnId, rel: RelId, key: &[u8]) -> Result<()> {
+        let mut shard = self.shard(txn).lock();
+        let state = shard
+            .get_mut(&txn)
+            .ok_or_else(|| Error::InvalidTransactionState(format!("{txn} is not active")))?;
+        state.writes.push((rel, key.to_vec()));
+        Ok(())
+    }
+
+    fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    fn active(&self) -> Vec<(TxnId, Lsn)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.lock().iter().map(|(t, st)| (*t, st.begin_lsn)));
+        }
+        out
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+    }
 }
 
 /// The built-in relation holding per-relation retention periods — the
@@ -83,6 +195,17 @@ impl PageOpSink for EngineSink {
 }
 
 /// The transaction-time database engine.
+///
+/// # Lock hierarchy (acquire top-to-bottom, never upward)
+///
+/// 1. engine maps — `catalog` / `trees` / `txns` shard / `commit_times`
+/// 2. tree operation lock (`BTree::op`, per relation)
+/// 3. buffer-pool shard lock
+/// 4. page latch (`PageRef` RwLock)
+/// 5. WAL writer internal lock (via append / the pool's write barrier)
+///
+/// The commit pipeline's locks rank with the engine maps (level 1) and are
+/// never held while taking a tree or pool lock. See DESIGN.md §9.
 pub struct Engine {
     pub(crate) cfg: EngineConfig,
     pub(crate) clock: ClockRef,
@@ -90,18 +213,24 @@ pub struct Engine {
     pub(crate) pool: Arc<BufferPool>,
     pub(crate) wal: Arc<WalWriter>,
     pub(crate) master: MasterRecord,
-    pub(crate) catalog: Mutex<Catalog>,
-    pub(crate) trees: Mutex<HashMap<RelId, Arc<BTree>>>,
-    txns: Mutex<HashMap<TxnId, TxnState>>,
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) trees: RwLock<HashMap<RelId, Arc<BTree>>>,
+    txns: TxnTable,
     /// Commit times of transactions whose versions are not all stamped yet.
-    pub(crate) commit_times: Mutex<HashMap<TxnId, Timestamp>>,
-    /// Lazy-timestamping work queue.
+    /// Readers resolve `Pending` versions here without blocking writers.
+    pub(crate) commit_times: RwLock<HashMap<TxnId, Timestamp>>,
+    /// Lazy-timestamping work queue (FIFO: drained front-first so stamping
+    /// respects commit order).
     #[allow(clippy::type_complexity)]
-    stamp_queue: Mutex<Vec<(TxnId, Timestamp, Vec<(RelId, Vec<u8>)>)>>,
+    stamp_queue: Mutex<VecDeque<(TxnId, Timestamp, Vec<(RelId, Vec<u8>)>)>>,
+    /// Serializes stampers (checkpoint drains vs incremental drains).
+    stamper: Mutex<()>,
+    /// Group-commit coordination (sequencing, leader flush, finalize order).
+    pipeline: CommitPipeline,
     pub(crate) next_txn: AtomicU64,
     last_commit_us: AtomicU64,
-    pub(crate) hooks: Mutex<Option<Arc<dyn EngineHooks>>>,
-    pub(crate) tree_hooks: Mutex<Option<Arc<dyn StructureHooks>>>,
+    pub(crate) hooks: RwLock<Option<Arc<dyn EngineHooks>>>,
+    pub(crate) tree_hooks: RwLock<Option<Arc<dyn StructureHooks>>>,
     sink: Arc<EngineSink>,
     commits: AtomicU64,
     aborts: AtomicU64,
@@ -173,15 +302,17 @@ impl Engine {
             pool,
             wal,
             master,
-            catalog: Mutex::new(catalog),
-            trees: Mutex::new(HashMap::new()),
-            txns: Mutex::new(HashMap::new()),
-            commit_times: Mutex::new(HashMap::new()),
-            stamp_queue: Mutex::new(Vec::new()),
+            catalog: RwLock::new(catalog),
+            trees: RwLock::new(HashMap::new()),
+            txns: TxnTable::new(),
+            commit_times: RwLock::new(HashMap::new()),
+            stamp_queue: Mutex::new(VecDeque::new()),
+            stamper: Mutex::new(()),
+            pipeline: CommitPipeline::new(),
             next_txn: AtomicU64::new(next_txn),
             last_commit_us: AtomicU64::new(0),
-            hooks: Mutex::new(engine_hooks),
-            tree_hooks: Mutex::new(tree_hooks),
+            hooks: RwLock::new(engine_hooks),
+            tree_hooks: RwLock::new(tree_hooks),
             sink,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
@@ -195,7 +326,7 @@ impl Engine {
         } else {
             engine.build_trees()?;
         }
-        if engine.catalog.lock().by_name(EXPIRY_RELATION).is_none() {
+        if engine.catalog.read().by_name(EXPIRY_RELATION).is_none() {
             engine.create_relation(EXPIRY_RELATION, SplitPolicy::KeyOnly)?;
         }
         Ok(engine)
@@ -203,9 +334,9 @@ impl Engine {
 
     /// Instantiates `BTree` handles for every cataloged relation.
     pub(crate) fn build_trees(&self) -> Result<()> {
-        let mut trees = self.trees.lock();
+        let mut trees = self.trees.write();
         trees.clear();
-        let catalog = self.catalog.lock();
+        let catalog = self.catalog.read();
         for info in catalog.relations() {
             let tree = Arc::new(BTree::open(
                 self.pool.clone(),
@@ -216,7 +347,7 @@ impl Engine {
                 info.historical.clone(),
             ));
             tree.set_sink(self.sink.clone());
-            if let Some(h) = self.tree_hooks.lock().clone() {
+            if let Some(h) = self.tree_hooks.read().clone() {
                 tree.set_hooks(h);
             }
             trees.insert(info.rel, tree);
@@ -244,7 +375,7 @@ impl Engine {
             page.set_lsn(lsn);
         }
         let rel = {
-            let mut catalog = self.catalog.lock();
+            let mut catalog = self.catalog.write();
             let rel = catalog.create(name, policy, root)?;
             catalog.save(&self.catalog_path())?;
             rel
@@ -273,22 +404,22 @@ impl Engine {
             Vec::new(),
         ));
         tree.set_sink(self.sink.clone());
-        if let Some(h) = self.tree_hooks.lock().clone() {
+        if let Some(h) = self.tree_hooks.read().clone() {
             tree.set_hooks(h);
         }
-        self.trees.lock().insert(rel, tree);
+        self.trees.write().insert(rel, tree);
         Ok(rel)
     }
 
     /// Resolves a relation name.
     pub fn rel_id(&self, name: &str) -> Option<RelId> {
-        self.catalog.lock().by_name(name).map(|i| i.rel)
+        self.catalog.read().by_name(name).map(|i| i.rel)
     }
 
     /// The tree handle for a relation.
     pub fn tree(&self, rel: RelId) -> Result<Arc<BTree>> {
         self.trees
-            .lock()
+            .read()
             .get(&rel)
             .cloned()
             .ok_or_else(|| Error::NotFound(format!("relation {rel}")))
@@ -297,7 +428,7 @@ impl Engine {
     /// Names and ids of all user relations (excluding `sys.*`).
     pub fn user_relations(&self) -> Vec<(String, RelId)> {
         self.catalog
-            .lock()
+            .read()
             .relations()
             .filter(|i| !i.name.starts_with("sys."))
             .map(|i| (i.name.clone(), i.rel))
@@ -311,8 +442,8 @@ impl Engine {
     /// Synchronizes catalog root/historical fields from the live trees and
     /// persists it.
     pub(crate) fn save_catalog(&self) -> Result<()> {
-        let trees = self.trees.lock();
-        let mut catalog = self.catalog.lock();
+        let trees = self.trees.read();
+        let mut catalog = self.catalog.write();
         for (rel, tree) in trees.iter() {
             if let Some(info) = catalog.get_mut(*rel) {
                 info.root = tree.root();
@@ -329,20 +460,15 @@ impl Engine {
     pub fn begin(&self) -> Result<TxnId> {
         let txn = TxnId(self.next_txn.fetch_add(1, Ordering::SeqCst) + 1);
         let begin_lsn = self.wal.append(&WalRecord::Begin { txn })?;
-        self.txns.lock().insert(txn, TxnState { begin_lsn, writes: Vec::new() });
-        if let Some(h) = self.hooks.lock().clone() {
+        self.txns.insert(txn, TxnState { begin_lsn, writes: Vec::new() });
+        if let Some(h) = self.hooks.read().clone() {
             h.on_begin(txn)?;
         }
         Ok(txn)
     }
 
     fn tree_and_track(&self, txn: TxnId, rel: RelId, key: &[u8]) -> Result<Arc<BTree>> {
-        let mut txns = self.txns.lock();
-        let state = txns
-            .get_mut(&txn)
-            .ok_or_else(|| Error::InvalidTransactionState(format!("{txn} is not active")))?;
-        state.writes.push((rel, key.to_vec()));
-        drop(txns);
+        self.txns.track_write(txn, rel, key)?;
         self.tree(rel)
     }
 
@@ -376,26 +502,68 @@ impl Engine {
     /// Commits `txn`, returning its commit time. The commit time is strictly
     /// greater than every earlier commit time (required for version order and
     /// the auditor's commit-time monotonicity check).
+    ///
+    /// The commit runs through the three-phase group-commit pipeline (see
+    /// `commit.rs`): **sequence** (timestamp + WAL append + ticket, one
+    /// critical section so all three orders coincide), **group durability**
+    /// (leader flushes the batch with a single fsync + a single WORM
+    /// tail-mirror append; followers park), and **ticket-ordered finalize**
+    /// (publish the commit time, enqueue stamping work, fire `on_commit` —
+    /// so `STAMP_TRANS` records reach the compliance log in commit order).
+    ///
+    /// An error leaves the commit outcome *indeterminate*: the record may or
+    /// may not have become durable before the failure (same contract as the
+    /// previous per-commit `append_flush` path; the crash-torture harness
+    /// models this as "uncertain").
     pub fn commit(&self, txn: TxnId) -> Result<Timestamp> {
         let state = self
             .txns
-            .lock()
-            .remove(&txn)
+            .remove(txn)
             .ok_or_else(|| Error::InvalidTransactionState(format!("{txn} is not active")))?;
-        let now = self.clock.now().0;
-        let prev = self
-            .last_commit_us
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |last| Some(now.max(last + 1)))
-            .expect("fetch_update closure always returns Some");
-        let t = Timestamp(now.max(prev + 1));
-        self.wal.append_flush(&WalRecord::Commit { txn, commit_time: t })?;
-        self.commit_times.lock().insert(txn, t);
-        self.stamp_queue.lock().push((txn, t, state.writes));
-        self.commits.fetch_add(1, Ordering::Relaxed);
-        if let Some(h) = self.hooks.lock().clone() {
-            h.on_commit(txn, t)?;
+
+        // Phase 1: sequence. Timestamp order == WAL order == ticket order.
+        let ((t, lsn), ticket) = self.pipeline.sequence(|| {
+            let now = self.clock.now().0;
+            let prev = self
+                .last_commit_us
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |last| Some(now.max(last + 1)))
+                .expect("fetch_update closure always returns Some");
+            let t = Timestamp(now.max(prev + 1));
+            let lsn = self.wal.append(&WalRecord::Commit { txn, commit_time: t })?;
+            Ok((t, lsn))
+        })?;
+
+        // Phase 2: group durability (or the per-commit-flush baseline).
+        let durable = if self.cfg.group_commit {
+            self.pipeline.wait_durable(
+                &self.wal,
+                lsn,
+                self.cfg.flush_interval_us,
+                self.cfg.group_size,
+            )
+        } else {
+            self.wal.flush()
+        };
+
+        // Phase 3: finalize in ticket order. The turn advances even on
+        // failure, otherwise later committers would wait forever.
+        let turn = self.pipeline.await_turn(ticket);
+        let result = (|| {
+            durable?;
+            self.commit_times.write().insert(txn, t);
+            self.stamp_queue.lock().push_back((txn, t, state.writes));
+            self.commits.fetch_add(1, Ordering::Relaxed);
+            if let Some(h) = self.hooks.read().clone() {
+                h.on_commit(txn, t)?;
+            }
+            Ok(t)
+        })();
+        self.pipeline.finish_turn(turn);
+
+        if result.is_ok() {
+            self.maybe_drain_stamp_queue()?;
         }
-        Ok(t)
+        result
     }
 
     /// Aborts `txn`, rolling back its writes (physical removal of its pending
@@ -403,8 +571,7 @@ impl Engine {
     pub fn abort(&self, txn: TxnId) -> Result<()> {
         let state = self
             .txns
-            .lock()
-            .remove(&txn)
+            .remove(txn)
             .ok_or_else(|| Error::InvalidTransactionState(format!("{txn} is not active")))?;
         for (rel, key) in state.writes.iter().rev() {
             let tree = self.tree(*rel)?;
@@ -414,7 +581,7 @@ impl Engine {
         }
         self.wal.append_flush(&WalRecord::Abort { txn })?;
         self.aborts.fetch_add(1, Ordering::Relaxed);
-        if let Some(h) = self.hooks.lock().clone() {
+        if let Some(h) = self.hooks.read().clone() {
             h.on_abort(txn)?;
         }
         Ok(())
@@ -425,27 +592,55 @@ impl Engine {
     fn resolve_commit(&self, time: WriteTime) -> Option<Timestamp> {
         match time {
             WriteTime::Committed(t) => Some(t),
-            WriteTime::Pending(writer) => self.commit_times.lock().get(&writer).copied(),
+            WriteTime::Pending(writer) => self.commit_times.read().get(&writer).copied(),
         }
     }
 
     /// Reads the current version of `(rel, key)` as seen by `txn`
     /// (own pending writes are visible; other in-flight writes are not).
+    ///
+    /// Concurrency note: between snapshotting the version chain and checking
+    /// `commit_times`, the lazy stamper may stamp a committed writer's
+    /// version (`Pending(w)` → `Committed(t)`) and retire `w` from
+    /// `commit_times`. The stale snapshot would then hide an acknowledged
+    /// commit. Detect the signature of that race — a skipped `Pending`
+    /// version whose writer is neither active nor awaiting stamping — and
+    /// re-read; aborting writers can trigger a harmless extra pass.
     pub fn read(&self, txn: TxnId, rel: RelId, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let tree = self.tree(rel)?;
-        let versions = tree.versions(key)?;
-        for v in versions.iter().rev() {
-            let visible = match v.time {
-                WriteTime::Pending(writer) => {
-                    writer == txn || self.commit_times.lock().contains_key(&writer)
+        let mut out: Option<Vec<u8>> = None;
+        for attempt in 0..3 {
+            let versions = tree.versions(key)?;
+            // Newest-first scan; `racy` records a skipped Pending version
+            // *newer* than the one returned.
+            let mut racy = false;
+            out = None;
+            for v in versions.iter().rev() {
+                let visible = match v.time {
+                    WriteTime::Pending(writer) => {
+                        let vis = writer == txn || self.commit_times.read().contains_key(&writer);
+                        if !vis && !self.txns.contains(writer) {
+                            // Writer is gone: either stamped meanwhile
+                            // (race) or mid-abort (benign). Re-read to
+                            // disambiguate.
+                            racy = true;
+                        }
+                        vis
+                    }
+                    WriteTime::Committed(_) => true,
+                };
+                if visible {
+                    if !v.end_of_life {
+                        out = Some(v.value.clone());
+                    }
+                    break;
                 }
-                WriteTime::Committed(_) => true,
-            };
-            if visible {
-                return Ok(if v.end_of_life { None } else { Some(v.value.clone()) });
+            }
+            if !racy || attempt == 2 {
+                break;
             }
         }
-        Ok(None)
+        Ok(out)
     }
 
     /// Reads the latest committed version (no transaction context).
@@ -526,7 +721,7 @@ impl Engine {
             }
             let visible = match v.time {
                 WriteTime::Pending(writer) => {
-                    writer == txn || self.commit_times.lock().contains_key(&writer)
+                    writer == txn || self.commit_times.read().contains_key(&writer)
                 }
                 WriteTime::Committed(_) => true,
             };
@@ -564,11 +759,44 @@ impl Engine {
     // --- maintenance ----------------------------------------------------------
 
     /// Runs the lazy timestamper: stamps the pending versions of committed
-    /// transactions. Returns the number of versions stamped.
+    /// transactions. Returns the number of versions stamped. Stampers are
+    /// serialized by an internal mutex; the queue is drained front-first so
+    /// stamping respects commit order.
     pub fn run_stamper(&self) -> Result<usize> {
-        let work: Vec<_> = std::mem::take(&mut *self.stamp_queue.lock());
+        let _serial = self.stamper.lock();
+        self.drain_stamps(usize::MAX)
+    }
+
+    /// Incremental stamp-queue drain invoked by committers when the queue
+    /// exceeds [`EngineConfig::stamp_queue_limit`]: drains it down to half
+    /// the limit so a long-running workload cannot grow it without bound.
+    /// Skips silently when another stamper holds the serializing mutex.
+    fn maybe_drain_stamp_queue(&self) -> Result<()> {
+        let limit = self.cfg.stamp_queue_limit;
+        if limit == 0 || self.stamp_queue.lock().len() <= limit {
+            return Ok(());
+        }
+        let Some(_serial) = self.stamper.try_lock() else {
+            return Ok(()); // someone else is already draining
+        };
+        let len = self.stamp_queue.lock().len();
+        let target = limit / 2;
+        if len > target {
+            self.drain_stamps(len - target)?;
+        }
+        Ok(())
+    }
+
+    /// Stamps up to `max_txns` queued transactions (front-first). Caller
+    /// must hold the `stamper` mutex.
+    fn drain_stamps(&self, max_txns: usize) -> Result<usize> {
         let mut stamped = 0;
-        for (txn, t, writes) in work {
+        let mut drained = 0;
+        while drained < max_txns {
+            let Some((txn, t, writes)) = self.stamp_queue.lock().pop_front() else {
+                break;
+            };
+            drained += 1;
             let mut seen: Vec<(RelId, &[u8])> = Vec::new();
             for (rel, key) in &writes {
                 if seen.contains(&(*rel, key.as_slice())) {
@@ -582,9 +810,15 @@ impl Engine {
                 }
                 stamped += n;
             }
-            self.commit_times.lock().remove(&txn);
+            self.commit_times.write().remove(&txn);
         }
         Ok(stamped)
+    }
+
+    /// Current lazy-timestamping queue length (bounded-queue regression
+    /// tests and [`EngineStats`]).
+    pub fn stamp_queue_len(&self) -> usize {
+        self.stamp_queue.lock().len()
     }
 
     /// Flushes every page dirty since `cutoff` (the regret-interval sweep).
@@ -599,8 +833,7 @@ impl Engine {
         self.run_stamper()?;
         self.wal.flush()?;
         self.pool.flush_all()?;
-        let active: Vec<(TxnId, Lsn)> =
-            self.txns.lock().iter().map(|(t, s)| (*t, s.begin_lsn)).collect();
+        let active: Vec<(TxnId, Lsn)> = self.txns.active();
         let lsn = self.wal.append_flush(&WalRecord::Checkpoint { active })?;
         self.master.store(lsn)?;
         self.save_catalog()
@@ -611,7 +844,7 @@ impl Engine {
     /// to finish and their dirty pages to reach disk … the audit must wait
     /// for these lazy updates to reach disk as well").
     pub fn quiesce(&self) -> Result<()> {
-        if !self.txns.lock().is_empty() {
+        if !self.txns.is_empty() {
             return Err(Error::Invalid(
                 "cannot quiesce with active transactions (audit admits no new work)".into(),
             ));
@@ -624,10 +857,10 @@ impl Engine {
     pub fn crash(&self) {
         self.pool.drop_all_without_flush();
         self.wal.simulate_crash_drop_pending();
-        self.txns.lock().clear();
-        self.commit_times.lock().clear();
+        self.txns.clear();
+        self.commit_times.write().clear();
         self.stamp_queue.lock().clear();
-        self.trees.lock().clear();
+        self.trees.write().clear();
     }
 
     /// Clean shutdown: checkpoint + marker, so the next open skips the
@@ -684,18 +917,25 @@ impl Engine {
 
     /// Aggregate statistics.
     pub fn stats(&self) -> EngineStats {
+        let buffer = self.pool.stats();
+        let (batches, txns) = self.pipeline.counters();
         EngineStats {
-            buffer: self.pool.stats(),
+            buffer,
+            buffer_hit_rate: buffer.hit_rate(),
             wal_bytes: self.wal.end_lsn().0,
             db_pages: self.disk.page_count(),
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
+            group_commit_batches: batches,
+            group_commit_txns: txns,
+            fsyncs_saved: txns.saturating_sub(batches),
+            stamp_queue_len: self.stamp_queue.lock().len(),
         }
     }
 
     /// Whether there are active transactions.
     pub fn has_active_txns(&self) -> bool {
-        !self.txns.lock().is_empty()
+        !self.txns.is_empty()
     }
 
     /// Retires a page in place (rewrites it as a Free page), WAL-logged so

@@ -21,18 +21,25 @@
 //!   `ccdb-core` needs to implement the log-consistent architecture without
 //!   touching this crate's internals.
 //!
-//! Concurrency model: the engine is thread-safe but transactions are executed
-//! one at a time by the callers in this workspace (the TPC-C driver is a
-//! sequential loop, as the paper's total-run-time measurements are). A lock
-//! manager is out of scope; isolation anomalies are not part of the threat
-//! model or the evaluation.
+//! Concurrency model: the engine executes transactions from many threads.
+//! Commits run through a **group-commit pipeline** (`commit` module): a
+//! leader flushes the WAL batch with one fsync + one WORM tail-mirror
+//! append while followers park, and finalization (commit-time publication,
+//! stamping work, compliance `on_commit`) drains in strict ticket order so
+//! the compliance log's `STAMP_TRANS` order matches commit-time order. The
+//! engine's maps are `RwLock`/sharded so readers never contend with
+//! writers; see the lock hierarchy documented on [`Engine`] and DESIGN.md
+//! §9. A lock manager is still out of scope: writers to the *same* key
+//! should be externally coordinated; isolation anomalies are not part of
+//! the threat model or the evaluation.
 
 pub mod catalog;
+pub(crate) mod commit;
 pub mod engine;
 pub mod hooks;
 pub mod recovery;
 
 pub use catalog::{Catalog, RelationInfo};
-pub use engine::{Engine, EngineConfig, EngineStats};
+pub use engine::{Engine, EngineConfig, EngineStats, DEFAULT_STAMP_QUEUE_LIMIT};
 pub use hooks::EngineHooks;
 pub use recovery::RecoveryReport;

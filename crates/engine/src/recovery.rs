@@ -57,7 +57,7 @@ struct TxnFate {
 /// Runs recovery on a freshly opened engine. Called from `Engine::open`.
 pub(crate) fn run(engine: &Engine, unclean: bool) -> Result<RecoveryReport> {
     if unclean {
-        if let Some(h) = engine.hooks.lock().clone() {
+        if let Some(h) = engine.hooks.read().clone() {
             h.on_recovery_start()?;
         }
     }
@@ -125,7 +125,7 @@ pub(crate) fn run(engine: &Engine, unclean: bool) -> Result<RecoveryReport> {
 
     // --- relation metadata ----------------------------------------------------
     {
-        let mut catalog = engine.catalog.lock();
+        let mut catalog = engine.catalog.write();
         for (rel, meta) in &rel_metas {
             if let Some(info) = catalog.get_mut(*rel) {
                 match meta {
@@ -176,7 +176,7 @@ pub(crate) fn run(engine: &Engine, unclean: bool) -> Result<RecoveryReport> {
     }
 
     if unclean {
-        if let Some(h) = engine.hooks.lock().clone() {
+        if let Some(h) = engine.hooks.read().clone() {
             h.on_recovery_end(&report.committed, &report.aborted)?;
         }
     }

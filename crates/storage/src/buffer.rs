@@ -1,4 +1,5 @@
-//! The buffer pool: CLOCK eviction, steal/no-force, regret-interval sweeps.
+//! The buffer pool: sharded CLOCK eviction, steal/no-force, regret-interval
+//! sweeps.
 //!
 //! Policy choices are dictated by the paper's setting:
 //!
@@ -19,8 +20,21 @@
 //! the compliance plugin independently enforces "data page writes wait until
 //! their NEW_TUPLE records have reached the WORM server" inside its
 //! `PageStore` decorator.
+//!
+//! # Concurrency
+//!
+//! The frame table is **sharded by page number** (`pgno % nshards`, with
+//! `nshards = min(16, capacity)`): each shard owns a disjoint slice of the
+//! capacity and runs its own CLOCK hand, so fetches of pages in different
+//! shards never contend. Statistics are lock-free atomics readable without
+//! touching any shard lock. In the system-wide lock hierarchy a shard lock
+//! ranks *below* tree and engine locks and *above* the page latch and the
+//! WAL writer (the write barrier may flush the WAL while a shard lock and a
+//! victim's page latch are held; the victim is guaranteed unpinned, so no
+//! other thread can hold its latch).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ccdb_common::sync::{Mutex, RwLock};
@@ -32,7 +46,8 @@ use crate::page::{Page, PageType};
 /// Shared handle to a buffered page.
 pub type PageRef = Arc<RwLock<Page>>;
 
-/// Counters for the experiment harness.
+/// Counters for the experiment harness (a point-in-time snapshot of the
+/// pool's lock-free atomic counters).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BufferStats {
     /// Fetches served from memory.
@@ -45,15 +60,51 @@ pub struct BufferStats {
     pub flushes: u64,
 }
 
+impl BufferStats {
+    /// Fraction of fetches served from memory (0.0 when no fetches yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Lock-free counters updated on the fetch/evict/flush paths and snapshotted
+/// by [`BufferPool::stats`] without taking any shard lock.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> BufferStats {
+        BufferStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A barrier invoked with the page about to be written (WAL rule hook).
 pub type WriteBarrier = Arc<dyn Fn(&Page) -> Result<()> + Send + Sync>;
 
-struct Inner {
+/// One shard of the frame table: a disjoint slice of the pool's capacity
+/// with its own CLOCK hand.
+struct Shard {
     frames: HashMap<PageNo, PageRef>,
     ref_bit: HashMap<PageNo, bool>,
     clock_ring: Vec<PageNo>,
     hand: usize,
-    stats: BufferStats,
+    /// This shard's share of the pool capacity (≥ 1).
+    cap: usize,
 }
 
 /// The buffer pool.
@@ -61,32 +112,49 @@ pub struct BufferPool {
     store: Arc<dyn PageStore>,
     clock: ClockRef,
     capacity: usize,
-    barrier: Mutex<Option<WriteBarrier>>,
-    inner: Mutex<Inner>,
+    barrier: RwLock<Option<WriteBarrier>>,
+    shards: Vec<Mutex<Shard>>,
+    stats: AtomicStats,
 }
+
+/// Upper bound on the number of frame-table shards.
+const MAX_SHARDS: usize = 16;
 
 impl BufferPool {
     /// Creates a pool of `capacity` page frames over `store`.
     pub fn new(store: Arc<dyn PageStore>, clock: ClockRef, capacity: usize) -> BufferPool {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
+        let nshards = capacity.clamp(1, MAX_SHARDS);
+        let base = capacity / nshards;
+        let extra = capacity % nshards;
+        let shards = (0..nshards)
+            .map(|i| {
+                Mutex::new(Shard {
+                    frames: HashMap::new(),
+                    ref_bit: HashMap::new(),
+                    clock_ring: Vec::new(),
+                    hand: 0,
+                    cap: base + usize::from(i < extra),
+                })
+            })
+            .collect();
         BufferPool {
             store,
             clock,
             capacity,
-            barrier: Mutex::new(None),
-            inner: Mutex::new(Inner {
-                frames: HashMap::new(),
-                ref_bit: HashMap::new(),
-                clock_ring: Vec::new(),
-                hand: 0,
-                stats: BufferStats::default(),
-            }),
+            barrier: RwLock::new(None),
+            shards,
+            stats: AtomicStats::default(),
         }
+    }
+
+    fn shard_for(&self, pgno: PageNo) -> &Mutex<Shard> {
+        &self.shards[(pgno.0 as usize) % self.shards.len()]
     }
 
     /// Installs the pre-write barrier (the engine's WAL-before-data rule).
     pub fn set_write_barrier(&self, b: WriteBarrier) {
-        *self.barrier.lock() = Some(b);
+        *self.barrier.write() = Some(b);
     }
 
     /// The underlying store (the compliance plugin, when installed).
@@ -94,9 +162,9 @@ impl BufferPool {
         &self.store
     }
 
-    /// Current statistics.
+    /// Current statistics (lock-free snapshot; no shard lock taken).
     pub fn stats(&self) -> BufferStats {
-        self.inner.lock().stats
+        self.stats.snapshot()
     }
 
     /// Pool capacity in frames.
@@ -104,8 +172,13 @@ impl BufferPool {
         self.capacity
     }
 
+    /// Number of frame-table shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     fn write_out(&self, page: &mut Page) -> Result<()> {
-        if let Some(b) = self.barrier.lock().clone() {
+        if let Some(b) = self.barrier.read().clone() {
             b(page)?;
         }
         self.store.pwrite(page)?;
@@ -113,41 +186,43 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Evicts one unreferenced frame, writing it first if dirty. Returns
-    /// `true` if a frame was evicted; `false` if every frame is pinned (the
-    /// pool then over-commits rather than deadlocking).
-    fn evict_one(&self, inner: &mut Inner) -> Result<bool> {
-        let n = inner.clock_ring.len();
+    /// Evicts one unreferenced frame from `shard`, writing it first if
+    /// dirty. Returns `true` if a frame was evicted; `false` if every frame
+    /// is pinned (the shard then over-commits rather than deadlocking).
+    fn evict_one(&self, shard: &mut Shard) -> Result<bool> {
+        let n = shard.clock_ring.len();
         // Two full sweeps: the first clears reference bits, the second takes
         // the first unreferenced, unpinned victim.
         for _ in 0..2 * n {
-            if inner.clock_ring.is_empty() {
+            if shard.clock_ring.is_empty() {
                 return Ok(false);
             }
-            inner.hand %= inner.clock_ring.len();
-            let pgno = inner.clock_ring[inner.hand];
-            let referenced = inner.ref_bit.get(&pgno).copied().unwrap_or(false);
+            shard.hand %= shard.clock_ring.len();
+            let pgno = shard.clock_ring[shard.hand];
+            let referenced = shard.ref_bit.get(&pgno).copied().unwrap_or(false);
             let pinned = {
-                let frame = &inner.frames[&pgno];
+                let frame = &shard.frames[&pgno];
                 Arc::strong_count(frame) > 1
             };
             if referenced {
-                inner.ref_bit.insert(pgno, false);
-                inner.hand += 1;
+                shard.ref_bit.insert(pgno, false);
+                shard.hand += 1;
                 continue;
             }
             if pinned {
-                inner.hand += 1;
+                shard.hand += 1;
                 continue;
             }
-            // Victim found.
-            let frame = inner.frames.remove(&pgno).expect("frame present");
-            inner.ref_bit.remove(&pgno);
-            inner.clock_ring.remove(inner.hand);
-            inner.stats.evictions += 1;
+            // Victim found. No other thread can hold its latch: it is
+            // unpinned (sole Arc reference is the shard's) and admission to
+            // this shard requires the shard lock we hold.
+            let frame = shard.frames.remove(&pgno).expect("frame present");
+            shard.ref_bit.remove(&pgno);
+            shard.clock_ring.remove(shard.hand);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             let mut page = frame.write();
             if page.dirty {
-                inner.stats.flushes += 1;
+                self.stats.flushes.fetch_add(1, Ordering::Relaxed);
                 self.write_out(&mut page)?;
             }
             return Ok(true);
@@ -155,33 +230,33 @@ impl BufferPool {
         Ok(false)
     }
 
-    fn admit(&self, inner: &mut Inner, pgno: PageNo, page: Page) -> Result<PageRef> {
-        while inner.frames.len() >= self.capacity {
-            if !self.evict_one(inner)? {
+    fn admit(&self, shard: &mut Shard, pgno: PageNo, page: Page) -> Result<PageRef> {
+        while shard.frames.len() >= shard.cap {
+            if !self.evict_one(shard)? {
                 break; // everything pinned: over-commit
             }
         }
         let frame: PageRef = Arc::new(RwLock::new(page));
-        inner.frames.insert(pgno, frame.clone());
-        inner.ref_bit.insert(pgno, true);
-        inner.clock_ring.push(pgno);
+        shard.frames.insert(pgno, frame.clone());
+        shard.ref_bit.insert(pgno, true);
+        shard.clock_ring.push(pgno);
         Ok(frame)
     }
 
     /// Fetches a page, reading it from the store on a miss.
     pub fn fetch(&self, pgno: PageNo) -> Result<PageRef> {
-        let mut inner = self.inner.lock();
-        if let Some(f) = inner.frames.get(&pgno) {
+        let mut shard = self.shard_for(pgno).lock();
+        if let Some(f) = shard.frames.get(&pgno) {
             let f = f.clone();
-            inner.ref_bit.insert(pgno, true);
-            inner.stats.hits += 1;
+            shard.ref_bit.insert(pgno, true);
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(f);
         }
-        inner.stats.misses += 1;
-        // Read outside the map borrow (but under the pool lock: the pool is a
-        // single-writer structure and the store is fast in simulation).
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        // Read under the shard lock so two threads missing on the same page
+        // cannot admit duplicate frames; other shards proceed unimpeded.
         let page = self.store.pread(pgno)?;
-        self.admit(&mut inner, pgno, page)
+        self.admit(&mut shard, pgno, page)
     }
 
     /// Allocates and buffers a brand-new page, already formatted and dirty.
@@ -190,8 +265,8 @@ impl BufferPool {
         let mut page = Page::new(pgno, ptype, rel);
         page.dirty = true;
         page.dirtied_at = self.clock.now();
-        let mut inner = self.inner.lock();
-        let frame = self.admit(&mut inner, pgno, page)?;
+        let mut shard = self.shard_for(pgno).lock();
+        let frame = self.admit(&mut shard, pgno, page)?;
         Ok((pgno, frame))
     }
 
@@ -207,13 +282,13 @@ impl BufferPool {
     /// Flushes one page if buffered and dirty.
     pub fn flush_page(&self, pgno: PageNo) -> Result<()> {
         let frame = {
-            let inner = self.inner.lock();
-            inner.frames.get(&pgno).cloned()
+            let shard = self.shard_for(pgno).lock();
+            shard.frames.get(&pgno).cloned()
         };
         if let Some(frame) = frame {
             let mut page = frame.write();
             if page.dirty {
-                self.inner.lock().stats.flushes += 1;
+                self.stats.flushes.fetch_add(1, Ordering::Relaxed);
                 self.write_out(&mut page)?;
             }
         }
@@ -235,13 +310,13 @@ impl BufferPool {
         let mut flushed = 0;
         for pgno in self.buffered_pages() {
             let frame = {
-                let inner = self.inner.lock();
-                inner.frames.get(&pgno).cloned()
+                let shard = self.shard_for(pgno).lock();
+                shard.frames.get(&pgno).cloned()
             };
             if let Some(frame) = frame {
                 let mut page = frame.write();
                 if page.dirty && page.dirtied_at <= cutoff {
-                    self.inner.lock().stats.flushes += 1;
+                    self.stats.flushes.fetch_add(1, Ordering::Relaxed);
                     self.write_out(&mut page)?;
                     flushed += 1;
                 }
@@ -257,55 +332,66 @@ impl BufferPool {
     pub fn overwrite(&self, pgno: PageNo, mut page: Page) -> Result<PageRef> {
         page.dirty = true;
         page.dirtied_at = self.clock.now();
-        let mut inner = self.inner.lock();
-        if let Some(existing) = inner.frames.get(&pgno) {
+        let mut shard = self.shard_for(pgno).lock();
+        if let Some(existing) = shard.frames.get(&pgno) {
             let existing = existing.clone();
             *existing.write() = page;
-            inner.ref_bit.insert(pgno, true);
+            shard.ref_bit.insert(pgno, true);
             return Ok(existing);
         }
-        self.admit(&mut inner, pgno, page)
+        self.admit(&mut shard, pgno, page)
     }
 
     /// Page numbers currently buffered.
     pub fn buffered_pages(&self) -> Vec<PageNo> {
-        self.inner.lock().frames.keys().copied().collect()
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.lock().frames.keys().copied());
+        }
+        out
     }
 
     /// Page numbers of dirty buffered pages.
     pub fn dirty_pages(&self) -> Vec<PageNo> {
-        let inner = self.inner.lock();
-        inner.frames.iter().filter(|(_, f)| f.read().dirty).map(|(p, _)| *p).collect()
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let shard = s.lock();
+            out.extend(shard.frames.iter().filter(|(_, f)| f.read().dirty).map(|(p, _)| *p));
+        }
+        out
     }
 
     /// Discards all buffered pages *without writing them* — the crash
     /// simulation. Pinned frames are discarded too (a crash does not wait).
     pub fn drop_all_without_flush(&self) {
-        let mut inner = self.inner.lock();
-        inner.frames.clear();
-        inner.ref_bit.clear();
-        inner.clock_ring.clear();
-        inner.hand = 0;
+        for s in &self.shards {
+            let mut shard = s.lock();
+            shard.frames.clear();
+            shard.ref_bit.clear();
+            shard.clock_ring.clear();
+            shard.hand = 0;
+        }
     }
 
     /// Drops a single clean page from the pool (used after WORM migration:
     /// the live copy is superseded).
     pub fn discard(&self, pgno: PageNo) {
-        let mut inner = self.inner.lock();
-        inner.frames.remove(&pgno);
-        inner.ref_bit.remove(&pgno);
-        inner.clock_ring.retain(|p| *p != pgno);
-        inner.hand = 0;
+        let mut shard = self.shard_for(pgno).lock();
+        shard.frames.remove(&pgno);
+        shard.ref_bit.remove(&pgno);
+        shard.clock_ring.retain(|p| *p != pgno);
+        shard.hand = 0;
     }
 }
 
 impl core::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let inner = self.inner.lock();
+        let resident: usize = self.shards.iter().map(|s| s.lock().frames.len()).sum();
         f.debug_struct("BufferPool")
             .field("capacity", &self.capacity)
-            .field("resident", &inner.frames.len())
-            .field("stats", &inner.stats)
+            .field("shards", &self.shards.len())
+            .field("resident", &resident)
+            .field("stats", &self.stats.snapshot())
             .finish()
     }
 }
@@ -388,6 +474,71 @@ mod tests {
         let again = bp.fetch(pgno_a).unwrap();
         assert!(Arc::ptr_eq(&frame_a, &again));
         assert_eq!(again.read().cell(0), b"pinned");
+    }
+
+    #[test]
+    fn shard_caps_sum_to_capacity() {
+        for cap in [1usize, 2, 3, 15, 16, 17, 100, 512] {
+            let (bp, _, _tf) = pool(&format!("caps{cap}"), cap);
+            assert_eq!(bp.shard_count(), cap.min(16));
+            let total: usize = bp.shards.iter().map(|s| s.lock().cap).sum();
+            assert_eq!(total, cap, "shard caps must partition capacity {cap}");
+            assert!(bp.shards.iter().all(|s| s.lock().cap >= 1));
+        }
+    }
+
+    #[test]
+    fn stats_readable_without_shard_locks() {
+        // Holding every shard lock must not block the stats snapshot.
+        let (bp, _, _tf) = pool("lockfree", 4);
+        let (_pgno, frame) = bp.new_page(PageType::Leaf, RelId(1)).unwrap();
+        drop(frame);
+        let guards: Vec<_> = bp.shards.iter().map(|s| s.lock()).collect();
+        let st = bp.stats(); // would deadlock if stats took a shard lock
+        assert_eq!(st.misses, 0);
+        drop(guards);
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        assert_eq!(BufferStats::default().hit_rate(), 0.0);
+        let st = BufferStats { hits: 3, misses: 1, evictions: 0, flushes: 0 };
+        assert!((st.hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_fetch_different_shards() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (bp, _, _tf) = pool("conc", 64);
+        let bp = Arc::new(bp);
+        let mut pgnos = Vec::new();
+        for i in 0..32u32 {
+            let (pgno, frame) = bp.new_page(PageType::Leaf, RelId(1)).unwrap();
+            frame.write().append_cell(format!("v{i}").as_bytes()).unwrap();
+            pgnos.push(pgno);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let bp = bp.clone();
+            let pgnos = pgnos.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let pgno = pgnos[i % pgnos.len()];
+                    let f = bp.fetch(pgno).unwrap();
+                    assert!(f.read().cell_count() > 0);
+                    i += 1;
+                }
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(bp.stats().hits > 0);
     }
 
     #[test]

@@ -1,12 +1,16 @@
-//! Long-haul stress runs (ignored by default; run with
+//! Stress runs: a bounded multi-threaded audit-under-load harness (runs by
+//! default; size it with `CCDB_STRESS_TXNS`) and a long-haul single-threaded
+//! run (ignored by default; run with
 //! `cargo test --release --test stress -- --ignored`).
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use ccdb::btree::SplitPolicy;
-use ccdb::common::{Duration, VirtualClock};
-use ccdb::compliance::{ComplianceConfig, CompliantDb, Mode};
+use ccdb::common::{Duration, Timestamp, VirtualClock};
+use ccdb::compliance::logger::epoch_log_name;
+use ccdb::compliance::records::LogIter;
+use ccdb::compliance::{ComplianceConfig, CompliantDb, LogRecord, Mode};
 
 struct TempDir(PathBuf);
 impl TempDir {
@@ -21,6 +25,167 @@ impl Drop for TempDir {
     fn drop(&mut self) {
         let _ = std::fs::remove_dir_all(&self.0);
     }
+}
+
+/// Per-writer transaction count for the concurrent harness. Defaults small
+/// enough for a debug-mode test run; CI's release smoke raises it via
+/// `CCDB_STRESS_TXNS`.
+fn stress_txns() -> u32 {
+    std::env::var("CCDB_STRESS_TXNS").ok().and_then(|v| v.parse().ok()).unwrap_or(150)
+}
+
+/// The audit-under-load harness: N writer threads and M reader threads hammer
+/// one `CompliantDb` through commits, aborts, stamper ticks, and a mid-run
+/// WORM migration. Afterwards:
+///
+/// * every commit timestamp handed out is globally unique,
+/// * the compliance log `L` carries `STAMP_TRANS` records whose commit times
+///   are *strictly increasing in append (offset) order* — the property the
+///   auditor's single-pass replay depends on,
+/// * the auditor replays everything clean, and
+/// * no pending (unstamped) work is left behind once the stamper drains.
+#[test]
+fn concurrent_commit_pipeline_audits_clean() {
+    let writers: u64 = 4;
+    let readers: u64 = 2;
+    let txns = stress_txns();
+
+    let d = TempDir::new("mt");
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(25)));
+    let db = Arc::new(
+        CompliantDb::open(
+            &d.0,
+            clock.clone(),
+            ComplianceConfig {
+                mode: Mode::HashOnRead,
+                regret_interval: Duration::from_mins(60),
+                cache_pages: 256,
+                auditor_seed: [7u8; 32],
+                fsync: false,
+                worm_artifact_retention: None,
+            },
+        )
+        .unwrap(),
+    );
+    let ledger = db.create_relation("ledger", SplitPolicy::KeyOnly).unwrap();
+    let hot = db.create_relation("hot", SplitPolicy::TimeSplit { threshold: 0.8 }).unwrap();
+
+    let mut all_commit_times: Vec<Timestamp> = Vec::new();
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+
+    // Two waves with a WORM migration between them, so readers and writers
+    // also run against a partially migrated store.
+    for wave in 0..2u32 {
+        let mut handles = Vec::new();
+        for w in 0..writers {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut times = Vec::new();
+                let mut aborts = 0u64;
+                for i in 0..txns {
+                    let t = db.begin().unwrap();
+                    let key = format!("w{w}-k{:04}", i % 97);
+                    db.write(t, ledger, key.as_bytes(), &i.to_le_bytes()).unwrap();
+                    if i % 5 == 2 {
+                        db.write(t, hot, format!("h{w}-{}", i % 11).as_bytes(), &i.to_le_bytes())
+                            .unwrap();
+                    }
+                    if i % 13 == 6 {
+                        db.delete(t, ledger, key.as_bytes()).unwrap();
+                    }
+                    if i % 7 == 3 {
+                        db.abort(t).unwrap();
+                        aborts += 1;
+                    } else {
+                        times.push(db.commit(t).unwrap());
+                    }
+                    if i % 50 == 49 {
+                        db.engine().run_stamper().unwrap();
+                    }
+                }
+                (times, aborts)
+            }));
+        }
+        let mut rhandles = Vec::new();
+        for r in 0..readers {
+            let db = db.clone();
+            rhandles.push(std::thread::spawn(move || {
+                let mut times = Vec::new();
+                for i in 0..txns {
+                    let t = db.begin().unwrap();
+                    let key = format!("w{}-k{:04}", i as u64 % writers, (i * 7 + r as u32) % 97);
+                    // Hash-on-read under concurrent commits: must never error
+                    // and must never later be rejected by the auditor.
+                    let (_val, _ticket) = db.read_verifiable(t, ledger, key.as_bytes()).unwrap();
+                    times.push(db.commit(t).unwrap());
+                }
+                times
+            }));
+        }
+        for h in handles {
+            let (times, aborts) = h.join().unwrap();
+            committed += times.len() as u64;
+            aborted += aborts;
+            all_commit_times.extend(times);
+        }
+        for h in rhandles {
+            let times = h.join().unwrap();
+            committed += times.len() as u64;
+            all_commit_times.extend(times);
+        }
+        db.engine().run_stamper().unwrap();
+        if wave == 0 {
+            db.migrate_to_worm(hot).unwrap();
+        }
+        db.tick().unwrap();
+    }
+    assert!(committed > 0 && aborted > 0, "harness must exercise both paths");
+
+    // 1. Commit timestamps are globally unique (and therefore totally
+    //    ordered): the sequencing critical section hands them out.
+    let mut sorted = all_commit_times.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), all_commit_times.len(), "duplicate commit timestamps");
+
+    // 2. Nothing pending once the stamper has drained.
+    let stats = db.engine().stats();
+    assert_eq!(stats.stamp_queue_len, 0, "stamp queue must be fully drained");
+    assert!(stats.group_commit_txns > 0, "commits must ride the pipeline");
+
+    // 3. The auditor replays the whole load clean.
+    let report = db.audit().unwrap();
+    assert!(
+        report.is_clean(),
+        "audit under load: {:?}",
+        &report.violations[..report.violations.len().min(5)]
+    );
+
+    // 4. `L` order is consistent with commit order: walking every epoch log
+    //    in offset order, STAMP_TRANS commit times are strictly increasing.
+    let mut last = Timestamp(0);
+    let mut stamps = 0u64;
+    for epoch in 0..=db.epoch() {
+        let name = epoch_log_name(epoch);
+        if !db.worm().exists(&name) {
+            continue;
+        }
+        let bytes = db.worm().read_all(&name).unwrap();
+        for item in LogIter::new(&bytes) {
+            let (off, rec) = item.unwrap();
+            if let LogRecord::StampTrans { commit_time, .. } = rec {
+                assert!(
+                    commit_time > last,
+                    "epoch {epoch} offset {off}: STAMP_TRANS {commit_time:?} \
+                     not after {last:?} — L order diverged from commit order"
+                );
+                last = commit_time;
+                stamps += 1;
+            }
+        }
+    }
+    assert_eq!(stamps, committed, "every commit must reach L exactly once");
 }
 
 /// Tens of thousands of mixed operations across several epochs, with
