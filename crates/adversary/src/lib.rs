@@ -235,6 +235,47 @@ impl Mala {
     pub fn wipe_wal(&self, wal_path: impl AsRef<Path>) -> Result<()> {
         fs::write(wal_path.as_ref(), b"").map_err(|e| Error::io("truncating victim WAL", e))
     }
+
+    /// **Arbitrary single-byte tamper**: XORs one byte at `offset` in the
+    /// raw database file (a nonzero mask is enforced so the byte always
+    /// changes). With `fix_checksum`, the containing page's checksum is
+    /// recomputed afterwards — the corruption is then *not* self-announcing
+    /// through the page CRC, and the auditor must catch it (if it is
+    /// observable at all) through content checks: the completeness hash,
+    /// sort order, parent/child separators, or the replayed page states.
+    /// Returns `false` when `offset` is past the end of the file.
+    pub fn flip_byte(&self, offset: u64, mask: u8, fix_checksum: bool) -> Result<bool> {
+        let len = fs::metadata(&self.db_path)
+            .map_err(|e| Error::io("statting victim database", e))?
+            .len();
+        if offset >= len {
+            return Ok(false);
+        }
+        let mask = if mask == 0 { 1 } else { mask };
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.db_path)
+            .map_err(|e| Error::io("opening victim database for writing", e))?;
+        f.seek(SeekFrom::Start(offset)).map_err(|e| Error::io("seeking victim database", e))?;
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).map_err(|e| Error::io("reading victim byte", e))?;
+        b[0] ^= mask;
+        f.seek(SeekFrom::Start(offset)).map_err(|e| Error::io("seeking victim database", e))?;
+        f.write_all(&b).map_err(|e| Error::io("flipping victim byte", e))?;
+        f.sync_data().map_err(|e| Error::io("syncing flipped byte", e))?;
+        drop(f);
+        if fix_checksum {
+            // Re-finalize the page so the CRC matches the tampered content.
+            // If the flip broke the page header beyond parsing, leave it —
+            // the corruption is then caught as an unreadable page instead.
+            let pgno = PageNo(offset / PAGE_SIZE as u64);
+            if let Some(mut page) = self.read_page(pgno)? {
+                self.write_page(&mut page)?;
+            }
+        }
+        Ok(true)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,157 @@
+//! Audit-scaling benchmark: the serial single-pass auditor vs the parallel
+//! three-stage pipeline at 1/2/4/8 worker threads, over a TPC-C-loaded
+//! log-consistent database.
+//!
+//! The database file sits on the paper's emulated remote medium
+//! (per-pread latency). The latency model is switched to **sleep**
+//! (blocking-I/O semantics) for the audit runs so concurrent readers
+//! overlap their waits like real threads blocked in `pread(2)` — with the
+//! spin model every waiter burns the same core and no I/O-bound phase can
+//! scale on a small CI box. Audits are dry-runs over the *same* quiesced
+//! state; the bench asserts every configuration returns the same clean
+//! verdict and completeness hash before reporting a single number.
+//!
+//! Writes `BENCH_PR5.json` into the repo root (override with
+//! `CCDB_BENCH_OUT`).
+//!
+//! Usage: `cargo run --release -p ccdb-bench --bin audit_bench`
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ccdb_core::{AuditConfig, AuditOutcome, CompliantDb, Mode};
+use ccdb_tpcc::TpccScale;
+
+/// Transactions after the load phase (sizes `L` for the replay stages).
+const TXNS: usize = 600;
+/// Emulated remote-storage latency per pread during the audit runs.
+const AUDIT_IO_LATENCY_US: u64 = 500;
+/// Timed runs per configuration; the best run is reported.
+const RUNS: usize = 2;
+
+struct Outcome {
+    label: String,
+    threads: u64,
+    secs: f64,
+    decode_us: u64,
+    replay_us: u64,
+    merge_us: u64,
+    tree_us: u64,
+    join_us: u64,
+    wal_tail_us: u64,
+    records: u64,
+    chunks: u64,
+}
+
+fn run(db: &CompliantDb, cfg: AuditConfig, label: &str) -> (Outcome, AuditOutcome) {
+    let mut best: Option<(f64, AuditOutcome)> = None;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let out = db.audit_outcome_with(cfg).unwrap();
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(
+            out.report.is_clean(),
+            "{label}: audit flagged an honest database: {:?}",
+            &out.report.violations[..out.report.violations.len().min(3)]
+        );
+        if best.as_ref().map(|(s, _)| secs < *s).unwrap_or(true) {
+            best = Some((secs, out));
+        }
+    }
+    let (secs, out) = best.expect("RUNS > 0");
+    let s = &out.report.stats;
+    (
+        Outcome {
+            label: label.to_string(),
+            threads: s.threads_used,
+            secs,
+            decode_us: s.log_decode_us,
+            replay_us: s.log_replay_us,
+            merge_us: s.log_merge_us,
+            tree_us: s.tree_verify_us,
+            join_us: s.completeness_join_us,
+            wal_tail_us: s.wal_tail_us,
+            records: s.records_scanned,
+            chunks: s.l_chunks,
+        },
+        out,
+    )
+}
+
+fn main() {
+    // Load TPC-C, audit the load out (epoch roll), then run the measured
+    // transaction mix. The returned database is kept open: all audit
+    // configurations below dry-run over this one quiesced state.
+    let (_res, db, _t, _dir) =
+        ccdb_bench::run_tpcc(Mode::LogConsistent, TpccScale::small(1), 256, TXNS, 4);
+    db.set_io_latency_us(AUDIT_IO_LATENCY_US);
+    db.set_io_latency_sleep(true);
+
+    let (serial, serial_out) = run(&db, AuditConfig::serial(), "serial");
+    println!(
+        "serial oracle: {:.3}s  ({} records, {} final tuples)",
+        serial.secs, serial.records, serial_out.report.stats.tuples_final
+    );
+
+    let mut outcomes = vec![serial];
+    let mut speedup_4t = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = AuditConfig::default().with_threads(threads);
+        let (o, out) = run(&db, cfg, &format!("parallel-{threads}t"));
+        // Verdict identity is a precondition for the numbers to mean
+        // anything.
+        assert_eq!(
+            serial_out.report.violations, out.report.violations,
+            "parallel-{threads}t diverged from the serial oracle"
+        );
+        assert_eq!(
+            serial_out.tuple_hash, out.tuple_hash,
+            "parallel-{threads}t completeness hash diverged"
+        );
+        let speedup = outcomes[0].secs / o.secs;
+        if threads == 4 {
+            speedup_4t = speedup;
+        }
+        println!(
+            "parallel {threads}t: {:.3}s  ({speedup:.2}x vs serial; decode {}µs, replay {}µs, merge {}µs, tree {}µs, join {}µs, wal-tail {}µs, {} chunks)",
+            o.secs, o.decode_us, o.replay_us, o.merge_us, o.tree_us, o.join_us, o.wal_tail_us, o.chunks
+        );
+        outcomes.push(o);
+    }
+    println!("4-thread audit speedup vs serial: {speedup_4t:.2}x");
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"audit-pipeline\",\n");
+    json.push_str("  \"workload\": \"tpcc-small-1w-log-consistent\",\n");
+    json.push_str(&format!("  \"txns\": {TXNS},\n"));
+    json.push_str(&format!("  \"io_latency_us\": {AUDIT_IO_LATENCY_US},\n"));
+    json.push_str("  \"io_latency_model\": \"sleep\",\n");
+    json.push_str("  \"configs\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"threads\": {}, \"secs\": {:.4}, \"speedup_vs_serial\": {:.2}, \"log_decode_us\": {}, \"log_replay_us\": {}, \"log_merge_us\": {}, \"tree_verify_us\": {}, \"completeness_join_us\": {}, \"wal_tail_us\": {}, \"records\": {}, \"l_chunks\": {}}}{}\n",
+            o.label,
+            o.threads,
+            o.secs,
+            outcomes[0].secs / o.secs,
+            o.decode_us,
+            o.replay_us,
+            o.merge_us,
+            o.tree_us,
+            o.join_us,
+            o.wal_tail_us,
+            o.records,
+            o.chunks,
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_4t_vs_serial\": {speedup_4t:.2}\n"));
+    json.push_str("}\n");
+
+    let out = std::env::var("CCDB_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR5.json"));
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {}", out.display());
+}

@@ -287,6 +287,7 @@ pub fn run_schedule(seed: u64) -> Result<TortureOutcome, String> {
         auditor_seed: [7u8; 32],
         fsync: rng.gen_bool(0.15),
         worm_artifact_retention: None,
+        ..ComplianceConfig::default()
     };
     let dir = TempDir::new(&format!("torture-{seed}"));
     let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(40)));

@@ -10,8 +10,56 @@
 //! re-opens state from *disk*, never through a poisoned in-memory lock.
 
 use std::sync;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// Applies `f` to every item on a scoped worker pool of at most `threads`
+/// OS threads, returning the outputs **in item order**.
+///
+/// This is the workspace's only fan-out primitive (no rayon: the build is
+/// offline). Work is distributed by an atomic next-item cursor, so long and
+/// short tasks share the pool without static partitioning; determinism is
+/// preserved because output slot `i` always holds `f(items[i])` regardless
+/// of which worker ran it. With `threads <= 1` (or one item) everything runs
+/// inline on the caller's thread — the sequential semantics are *identical*,
+/// which the parallel auditor's differential tests rely on.
+///
+/// Threads are scoped (`std::thread::scope`), so `f` may borrow from the
+/// caller's stack. A panic in any task propagates to the caller after the
+/// scope joins.
+pub fn parallel_map<I, O, F>(threads: usize, items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Each slot carries its input in and its output back; the mutex is
+    // uncontended (one worker claims a slot exactly once via the cursor).
+    let slots: Vec<Mutex<(Option<I>, Option<O>)>> =
+        items.into_iter().map(|i| Mutex::new((Some(i), None))).collect();
+    let next = &AtomicUsize::new(0);
+    let f = &f;
+    let slots_ref = &slots;
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots_ref[i].lock().0.take().expect("slot claimed once");
+                let out = f(item);
+                slots_ref[i].lock().1 = Some(out);
+            });
+        }
+    });
+    slots.into_iter().map(|m| m.into_inner().1.expect("worker completed slot")).collect()
+}
 
 /// A mutex whose `lock()` returns the guard directly, ignoring poisoning.
 #[derive(Debug, Default)]
@@ -192,6 +240,31 @@ mod tests {
         let g = m.lock();
         let (_g, timed_out) = cv.wait_timeout(g, std::time::Duration::from_millis(5));
         assert!(timed_out);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [0, 1, 2, 4, 8] {
+            let out = parallel_map(threads, items.clone(), |x| x * 3);
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_map_runs_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // With 4 threads and 4 sleeping tasks, at least two tasks must
+        // overlap (high-water mark of in-flight tasks > 1).
+        let inflight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        parallel_map(4, vec![(); 4], |()| {
+            let cur = inflight.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(cur, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            inflight.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) > 1, "tasks never overlapped");
     }
 
     #[test]

@@ -1,0 +1,1743 @@
+//! The auditor: one pass over the compliance log, the previous snapshot, and
+//! the final database state.
+//!
+//! The checks, keyed to the paper:
+//!
+//! * **Tuple completeness** (§IV): `Df = Ds ∪ L`, verified with the
+//!   commutative incremental ADD-HASH in a single pass — no sorting. A fold
+//!   identity is a tuple's canonical bytes (relation, key, commit time,
+//!   end-of-life flag, value) plus its tuple-order number; page splits and
+//!   recovery duplicates therefore never double-count.
+//! * **Status-record discipline** (§IV-B): at most one commit time per
+//!   transaction, never both `STAMP_TRANS` and `ABORT`, commit times
+//!   strictly increasing, no gap between consecutive stamps/heartbeats
+//!   longer than one regret interval except across a logged crash recovery,
+//!   a witness file for every interval the DBMS claims to have been alive.
+//! * **Page-read verification** (§V): the auditor replays every page's
+//!   content from `L` and checks each logged `READ` hash, resolving each
+//!   tuple's time by the offset rule — commit time iff the transaction's
+//!   `STAMP_TRANS` appears earlier in `L` than the `READ`.
+//! * **Split and migration verification** (§V–VI): the union of a split's
+//!   output pages must equal the input page plus the declared intermediate
+//!   versions; a migrated page's WORM copy must match its replayed state.
+//! * **Shred verification** (§VIII): every `UNDO` is justified by a prior
+//!   `ABORT` or `SHREDDED`; every shredded version had expired under the
+//!   retention period in force at shred time and was not under an active
+//!   litigation hold; everything listed as shredded is gone.
+//! * **Physical integrity** (§IV-C): slot structure, leaf sort order, and
+//!   parent/child separator consistency over every relation's tree — the
+//!   Figure 2 attacks.
+//!
+//! # Two execution strategies, one verdict
+//!
+//! The audit runs in one of two modes selected by [`AuditConfig`]:
+//!
+//! * the **serial oracle** ([`AuditConfig::serial`]) — the paper's literal
+//!   single pass over `L` and the trees, kept as an independent
+//!   implementation;
+//! * the **parallel pipeline** (default; the `parallel` submodule) — a
+//!   three-stage restructuring: (1) chunked decode of `L` plus a sharded
+//!   replay partitioned by page-split-connected components, joined by a
+//!   deterministic offset-ordered merge; (2) concurrent per-relation tree
+//!   verification over a shared raw buffer pool; (3) a parallel
+//!   `Df = Ds ∪ L` completeness join over per-shard ADD-HASH partial sums.
+//!
+//! The per-record replay logic exists **once**, in [`Replayer`]: the serial
+//! oracle drives it with a sink that applies fold operations immediately,
+//! the parallel pipeline with a sink that records them for the deterministic
+//! merge. Both paths end in [`AuditReport`] canonicalization (findings
+//! sorted under a total order), and the differential/property suites in
+//! `tests/` assert that they produce byte-identical verdicts and finding
+//! sets on every state, tampered or clean, at every thread count and chunk
+//! size.
+
+mod parallel;
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ccdb_btree::{check_tree, BTree, IntegrityError, TimeRank};
+use ccdb_common::sync::parallel_map;
+use ccdb_common::{ByteReader, ByteWriter, Duration, PageNo, RelId, Result, Timestamp, TxnId};
+use ccdb_crypto::{sha256, AddHash, Digest};
+use ccdb_engine::Engine;
+use ccdb_storage::{BufferPool, DiskManager, Page, PageStore, PageType, TupleVersion, WriteTime};
+use ccdb_worm::WormServer;
+
+use crate::logger::{
+    epoch_log_name, epoch_stamp_name, waltail_name, witness_name, StampIndexEntry,
+};
+use crate::migrate::MigratedPage;
+use crate::plugin::{hs_element_bytes, inner_hs};
+use crate::records::{LogIter, LogRecord, SplitSide};
+use crate::shred::{Hold, HOLDS_RELATION};
+use crate::snapshot::{SnapPage, Snapshot, SnapshotManager};
+
+/// A specific piece of tamper evidence (or audit-process failure).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// `H(Ds ∪ L) ≠ H(Df)` — tuples were altered, removed, or inserted
+    /// outside the logged history.
+    CompletenessMismatch,
+    /// A tuple's writing transaction has neither a `STAMP_TRANS` nor an
+    /// `ABORT` on `L`.
+    UnstampedTransaction {
+        /// The unresolved transaction.
+        txn: TxnId,
+    },
+    /// A transaction has conflicting status records (two different commit
+    /// times, or both a stamp and an abort) — e.g. Mala appending spurious
+    /// `ABORT` records "to try to hide the existence of tuples that she
+    /// regrets".
+    ConflictingStatus {
+        /// The transaction with conflicting records.
+        txn: TxnId,
+    },
+    /// Commit times on `L` are not strictly increasing.
+    CommitTimesNotMonotonic {
+        /// Offset of the offending record.
+        offset: u64,
+    },
+    /// Consecutive stamps/heartbeats are more than one regret interval
+    /// apart with no crash recovery explaining the gap.
+    RegretGapExceeded {
+        /// Start of the gap.
+        from: Timestamp,
+        /// End of the gap.
+        to: Timestamp,
+    },
+    /// No witness file exists for a regret interval the system should have
+    /// been alive in.
+    MissingWitness {
+        /// The interval index.
+        interval: u64,
+    },
+    /// A logged page-read hash does not match the replayed page content —
+    /// the state-reversion attack.
+    ReadHashMismatch {
+        /// The page read.
+        pgno: PageNo,
+        /// Offset of the `READ` record.
+        offset: u64,
+    },
+    /// A page split's outputs do not partition its input (plus declared
+    /// intermediates).
+    SplitMismatch {
+        /// The split input page.
+        old: PageNo,
+    },
+    /// A physical tuple removal with no justifying `ABORT` or `SHREDDED`.
+    UnjustifiedUndo {
+        /// The affected page.
+        pgno: PageNo,
+    },
+    /// A page's final on-disk content differs from its replayed state.
+    StateMismatch {
+        /// The affected page.
+        pgno: PageNo,
+    },
+    /// An internal page's final content differs from the replayed index.
+    IndexMismatch {
+        /// The affected page.
+        pgno: PageNo,
+    },
+    /// A page failed structural validation or its checksum.
+    BadPage {
+        /// The affected page.
+        pgno: PageNo,
+        /// Why.
+        reason: String,
+    },
+    /// A B+-tree physical-integrity failure (Figure 2 attacks).
+    TreeIntegrity(IntegrityError),
+    /// A version listed in a `SHREDDED` record is still present.
+    ShredIncomplete {
+        /// Owning relation.
+        rel: RelId,
+        /// Tuple key.
+        key: Vec<u8>,
+    },
+    /// A shredded version had not expired under the retention policy.
+    ShredOfUnexpired {
+        /// Owning relation.
+        rel: RelId,
+        /// Tuple key.
+        key: Vec<u8>,
+    },
+    /// A shredded version was covered by an active litigation hold.
+    ShredOfHeld {
+        /// Owning relation.
+        rel: RelId,
+        /// Tuple key.
+        key: Vec<u8>,
+        /// The violated hold.
+        hold: String,
+    },
+    /// A migrated page's WORM copy does not match its replayed state.
+    MigrationMismatch {
+        /// The migrated page.
+        pgno: PageNo,
+    },
+    /// The previous snapshot failed to load or verify.
+    SnapshotInvalid {
+        /// Why.
+        reason: String,
+    },
+    /// The compliance log or stamp index is unreadable.
+    LogUnreadable {
+        /// Why.
+        reason: String,
+    },
+    /// The WORM WAL tail records a committed transaction that the
+    /// compliance log and database do not reflect — evidence the local WAL
+    /// was wiped within the regret window (the attack the WORM-resident
+    /// tail exists to defeat, Section IV-B).
+    WalTailInconsistent {
+        /// The transaction whose durable commit vanished.
+        txn: TxnId,
+    },
+    /// A WORM file's backing store is *shorter* than its trusted metadata
+    /// length — acknowledged compliance-log bytes have been destroyed. The
+    /// WORM device promises term immutability; a truncated tail means that
+    /// promise (the architecture's root of trust) was violated, so the
+    /// auditor names the file rather than failing with an I/O error.
+    WormTruncated {
+        /// The damaged WORM file.
+        file: String,
+        /// Length the trusted metadata acknowledges.
+        trusted_len: u64,
+        /// Length actually present on the backing store.
+        backing_len: u64,
+    },
+}
+
+/// Timing and volume measurements (the audit-time table of Section VII-c).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AuditStats {
+    /// Time to load + fold the previous snapshot (µs wall).
+    pub snapshot_us: u64,
+    /// Time to scan `L` (µs wall).
+    pub log_scan_us: u64,
+    /// Time to scan + fold the final state (µs wall).
+    pub final_state_us: u64,
+    /// Records scanned in `L`.
+    pub records_scanned: u64,
+    /// Bytes of `L` scanned.
+    pub log_bytes: u64,
+    /// `READ` hashes verified.
+    pub reads_verified: u64,
+    /// Tuples folded from the final state.
+    pub tuples_final: u64,
+    /// Pages in the new snapshot.
+    pub snapshot_pages: u64,
+    /// Worker threads the audit actually used (1 for the serial oracle).
+    pub threads_used: u64,
+    /// Decode chunks the parallel `L` scan was split into (0 when serial).
+    pub l_chunks: u64,
+    /// Parallel pipeline: frame-scan + chunked decode of `L` (µs wall).
+    pub log_decode_us: u64,
+    /// Parallel pipeline: component routing + shred/undo precompute (µs).
+    pub log_route_us: u64,
+    /// Parallel pipeline: sharded replay of `L` (µs wall across the pool).
+    pub log_replay_us: u64,
+    /// Parallel pipeline: deterministic merge of shard results (µs).
+    pub log_merge_us: u64,
+    /// Physical tree verification (µs; part of `final_state_us`).
+    pub tree_verify_us: u64,
+    /// The `Df = Ds ∪ L` completeness join: final-state fold + compare
+    /// against the replayed accumulator (µs; part of `final_state_us`).
+    pub completeness_join_us: u64,
+    /// Snapshot tuples whose ADD-HASH fold was skipped because a sealed
+    /// WORM checkpoint from the previous clean audit already attests the
+    /// prefix (0 = the full snapshot was re-folded).
+    pub snapshot_prefix_skipped: u64,
+    /// WAL-tail cross-check (µs wall; per-transaction presence probes fan
+    /// out on the worker pool in the parallel pipeline).
+    pub wal_tail_us: u64,
+}
+
+/// A per-tuple forensic finding, localizing *what* was tampered where. The
+/// paper: storing the full snapshot "enables fine-grained forensic analysis
+/// if the next audit finds evidence of tampering."
+#[derive(Clone, Debug, PartialEq)]
+pub enum TupleFinding {
+    /// A tuple exists on disk with a different value/time than every logged
+    /// version at its position.
+    Altered {
+        /// Page holding the tuple.
+        pgno: PageNo,
+        /// Owning relation.
+        rel: RelId,
+        /// Tuple key.
+        key: Vec<u8>,
+        /// Tuple-order number.
+        seq: u16,
+        /// The value the log history predicts.
+        expected: Vec<u8>,
+        /// The value found on disk.
+        found: Vec<u8>,
+    },
+    /// A logged tuple version is gone from its page without an `UNDO` or
+    /// `SHREDDED` justification.
+    Missing {
+        /// Page that should hold the tuple.
+        pgno: PageNo,
+        /// Owning relation.
+        rel: RelId,
+        /// Tuple key.
+        key: Vec<u8>,
+        /// Tuple-order number.
+        seq: u16,
+    },
+    /// A tuple exists on disk that no logged insertion accounts for
+    /// (post-hoc insertion).
+    Forged {
+        /// Page holding the tuple.
+        pgno: PageNo,
+        /// Owning relation.
+        rel: RelId,
+        /// Tuple key.
+        key: Vec<u8>,
+        /// Tuple-order number.
+        seq: u16,
+    },
+}
+
+/// The outcome of an audit.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// The epoch audited.
+    pub epoch: u64,
+    /// Every violation found (empty for a compliant database).
+    pub violations: Vec<Violation>,
+    /// Per-tuple forensic localization of state mismatches (empty when
+    /// clean; complements the coarse [`Violation`] list).
+    pub forensics: Vec<TupleFinding>,
+    /// Measurements.
+    pub stats: AuditStats,
+}
+
+impl AuditReport {
+    /// Whether the database passed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Auditor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AuditConfig {
+    /// The regret interval the deployment promises.
+    pub regret_interval: Duration,
+    /// Verify logged `READ` hashes (hash-page-on-read refinement).
+    pub verify_reads: bool,
+    /// Enforce witness-file continuity.
+    pub check_witnesses: bool,
+    /// Run the single-pass serial oracle instead of the parallel pipeline.
+    pub serial: bool,
+    /// Worker threads for the parallel pipeline. `0` = auto (the machine's
+    /// available parallelism). Values above the core count still help when
+    /// the database lives on high-latency (emulated-remote) storage: the
+    /// final-state scan is I/O-bound and blocked readers overlap.
+    pub audit_threads: usize,
+    /// Records per decode chunk in the parallel `L` scan (the chunked
+    /// stage-1 fan-out granularity). Small values stress chunk boundaries;
+    /// the default amortizes dispatch overhead.
+    pub l_chunk_records: usize,
+    /// Use sealed WORM replay checkpoints from prior clean audits to skip
+    /// re-folding the snapshot prefix of the completeness hash. Disabled by
+    /// the checkpoint regression tests to exercise the full re-fold path.
+    pub use_checkpoints: bool,
+}
+
+/// Default decode-chunk size for the parallel `L` scan.
+pub const DEFAULT_L_CHUNK_RECORDS: usize = 4096;
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            regret_interval: Duration::from_mins(5),
+            verify_reads: true,
+            check_witnesses: true,
+            serial: false,
+            audit_threads: 0,
+            l_chunk_records: DEFAULT_L_CHUNK_RECORDS,
+            use_checkpoints: true,
+        }
+    }
+}
+
+impl AuditConfig {
+    /// The serial oracle: the paper's literal single pass. The parallel
+    /// pipeline is proven against this configuration by the differential
+    /// suites.
+    pub fn serial() -> AuditConfig {
+        AuditConfig { serial: true, audit_threads: 1, ..AuditConfig::default() }
+    }
+
+    /// Returns the config with the serial/pipeline switch set.
+    pub fn with_serial(mut self, serial: bool) -> AuditConfig {
+        self.serial = serial;
+        if serial {
+            self.audit_threads = 1;
+        }
+        self
+    }
+
+    /// Returns the config with an explicit worker-thread count (0 = auto).
+    pub fn with_threads(mut self, threads: usize) -> AuditConfig {
+        self.audit_threads = threads;
+        self
+    }
+
+    /// Returns the config with an explicit decode-chunk size.
+    pub fn with_chunk_records(mut self, records: usize) -> AuditConfig {
+        self.l_chunk_records = records;
+        self
+    }
+
+    /// Returns the config with the checkpoint fast path enabled/disabled.
+    pub fn with_checkpoints(mut self, on: bool) -> AuditConfig {
+        self.use_checkpoints = on;
+        self
+    }
+}
+
+/// The number of worker threads a config resolves to (1 for the oracle,
+/// `available_parallelism` for `audit_threads == 0`).
+fn effective_threads(config: &AuditConfig) -> usize {
+    if config.serial {
+        return 1;
+    }
+    match config.audit_threads {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Replayed state of one page. (Some metadata fields are retained for
+/// forensic dumps and future checks even though the core audit path does
+/// not read them.)
+#[derive(Clone, Debug, Default)]
+#[allow(dead_code)]
+struct PageState {
+    rel: RelId,
+    kind: Option<PageType>,
+    historical: bool,
+    aux: u64,
+    /// Leaf: stored tuple versions. Inner: raw entry cells.
+    tuples: Vec<TupleVersion>,
+    cells: Vec<Vec<u8>>,
+}
+
+/// The auditor.
+pub struct Auditor {
+    worm: Arc<WormServer>,
+    snapshots: SnapshotManager,
+    config: AuditConfig,
+}
+
+/// Result of an audit, including the material to write the next snapshot.
+pub struct AuditOutcome {
+    /// The report.
+    pub report: AuditReport,
+    /// The verified final state, ready to become the next snapshot.
+    pub snapshot_pages: Vec<SnapPage>,
+    /// The fold over the final canonical tuple set.
+    pub tuple_hash: AddHash,
+}
+
+fn fold_identity(t: &TupleVersion, commit: Timestamp) -> Vec<u8> {
+    let mut b = t.canonical_bytes_with_time(commit);
+    b.extend_from_slice(&t.seq.to_le_bytes());
+    b
+}
+
+/// A tuple resolved for comparison: `(key, seq, commit-or-pending, eol, value)`.
+type ResolvedTuple = (Vec<u8>, u16, (u8, u64), bool, Vec<u8>);
+
+fn resolve_tuple(t: &TupleVersion, stamps: &HashMap<TxnId, (Timestamp, u64)>) -> ResolvedTuple {
+    let time = match t.time {
+        WriteTime::Committed(ct) => (1u8, ct.0),
+        WriteTime::Pending(txn) => match stamps.get(&txn) {
+            Some((ct, _)) => (1u8, ct.0),
+            None => (0u8, txn.0),
+        },
+    };
+    (t.key.clone(), t.seq, time, t.end_of_life, t.value.clone())
+}
+
+// ---------------------------------------------------------------------------
+// WORM replay checkpoints
+// ---------------------------------------------------------------------------
+
+/// WORM name of the sealed replay checkpoint written after a clean audit of
+/// `epoch`: it attests the snapshot's tuple ADD-HASH so the *next* audit can
+/// skip re-folding the sealed prefix of the completeness universe.
+pub fn audit_ckpt_name(epoch: u64) -> String {
+    format!("auditckpt/epoch-{epoch}")
+}
+
+const CKPT_MAGIC: u64 = 0xCCDB_AC99;
+
+// ---------------------------------------------------------------------------
+// Shared replay machinery (one implementation, two sinks)
+// ---------------------------------------------------------------------------
+
+/// `(rel, key, start) → (shred_time, consumed)` — the `SHREDDED` bookkeeping
+/// both auditors share.
+type ShredMap = BTreeMap<(RelId, Vec<u8>, Timestamp), (Timestamp, bool)>;
+
+/// A deferred mutation of the completeness accumulator. The serial oracle
+/// applies these immediately; the parallel pipeline records them per shard
+/// and applies them in `(offset, sub)` order during the deterministic merge
+/// — membership (`seen`) semantics are order-sensitive, so replaying the
+/// exact serial order is what makes the two verdicts identical.
+#[derive(Clone, Debug)]
+enum FoldOp {
+    /// `if seen.insert(id) { acc.add(&id) }`.
+    AddIfNew(Vec<u8>),
+    /// `if seen.remove(&id) { acc.remove(&id) }`.
+    RemoveIfSeen(Vec<u8>),
+}
+
+/// Applies one fold op against the global membership set + accumulator.
+fn apply_fold_op(seen: &mut HashSet<Vec<u8>>, acc: &mut AddHash, op: FoldOp) {
+    match op {
+        FoldOp::AddIfNew(id) => {
+            if seen.insert(id.clone()) {
+                acc.add(&id);
+            }
+        }
+        FoldOp::RemoveIfSeen(id) => {
+            if seen.remove(&id) {
+                acc.remove(&id);
+            }
+        }
+    }
+}
+
+/// What an `UNDO` of a committed version found in the shred book.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShredConsume {
+    /// First consumption of a live `SHREDDED` entry (the version leaves the
+    /// completeness universe).
+    First,
+    /// The entry was already consumed (crash-recovery duplicate; tolerated).
+    Duplicate,
+    /// No matching `SHREDDED` entry — the undo is unjustified.
+    NotFound,
+}
+
+/// The strategy half of the replay: where fold ops go and how shred
+/// consumption is decided. [`Replayer`] holds the per-record logic once;
+/// implementations of this trait make it serial or sharded.
+trait ReplaySink {
+    /// Record (or apply) a completeness-fold operation emitted at `off`.
+    fn fold(&mut self, off: u64, op: FoldOp);
+    /// Decide/perform consumption of a `SHREDDED` entry by an `UNDO` at
+    /// `off` for the version `(rel, key, ct)`.
+    fn consume_shred(&mut self, off: u64, rel: RelId, key: &[u8], ct: Timestamp) -> ShredConsume;
+    /// A `SHREDDED` record was replayed.
+    fn shredded(&mut self, off: u64, rel: RelId, key: Vec<u8>, start: Timestamp, shred: Timestamp);
+    /// A `START_RECOVERY` record was replayed.
+    fn recovery(&mut self, off: u64, time: Timestamp);
+}
+
+/// The serial oracle's sink: owns the global membership set, accumulator,
+/// shred book, and recovery windows, mutating them in log order.
+struct SerialSink {
+    seen: HashSet<Vec<u8>>,
+    acc: AddHash,
+    shreds: ShredMap,
+    recovery_windows: Vec<(u64, Timestamp)>,
+}
+
+impl ReplaySink for SerialSink {
+    fn fold(&mut self, _off: u64, op: FoldOp) {
+        apply_fold_op(&mut self.seen, &mut self.acc, op);
+    }
+
+    fn consume_shred(&mut self, _off: u64, rel: RelId, key: &[u8], ct: Timestamp) -> ShredConsume {
+        match self.shreds.get_mut(&(rel, key.to_vec(), ct)) {
+            Some(entry) => {
+                if !entry.1 {
+                    entry.1 = true;
+                    ShredConsume::First
+                } else {
+                    ShredConsume::Duplicate
+                }
+            }
+            None => ShredConsume::NotFound,
+        }
+    }
+
+    fn shredded(
+        &mut self,
+        _off: u64,
+        rel: RelId,
+        key: Vec<u8>,
+        start: Timestamp,
+        shred: Timestamp,
+    ) {
+        self.shreds.insert((rel, key, start), (shred, false));
+    }
+
+    fn recovery(&mut self, off: u64, time: Timestamp) {
+        self.recovery_windows.push((off, time));
+    }
+}
+
+/// The single shared implementation of per-record replay. Both auditors
+/// construct one of these (over the whole log, or over one shard's slice)
+/// and feed it `(offset, record)` pairs in offset order.
+struct Replayer<'a, S: ReplaySink> {
+    worm: &'a WormServer,
+    stamps: &'a HashMap<TxnId, (Timestamp, u64)>,
+    aborts: &'a HashMap<TxnId, u64>,
+    verify_reads: bool,
+    debug: bool,
+    states: HashMap<PageNo, PageState>,
+    migrated: HashSet<PageNo>,
+    migrated_versions: HashSet<(RelId, Vec<u8>, Timestamp)>,
+    violations: Vec<Violation>,
+    reads_verified: u64,
+    sink: S,
+}
+
+impl<'a, S: ReplaySink> Replayer<'a, S> {
+    fn new(
+        worm: &'a WormServer,
+        stamps: &'a HashMap<TxnId, (Timestamp, u64)>,
+        aborts: &'a HashMap<TxnId, u64>,
+        verify_reads: bool,
+        debug: bool,
+        states: HashMap<PageNo, PageState>,
+        sink: S,
+    ) -> Self {
+        Replayer {
+            worm,
+            stamps,
+            aborts,
+            verify_reads,
+            debug,
+            states,
+            migrated: HashSet::new(),
+            migrated_versions: HashSet::new(),
+            violations: Vec::new(),
+            reads_verified: 0,
+            sink,
+        }
+    }
+
+    /// Replays one record at offset `off`.
+    fn replay(&mut self, off: u64, rec: LogRecord) {
+        match rec {
+            LogRecord::NewTuple { pgno, rel, cell } => {
+                let t = match TupleVersion::decode_cell(&cell) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        self.violations.push(Violation::LogUnreadable {
+                            reason: format!("NEW_TUPLE cell at {off}: {e}"),
+                        });
+                        return;
+                    }
+                };
+                // Resolve the commit time (the auditor "must replace any
+                // transaction ID by the commit time").
+                let resolved = match t.time {
+                    WriteTime::Committed(ct) => Some(ct),
+                    WriteTime::Pending(txn) => self.stamps.get(&txn).map(|(ct, _)| *ct),
+                };
+                let aborted =
+                    t.time.pending().map(|txn| self.aborts.contains_key(&txn)).unwrap_or(false);
+                if let Some(ct) = resolved {
+                    self.sink.fold(off, FoldOp::AddIfNew(fold_identity(&t, ct)));
+                } else if !aborted {
+                    if let Some(txn) = t.time.pending() {
+                        self.violations.push(Violation::UnstampedTransaction { txn });
+                    }
+                }
+                // Page state: the physical tuple (stored form) joins the
+                // page unless this NEW_TUPLE is a recovery duplicate of
+                // something already there.
+                let st = self.states.entry(pgno).or_insert_with(|| PageState {
+                    rel,
+                    kind: Some(PageType::Leaf),
+                    ..PageState::default()
+                });
+                if !st.tuples.iter().any(|e| e.key == t.key && e.seq == t.seq) {
+                    st.tuples.push(t);
+                }
+            }
+            LogRecord::Undo { pgno, rel: _, cell } => {
+                let t = match TupleVersion::decode_cell(&cell) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        self.violations.push(Violation::LogUnreadable {
+                            reason: format!("UNDO cell at {off}: {e}"),
+                        });
+                        return;
+                    }
+                };
+                let justified = match t.time {
+                    WriteTime::Pending(txn) => self.aborts.contains_key(&txn),
+                    WriteTime::Committed(ct) => {
+                        match self.sink.consume_shred(off, t.rel, &t.key, ct) {
+                            ShredConsume::First => {
+                                // The shredded version leaves the
+                                // completeness universe.
+                                self.sink.fold(off, FoldOp::RemoveIfSeen(fold_identity(&t, ct)));
+                                true
+                            }
+                            ShredConsume::Duplicate => true,
+                            ShredConsume::NotFound => false,
+                        }
+                    }
+                };
+                if !justified {
+                    self.violations.push(Violation::UnjustifiedUndo { pgno });
+                }
+                if let Some(st) = self.states.get_mut(&pgno) {
+                    if let Some(pos) =
+                        st.tuples.iter().position(|e| e.key == t.key && e.seq == t.seq)
+                    {
+                        st.tuples.remove(pos);
+                    }
+                    // Absent: a duplicate UNDO from crash recovery — the
+                    // paper tolerates these.
+                }
+            }
+            LogRecord::Read { pgno, hs } => {
+                if self.verify_reads {
+                    let expect = match self.states.get(&pgno) {
+                        Some(st) if st.kind == Some(PageType::Inner) => {
+                            inner_hs(st.cells.iter().map(|c| c.as_slice()))
+                        }
+                        Some(st) => leaf_read_hash(&st.tuples, self.stamps, off),
+                        None => leaf_read_hash(&[], self.stamps, off),
+                    };
+                    if expect != hs {
+                        if self.debug {
+                            eprintln!(
+                                "AUDIT MISMATCH {off} pg={pgno:?} replayed tuples {:?}",
+                                self.states.get(&pgno).map(|st| st
+                                    .tuples
+                                    .iter()
+                                    .map(|t| (t.key.clone(), t.seq, t.time))
+                                    .collect::<Vec<_>>())
+                            );
+                        }
+                        self.violations.push(Violation::ReadHashMismatch { pgno, offset: off });
+                    }
+                    self.reads_verified += 1;
+                }
+            }
+            LogRecord::PageSplit { old, rel, left, right, intermediates } => {
+                let old_state = self.states.remove(&old).unwrap_or_default();
+                let is_leaf = !matches!(old_state.kind, Some(PageType::Inner));
+                if is_leaf {
+                    // Union check on resolved tuples.
+                    let stamps = self.stamps;
+                    let mut input: Vec<ResolvedTuple> =
+                        old_state.tuples.iter().map(|t| resolve_tuple(t, stamps)).collect();
+                    let mut inters = Vec::new();
+                    for c in &intermediates {
+                        match TupleVersion::decode_cell(c) {
+                            Ok(t) => {
+                                input.push(resolve_tuple(&t, stamps));
+                                inters.push(t);
+                            }
+                            Err(e) => self.violations.push(Violation::LogUnreadable {
+                                reason: format!("split intermediate at {off}: {e}"),
+                            }),
+                        }
+                    }
+                    let mut output: Vec<ResolvedTuple> = Vec::new();
+                    let mut install =
+                        |side: &SplitSide, states: &mut HashMap<PageNo, PageState>| -> Result<()> {
+                            let mut st = PageState {
+                                rel,
+                                kind: Some(PageType::Leaf),
+                                historical: side.historical,
+                                ..PageState::default()
+                            };
+                            for c in &side.cells {
+                                let t = TupleVersion::decode_cell(c)?;
+                                output.push(resolve_tuple(&t, stamps));
+                                st.tuples.push(t);
+                            }
+                            states.insert(side.pgno, st);
+                            Ok(())
+                        };
+                    if install(&left, &mut self.states).is_err()
+                        || install(&right, &mut self.states).is_err()
+                    {
+                        self.violations.push(Violation::SplitMismatch { old });
+                    } else {
+                        input.sort();
+                        output.sort();
+                        if input != output {
+                            if self.debug {
+                                let only_in: Vec<_> =
+                                    input.iter().filter(|x| !output.contains(x)).collect();
+                                let only_out: Vec<_> =
+                                    output.iter().filter(|x| !input.contains(x)).collect();
+                                eprintln!("SPLIT MISMATCH old={old:?} in-not-out={only_in:?} out-not-in={only_out:?}");
+                            }
+                            self.violations.push(Violation::SplitMismatch { old });
+                        }
+                    }
+                    // Intermediates are genuinely new tuples.
+                    for t in inters {
+                        if let WriteTime::Committed(ct) = t.time {
+                            self.sink.fold(off, FoldOp::AddIfNew(fold_identity(&t, ct)));
+                        } else {
+                            self.violations.push(Violation::SplitMismatch { old });
+                        }
+                    }
+                } else {
+                    // Inner split: the record's content is authoritative.
+                    // (The tree rebuilds a parent's entry list in memory
+                    // — remove one child entry, add two — and splits the
+                    // *modified* list, so the physical input page never
+                    // holds the split's exact input; a union check would
+                    // be vacuous. Index integrity is enforced by the
+                    // final-state comparison plus the physical
+                    // parent/child checks, which is where the Figure 2(c)
+                    // attack is caught.)
+                    let _ = old_state;
+                    for side in [&left, &right] {
+                        self.states.insert(
+                            side.pgno,
+                            PageState {
+                                rel,
+                                kind: Some(PageType::Inner),
+                                cells: side.cells.clone(),
+                                ..PageState::default()
+                            },
+                        );
+                    }
+                }
+            }
+            LogRecord::IndexInsert { pgno, cell } => {
+                let st = self.states.entry(pgno).or_insert_with(|| PageState {
+                    kind: Some(PageType::Inner),
+                    ..PageState::default()
+                });
+                // Crash recovery regenerates index records at the next
+                // pwrite; duplicates are skipped (entries are unique).
+                if !st.cells.contains(&cell) {
+                    let pos = st
+                        .cells
+                        .iter()
+                        .position(|c| entry_order(c) > entry_order(&cell))
+                        .unwrap_or(st.cells.len());
+                    st.cells.insert(pos, cell);
+                }
+            }
+            LogRecord::IndexRemove { pgno, cell } => {
+                // Absent entries are tolerated (duplicate removals from
+                // recovery); real index tampering is caught by the
+                // final-state comparison.
+                if let Some(st) = self.states.get_mut(&pgno) {
+                    if let Some(pos) = st.cells.iter().position(|c| *c == cell) {
+                        st.cells.remove(pos);
+                    }
+                }
+            }
+            LogRecord::NewRoot { rel: _, pgno, cells } => {
+                self.states.entry(pgno).or_insert_with(|| PageState {
+                    kind: Some(PageType::Inner),
+                    cells,
+                    ..PageState::default()
+                });
+            }
+            LogRecord::Migrate { pgno, rel, worm_file, content_hash } => {
+                let st = self.states.remove(&pgno).unwrap_or_default();
+                match self.worm.read_all(&worm_file).and_then(|b| MigratedPage::decode(&b)) {
+                    Ok(mp) => {
+                        let stored_hash = crate::plugin::page_content_hash(&mp.cells);
+                        let mut copy: Vec<ResolvedTuple> = Vec::new();
+                        let mut ok = stored_hash == content_hash;
+                        for c in &mp.cells {
+                            match TupleVersion::decode_cell(c) {
+                                Ok(t) => copy.push(resolve_tuple(&t, self.stamps)),
+                                Err(_) => ok = false,
+                            }
+                        }
+                        let mut orig: Vec<ResolvedTuple> =
+                            st.tuples.iter().map(|t| resolve_tuple(t, self.stamps)).collect();
+                        copy.sort();
+                        orig.sort();
+                        if !ok || copy != orig {
+                            self.violations.push(Violation::MigrationMismatch { pgno });
+                        } else {
+                            // Verified: the page's tuples leave the
+                            // auditing universe.
+                            for t in &st.tuples {
+                                let ct = match t.time {
+                                    WriteTime::Committed(ct) => Some(ct),
+                                    WriteTime::Pending(txn) => {
+                                        self.stamps.get(&txn).map(|(c, _)| *c)
+                                    }
+                                };
+                                if let Some(ct) = ct {
+                                    self.sink.fold(off, FoldOp::RemoveIfSeen(fold_identity(t, ct)));
+                                    self.migrated_versions.insert((rel, t.key.clone(), ct));
+                                }
+                            }
+                            self.migrated.insert(pgno);
+                        }
+                    }
+                    Err(e) => {
+                        self.violations.push(Violation::MigrationMismatch { pgno });
+                        let _ = (e, rel);
+                    }
+                }
+            }
+            LogRecord::Shredded { rel, key, start_time, pgno: _, content_hash: _, shred_time } => {
+                self.sink.shredded(off, rel, key, start_time, shred_time);
+            }
+            LogRecord::StartRecovery { time } => {
+                self.sink.recovery(off, time);
+            }
+            LogRecord::StampTrans { .. }
+            | LogRecord::Abort { .. }
+            | LogRecord::DummyStamp { .. } => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared phase state
+// ---------------------------------------------------------------------------
+
+/// Phase A output: the replayed snapshot pages plus the completeness-fold
+/// starting point (`acc` over the snapshot's committed tuples, `seen` their
+/// fold identities).
+struct SnapFold {
+    states: HashMap<PageNo, PageState>,
+    acc: AddHash,
+    seen: HashSet<Vec<u8>>,
+}
+
+/// Phase B output: the epoch's transaction-status book.
+struct StampIndex {
+    stamps: HashMap<TxnId, (Timestamp, u64)>,
+    aborts: HashMap<TxnId, u64>,
+    liveness: Vec<(Timestamp, u64)>,
+}
+
+/// Accumulator for the final-state scan (phase D): partial completeness
+/// fold, page-compare violations, forensics, and snapshot material. The
+/// serial oracle uses one over all pages; the parallel pipeline one per
+/// page-range task, merged in range order (ADD-HASH addition is
+/// grouping-independent, so `h_final` is byte-identical).
+struct FinalScan {
+    h_final: AddHash,
+    tuples_final: u64,
+    violations: Vec<Violation>,
+    forensics: Vec<TupleFinding>,
+    snapshot_pages: Vec<SnapPage>,
+}
+
+impl FinalScan {
+    fn new() -> FinalScan {
+        FinalScan {
+            h_final: AddHash::new(),
+            tuples_final: 0,
+            violations: Vec::new(),
+            forensics: Vec::new(),
+            snapshot_pages: Vec::new(),
+        }
+    }
+}
+
+/// Scans one final-state page: folds its resolvable tuples into the
+/// completeness hash, compares it against the replayed state (with
+/// per-tuple forensics on mismatch), and captures it for the next snapshot.
+fn scan_final_page(
+    disk: &DiskManager,
+    pgno: PageNo,
+    states: &HashMap<PageNo, PageState>,
+    stamps: &HashMap<TxnId, (Timestamp, u64)>,
+    out: &mut FinalScan,
+) -> Result<()> {
+    let raw = disk.read_raw(pgno)?;
+    if raw.iter().all(|b| *b == 0) {
+        return Ok(()); // allocated, never written
+    }
+    let page = match Page::from_bytes(&raw) {
+        Ok(p) => p,
+        Err(e) => {
+            out.violations.push(Violation::BadPage { pgno, reason: e.to_string() });
+            return Ok(());
+        }
+    };
+    if !page.verify_checksum() {
+        out.violations.push(Violation::BadPage { pgno, reason: "checksum mismatch".into() });
+    }
+    match page.page_type() {
+        PageType::Free => {}
+        PageType::Leaf => {
+            let mut tuples = Vec::new();
+            for cell in page.cells() {
+                match TupleVersion::decode_cell(cell) {
+                    Ok(t) => tuples.push(t),
+                    Err(e) => out
+                        .violations
+                        .push(Violation::BadPage { pgno, reason: format!("cell: {e}") }),
+                }
+            }
+            for t in &tuples {
+                let ct = match t.time {
+                    WriteTime::Committed(ct) => Some(ct),
+                    WriteTime::Pending(txn) => {
+                        let r = stamps.get(&txn).map(|(c, _)| *c);
+                        if r.is_none() {
+                            out.violations.push(Violation::UnstampedTransaction { txn });
+                        }
+                        r
+                    }
+                };
+                if let Some(ct) = ct {
+                    out.h_final.add(&fold_identity(t, ct));
+                    out.tuples_final += 1;
+                }
+            }
+            // Replay comparison, with per-tuple forensic diffing on
+            // mismatch: match disk vs replayed tuples by (key, seq);
+            // value/time disagreements are alterations, replay-only
+            // entries are missing tuples, disk-only entries are
+            // forgeries.
+            let replayed: &[TupleVersion] =
+                states.get(&pgno).map(|st| st.tuples.as_slice()).unwrap_or(&[]);
+            let mut a: Vec<ResolvedTuple> =
+                tuples.iter().map(|t| resolve_tuple(t, stamps)).collect();
+            let mut b: Vec<ResolvedTuple> =
+                replayed.iter().map(|t| resolve_tuple(t, stamps)).collect();
+            a.sort();
+            b.sort();
+            if a != b {
+                out.violations.push(Violation::StateMismatch { pgno });
+                let rel = page.rel_id();
+                let mut disk_by: HashMap<(Vec<u8>, u16), &TupleVersion> =
+                    tuples.iter().map(|t| ((t.key.clone(), t.seq), t)).collect();
+                for r in replayed {
+                    match disk_by.remove(&(r.key.clone(), r.seq)) {
+                        Some(d) => {
+                            if resolve_tuple(d, stamps) != resolve_tuple(r, stamps) {
+                                out.forensics.push(TupleFinding::Altered {
+                                    pgno,
+                                    rel,
+                                    key: r.key.clone(),
+                                    seq: r.seq,
+                                    expected: r.value.clone(),
+                                    found: d.value.clone(),
+                                });
+                            }
+                        }
+                        None => out.forensics.push(TupleFinding::Missing {
+                            pgno,
+                            rel,
+                            key: r.key.clone(),
+                            seq: r.seq,
+                        }),
+                    }
+                }
+                for ((key, seq), _d) in disk_by {
+                    out.forensics.push(TupleFinding::Forged { pgno, rel, key, seq });
+                }
+            }
+            out.snapshot_pages.push(SnapPage {
+                pgno,
+                rel: page.rel_id(),
+                kind: PageType::Leaf,
+                historical: page.is_historical(),
+                aux: page.aux(),
+                cells: page.cells().map(|c| c.to_vec()).collect(),
+            });
+        }
+        PageType::Inner => {
+            let cells: Vec<Vec<u8>> = page.cells().map(|c| c.to_vec()).collect();
+            if let Some(st) = states.get(&pgno) {
+                let mut a = cells.clone();
+                let mut b = st.cells.clone();
+                a.sort();
+                b.sort();
+                if a != b {
+                    out.violations.push(Violation::IndexMismatch { pgno });
+                }
+            }
+            out.snapshot_pages.push(SnapPage {
+                pgno,
+                rel: page.rel_id(),
+                kind: PageType::Inner,
+                historical: false,
+                aux: page.aux(),
+                cells,
+            });
+        }
+        PageType::Meta => {}
+    }
+    Ok(())
+}
+
+/// Replayed pages that no longer exist on disk (and were not migrated)
+/// indicate shredding of whole pages outside the protocol.
+fn leftover_states_check(
+    states: &HashMap<PageNo, PageState>,
+    migrated: &HashSet<PageNo>,
+    page_count: u64,
+    v: &mut Vec<Violation>,
+) {
+    for (pgno, st) in states {
+        if st.kind == Some(PageType::Leaf)
+            && !st.tuples.is_empty()
+            && !migrated.contains(pgno)
+            && pgno.0 >= page_count
+        {
+            v.push(Violation::StateMismatch { pgno: *pgno });
+        }
+    }
+}
+
+/// Physical tree integrity (Figure 2 checks) for one relation, over a raw
+/// (cache-bypassing) pool shared by concurrent tree tasks.
+fn check_relation_tree(engine: &Engine, raw_pool: &Arc<BufferPool>, rel: RelId) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if let Ok(tree) = engine.tree(rel) {
+        let shadow = BTree::open(
+            raw_pool.clone(),
+            engine.clock().clone(),
+            rel,
+            ccdb_btree::SplitPolicy::KeyOnly,
+            tree.root(),
+            vec![],
+        );
+        match check_tree(raw_pool, &shadow) {
+            Ok(errs) => v.extend(errs.into_iter().map(Violation::TreeIntegrity)),
+            Err(e) => {
+                v.push(Violation::BadPage { pgno: tree.root(), reason: format!("tree walk: {e}") })
+            }
+        }
+    }
+    v
+}
+
+/// Canonicalizes a report: findings are sorted under a total (Debug-string)
+/// order, so the parallel pipeline and the serial oracle — and any two runs
+/// of either — yield byte-identical reports. (`HashMap` iteration otherwise
+/// leaks nondeterministic ordering into several phases.)
+fn canonicalize(report: &mut AuditReport) {
+    report.violations.sort_by_cached_key(|x| format!("{x:?}"));
+    report.forensics.sort_by_cached_key(|x| format!("{x:?}"));
+}
+
+fn shred_legality(engine: &Engine, shreds: &ShredMap, v: &mut Vec<Violation>) {
+    let holds = holds_as_of_now(engine).unwrap_or_default();
+    for ((rel, key, start), (shred_time, consumed)) in shreds {
+        if !consumed {
+            v.push(Violation::ShredIncomplete { rel: *rel, key: key.clone() });
+        }
+        let rel_name = engine.user_relations().into_iter().find(|(_, r)| r == rel).map(|(n, _)| n);
+        if let Some(name) = rel_name {
+            let retention = retention_as_of(engine, &name, *shred_time).unwrap_or(None);
+            match retention {
+                Some(rho) => {
+                    if start.saturating_add(rho) > *shred_time {
+                        v.push(Violation::ShredOfUnexpired { rel: *rel, key: key.clone() });
+                    }
+                }
+                None => v.push(Violation::ShredOfUnexpired { rel: *rel, key: key.clone() }),
+            }
+            for h in &holds {
+                if h.covers(&name, key) {
+                    v.push(Violation::ShredOfHeld {
+                        rel: *rel,
+                        key: key.clone(),
+                        hold: h.id.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Auditor {
+    /// Creates an auditor over a WORM server with the given master seed
+    /// (snapshot signing lineage).
+    pub fn new(worm: Arc<WormServer>, master_seed: [u8; 32], config: AuditConfig) -> Auditor {
+        Auditor { worm: worm.clone(), snapshots: SnapshotManager::new(worm, master_seed), config }
+    }
+
+    /// The snapshot manager (exposed so the facade can write the post-audit
+    /// snapshot after a clean report).
+    pub fn snapshots(&self) -> &SnapshotManager {
+        &self.snapshots
+    }
+
+    /// Audits `epoch`: verifies the database's final state against the
+    /// previous snapshot and the epoch's compliance log. The engine must be
+    /// quiescent (checkpointed, no active transactions); the auditor reads
+    /// the final state from raw disk, bypassing the buffer cache and plugin.
+    ///
+    /// Dispatches to the serial oracle or the parallel pipeline per the
+    /// config; either way the report comes back canonicalized, so verdicts
+    /// and finding sets are directly comparable across strategies.
+    pub fn audit(&self, engine: &Engine, epoch: u64) -> Result<AuditOutcome> {
+        let mut outcome = if self.config.serial {
+            self.audit_serial(engine, epoch)?
+        } else {
+            parallel::audit_parallel(self, engine, epoch)?
+        };
+        canonicalize(&mut outcome.report);
+        Ok(outcome)
+    }
+
+    /// The paper's literal single pass (the oracle the parallel pipeline is
+    /// differentially tested against).
+    fn audit_serial(&self, engine: &Engine, epoch: u64) -> Result<AuditOutcome> {
+        let mut v: Vec<Violation> = Vec::new();
+        let mut stats = AuditStats { threads_used: 1, ..AuditStats::default() };
+
+        self.phase0_worm_integrity(&mut v);
+
+        // --- Phase A: previous snapshot -----------------------------------
+        let t0 = Instant::now();
+        let snap = self.phase_a_snapshot(epoch, &mut v, &mut stats);
+        stats.snapshot_us = t0.elapsed().as_micros() as u64;
+
+        // --- Phase B: stamp index ------------------------------------------
+        let idx = self.phase_b_stamp_index(epoch, &mut v);
+
+        // --- Phase C: main scan over L --------------------------------------
+        let t1 = Instant::now();
+        let log_bytes = match self.worm.read_all(&epoch_log_name(epoch)) {
+            Ok(b) => b,
+            Err(e) => {
+                // A truncated or checksum-divergent log is itself evidence;
+                // audit what can still be audited instead of erroring out.
+                v.push(Violation::LogUnreadable { reason: e.to_string() });
+                Vec::new()
+            }
+        };
+        stats.log_bytes = log_bytes.len() as u64;
+
+        // `CCDB_AUDIT_DEBUG=1` dumps the replayed record stream with offsets
+        // — the fastest way to localize an audit divergence when replaying a
+        // torture seed.
+        let debug = std::env::var("CCDB_AUDIT_DEBUG").is_ok();
+        let sink = SerialSink {
+            seen: snap.seen,
+            acc: snap.acc,
+            shreds: ShredMap::new(),
+            recovery_windows: Vec::new(),
+        };
+        let mut rp = Replayer::new(
+            &self.worm,
+            &idx.stamps,
+            &idx.aborts,
+            self.config.verify_reads,
+            debug,
+            snap.states,
+            sink,
+        );
+        for item in LogIter::new(&log_bytes) {
+            let (off, rec) = match item {
+                Ok(x) => x,
+                Err(e) => {
+                    rp.violations.push(Violation::LogUnreadable { reason: e.to_string() });
+                    break;
+                }
+            };
+            stats.records_scanned += 1;
+            if debug {
+                let d = format!("{rec:?}");
+                eprintln!("AUDIT {off}: {}", &d[..d.len().min(160)]);
+            }
+            rp.replay(off, rec);
+        }
+        stats.log_scan_us = t1.elapsed().as_micros() as u64;
+        stats.reads_verified = rp.reads_verified;
+        let Replayer { states, migrated, migrated_versions, violations, sink, .. } = rp;
+        v.extend(violations);
+        let SerialSink { seen: _, acc, shreds, recovery_windows } = sink;
+        let _ = &recovery_windows;
+        let _ = migrated;
+
+        // --- Liveness discipline ------------------------------------------
+        let mut liveness = idx.liveness;
+        self.liveness_and_witness(epoch, &mut liveness, &mut v);
+
+        // --- Shred legality -----------------------------------------------
+        shred_legality(engine, &shreds, &mut v);
+
+        // --- WAL-tail cross-check -----------------------------------------
+        let tw = Instant::now();
+        self.wal_tail_check(engine, epoch, &idx.stamps, &shreds, &migrated_versions, 1, &mut v);
+        stats.wal_tail_us = tw.elapsed().as_micros() as u64;
+
+        // --- Phase D: final state -----------------------------------------
+        let t2 = Instant::now();
+        let disk = engine.disk();
+        let mut scan = FinalScan::new();
+        for i in 0..disk.page_count() {
+            scan_final_page(disk, PageNo(i), &states, &idx.stamps, &mut scan)?;
+        }
+        let FinalScan { h_final, tuples_final, violations: dv, forensics, snapshot_pages } = scan;
+        v.extend(dv);
+        stats.tuples_final = tuples_final;
+        leftover_states_check(&states, &migrated, disk.page_count(), &mut v);
+        if acc != h_final {
+            v.push(Violation::CompletenessMismatch);
+        }
+        stats.completeness_join_us = t2.elapsed().as_micros() as u64;
+        // Physical tree integrity (Figure 2 checks) over a fresh raw pool.
+        let t3 = Instant::now();
+        {
+            let raw_pool = Arc::new(BufferPool::new(
+                disk.clone() as Arc<dyn PageStore>,
+                engine.clock().clone(),
+                1024,
+            ));
+            for (_name, rel) in engine.user_relations() {
+                v.extend(check_relation_tree(engine, &raw_pool, rel));
+            }
+        }
+        stats.tree_verify_us = t3.elapsed().as_micros() as u64;
+        stats.final_state_us = t2.elapsed().as_micros() as u64;
+        stats.snapshot_pages = snapshot_pages.len() as u64;
+
+        Ok(AuditOutcome {
+            report: AuditReport { epoch, violations: v, forensics, stats },
+            snapshot_pages,
+            tuple_hash: h_final,
+        })
+    }
+
+    /// Phase 0: WORM device integrity. Before trusting any artifact,
+    /// confirm each live WORM file's backing store is at least as long as
+    /// its trusted metadata says. A short backing file means acknowledged
+    /// bytes were destroyed (tail truncation) — the named violation a
+    /// compliance officer acts on, as opposed to an unreadable-log I/O
+    /// error.
+    fn phase0_worm_integrity(&self, v: &mut Vec<Violation>) {
+        for (name, meta) in self.worm.list("") {
+            if let Ok(backing) = self.worm.backing_len(&name) {
+                if backing < meta.len {
+                    v.push(Violation::WormTruncated {
+                        file: name,
+                        trusted_len: meta.len,
+                        backing_len: backing,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Phase A: loads the previous snapshot and folds its committed tuples
+    /// into the completeness starting point. When a sealed replay
+    /// checkpoint from the previous clean audit attests the snapshot's
+    /// tuple hash, the per-tuple ADD-HASH fold (and the fold-vs-stored
+    /// comparison it feeds) is skipped — the membership set and page states
+    /// are still built in full, so replay semantics are unchanged. Sound
+    /// because `snapshots.load` signature-verifies the stored hash and the
+    /// checkpoint was sealed only after a clean audit compared content
+    /// against it.
+    fn phase_a_snapshot(
+        &self,
+        epoch: u64,
+        v: &mut Vec<Violation>,
+        stats: &mut AuditStats,
+    ) -> SnapFold {
+        let prev: Option<Snapshot> = if epoch == 0 {
+            None
+        } else {
+            match self.snapshots.load(epoch - 1) {
+                Ok(s) => s,
+                Err(e) => {
+                    v.push(Violation::SnapshotInvalid { reason: e.to_string() });
+                    None
+                }
+            }
+        };
+        let mut states: HashMap<PageNo, PageState> = HashMap::new();
+        let mut acc = AddHash::new();
+        let mut seen: HashSet<Vec<u8>> = HashSet::new();
+        if let Some(snap) = &prev {
+            let sealed = self.config.use_checkpoints
+                && epoch > 0
+                && self.load_checkpoint(epoch - 1).is_some_and(|h| h == snap.tuple_hash);
+            let mut folded = AddHash::new();
+            for p in &snap.pages {
+                let mut st = PageState {
+                    rel: p.rel,
+                    kind: Some(p.kind),
+                    historical: p.historical,
+                    aux: p.aux,
+                    ..PageState::default()
+                };
+                match p.kind {
+                    PageType::Leaf => {
+                        for cell in &p.cells {
+                            match TupleVersion::decode_cell(cell) {
+                                Ok(t) => {
+                                    match t.time {
+                                        WriteTime::Committed(ct) => {
+                                            let id = fold_identity(&t, ct);
+                                            if sealed {
+                                                stats.snapshot_prefix_skipped += 1;
+                                            } else {
+                                                folded.add(&id);
+                                            }
+                                            seen.insert(id);
+                                        }
+                                        WriteTime::Pending(txn) => {
+                                            v.push(Violation::UnstampedTransaction { txn });
+                                        }
+                                    }
+                                    st.tuples.push(t);
+                                }
+                                Err(e) => v.push(Violation::BadPage {
+                                    pgno: p.pgno,
+                                    reason: format!("snapshot cell: {e}"),
+                                }),
+                            }
+                        }
+                    }
+                    _ => st.cells = p.cells.clone(),
+                }
+                states.insert(p.pgno, st);
+            }
+            if sealed {
+                acc = snap.tuple_hash;
+            } else {
+                if folded != snap.tuple_hash {
+                    v.push(Violation::SnapshotInvalid {
+                        reason: "stored snapshot hash disagrees with snapshot content".into(),
+                    });
+                }
+                acc = folded;
+            }
+        }
+        SnapFold { states, acc, seen }
+    }
+
+    /// Phase B: decodes the epoch's stamp index into the status book and
+    /// flags conflicting status records.
+    fn phase_b_stamp_index(&self, epoch: u64, v: &mut Vec<Violation>) -> StampIndex {
+        let mut stamps: HashMap<TxnId, (Timestamp, u64)> = HashMap::new();
+        let mut aborts: HashMap<TxnId, u64> = HashMap::new();
+        let mut liveness: Vec<(Timestamp, u64)> = Vec::new();
+        match self.worm.read_all(&epoch_stamp_name(epoch)) {
+            Ok(bytes) => match StampIndexEntry::decode_all(&bytes) {
+                Ok(entries) => {
+                    for e in entries {
+                        match e {
+                            StampIndexEntry::Stamp { txn, time, offset } => {
+                                match stamps.get(&txn) {
+                                    Some((t0, _)) if *t0 != time => {
+                                        v.push(Violation::ConflictingStatus { txn });
+                                    }
+                                    Some(_) => {} // duplicate (recovery re-emission)
+                                    None => {
+                                        stamps.insert(txn, (time, offset));
+                                        liveness.push((time, offset));
+                                    }
+                                }
+                            }
+                            StampIndexEntry::Abort { txn, offset } => {
+                                aborts.entry(txn).or_insert(offset);
+                            }
+                            StampIndexEntry::Dummy { time, offset } => {
+                                liveness.push((time, offset));
+                            }
+                        }
+                    }
+                }
+                Err(e) => v.push(Violation::LogUnreadable { reason: e.to_string() }),
+            },
+            Err(e) => v.push(Violation::LogUnreadable { reason: e.to_string() }),
+        }
+        for txn in stamps.keys() {
+            if aborts.contains_key(txn) {
+                v.push(Violation::ConflictingStatus { txn: *txn });
+            }
+        }
+        StampIndex { stamps, aborts, liveness }
+    }
+
+    /// Liveness discipline:
+    /// 1. Commit/heartbeat times are non-decreasing in log order — a
+    ///    backdated record appended later in L is caught here.
+    /// 2. Every liveness event falls in an interval with a *valid*
+    ///    witness file: one whose trusted WORM create time lies in (or
+    ///    just after) that interval. Mala cannot retro-create a witness —
+    ///    the compliance clock stamps her file with the real time.
+    /// 3. Every witnessed interval strictly between the first and last
+    ///    event contains at least one liveness event (the system promises
+    ///    a heartbeat per live interval, bounding the backdating window
+    ///    to one regret interval).
+    fn liveness_and_witness(
+        &self,
+        epoch: u64,
+        liveness: &mut [(Timestamp, u64)],
+        v: &mut Vec<Violation>,
+    ) {
+        liveness.sort_by_key(|(_, off)| *off);
+        let mut last: Option<Timestamp> = None;
+        for (time, off) in liveness.iter() {
+            if let Some(pt) = last {
+                if *time < pt {
+                    v.push(Violation::CommitTimesNotMonotonic { offset: *off });
+                }
+            }
+            last = Some(*time);
+        }
+        if self.config.check_witnesses && self.config.regret_interval.0 > 0 {
+            let r = self.config.regret_interval.0;
+            let valid_witness = |interval: u64| -> bool {
+                match self.worm.stat(&witness_name(epoch, interval)) {
+                    Ok(meta) => {
+                        let ct = meta.create_time.0;
+                        ct >= interval * r && ct < (interval + 2) * r
+                    }
+                    Err(_) => false,
+                }
+            };
+            let mut event_intervals: HashSet<u64> = HashSet::new();
+            for (time, _) in liveness.iter() {
+                event_intervals.insert(time.0 / r);
+            }
+            for interval in &event_intervals {
+                if !valid_witness(*interval) {
+                    v.push(Violation::MissingWitness { interval: *interval });
+                }
+            }
+            if let (Some((first, _)), Some((last, _))) = (liveness.first(), liveness.last()) {
+                let lo = first.0 / r;
+                let hi = last.0 / r;
+                for interval in lo + 1..hi {
+                    if valid_witness(interval) && !event_intervals.contains(&interval) {
+                        v.push(Violation::RegretGapExceeded {
+                            from: Timestamp(interval * r),
+                            to: Timestamp((interval + 1) * r),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// WAL-tail cross-check. "This is why we require the tail of the
+    /// transaction log … to be on WORM, and that it be retained until the
+    /// next audit": commits that are durable in the tail must be
+    /// acknowledged by L (a STAMP_TRANS) and their writes present in the
+    /// final state — a wiped local WAL cannot silently unwind recent
+    /// commits.
+    #[allow(clippy::too_many_arguments)] // audit-index plumbing, internal only
+    fn wal_tail_check(
+        &self,
+        engine: &Engine,
+        epoch: u64,
+        stamps: &HashMap<TxnId, (Timestamp, u64)>,
+        shreds: &ShredMap,
+        migrated_versions: &HashSet<(RelId, Vec<u8>, Timestamp)>,
+        threads: usize,
+        v: &mut Vec<Violation>,
+    ) {
+        if !self.worm.exists(&waltail_name(epoch)) {
+            return;
+        }
+        let tail_bytes = match self.worm.read_all(&waltail_name(epoch)) {
+            Ok(b) => b,
+            Err(e) => {
+                v.push(Violation::LogUnreadable { reason: format!("WAL tail: {e}") });
+                Vec::new()
+            }
+        };
+        let mut reader = ccdb_wal::WalReader::from_bytes(tail_bytes);
+        let mut tail_commits: HashSet<TxnId> = HashSet::new();
+        let mut tail_inserts: HashMap<TxnId, Vec<(RelId, Vec<u8>)>> = HashMap::new();
+        while let Some((_lsn, rec)) = reader.next_record() {
+            match rec {
+                ccdb_wal::WalRecord::Commit { txn, .. } => {
+                    tail_commits.insert(txn);
+                }
+                ccdb_wal::WalRecord::Insert { txn, rel, key, .. } => {
+                    tail_inserts.entry(txn).or_default().push((rel, key));
+                }
+                _ => {}
+            }
+        }
+        let mut jobs: Vec<TxnId> = Vec::new();
+        for txn in &tail_commits {
+            if !stamps.contains_key(txn) {
+                v.push(Violation::WalTailInconsistent { txn: *txn });
+            } else {
+                jobs.push(*txn);
+            }
+        }
+        // The per-transaction presence probes are independent read-only
+        // B-tree lookups — on emulated remote storage they dominate this
+        // check, so they fan out on the pool (`threads == 1` runs the
+        // identical loop inline). Each probe keeps the serial first-miss
+        // semantics: at most one violation per transaction, determined by
+        // the WAL-tail insert order.
+        let debug = std::env::var("CCDB_AUDIT_DEBUG").is_ok();
+        let tail_inserts = &tail_inserts;
+        let results: Vec<Option<Violation>> = parallel_map(threads, jobs, |txn| {
+            let ct = stamps[&txn].0;
+            for (rel, key) in tail_inserts.get(&txn).map(|v| v.as_slice()).unwrap_or(&[]) {
+                let present = engine
+                    .tree(*rel)
+                    .ok()
+                    .and_then(|tree| tree.versions(key).ok())
+                    .map(|vs| {
+                        vs.iter().any(|t| {
+                            t.time == WriteTime::Committed(ct) || t.time == WriteTime::Pending(txn)
+                        })
+                    })
+                    .unwrap_or(false)
+                    || engine
+                        .historical_versions(*rel, key)
+                        .map(|vs| vs.iter().any(|t| t.time == WriteTime::Committed(ct)))
+                        .unwrap_or(false);
+                // Vacuumed (legally shredded) and WORM-migrated
+                // versions are excused — they are accounted elsewhere.
+                let shredded = shreds.contains_key(&(*rel, key.clone(), ct));
+                let on_worm = migrated_versions.contains(&(*rel, key.clone(), ct));
+                if !present && !shredded && !on_worm {
+                    if debug {
+                        eprintln!("TAIL MISS txn={txn:?} rel={rel:?} key={key:02x?} ct={ct:?}");
+                    }
+                    return Some(Violation::WalTailInconsistent { txn });
+                }
+            }
+            None
+        });
+        v.extend(results.into_iter().flatten());
+    }
+
+    /// Writes the sealed replay checkpoint for a just-audited-clean epoch:
+    /// `magic ‖ epoch ‖ tuple ADD-HASH ‖ tuple count`. Idempotent (a
+    /// checkpoint already on WORM is left alone — WORM files are immutable
+    /// anyway).
+    pub fn write_checkpoint(
+        &self,
+        epoch: u64,
+        tuple_hash: &AddHash,
+        tuples: u64,
+        retention_until: Timestamp,
+    ) -> Result<()> {
+        let name = audit_ckpt_name(epoch);
+        if self.worm.exists(&name) {
+            return Ok(());
+        }
+        let mut w = ByteWriter::new();
+        w.put_u64(CKPT_MAGIC);
+        w.put_u64(epoch);
+        w.put_bytes(&tuple_hash.to_bytes());
+        w.put_u64(tuples);
+        let f = self.worm.create(&name, retention_until)?;
+        self.worm.append(&f, w.as_slice())?;
+        self.worm.seal(&name)?;
+        Ok(())
+    }
+
+    /// Loads a sealed replay checkpoint, or `None` if absent, unsealed, or
+    /// malformed (the audit then falls back to the full re-fold — a missing
+    /// checkpoint is never an error, only a missed optimization).
+    fn load_checkpoint(&self, epoch: u64) -> Option<AddHash> {
+        let name = audit_ckpt_name(epoch);
+        let meta = self.worm.stat(&name).ok()?;
+        if !meta.sealed {
+            return None;
+        }
+        let bytes = self.worm.read_all(&name).ok()?;
+        let mut r = ByteReader::new(&bytes);
+        if r.get_u64().ok()? != CKPT_MAGIC || r.get_u64().ok()? != epoch {
+            return None;
+        }
+        let h = r.get_bytes(64).ok()?;
+        let mut b = [0u8; 64];
+        b.copy_from_slice(h);
+        Some(AddHash::from_bytes(&b))
+    }
+}
+
+/// Read-hash of a leaf page state at a given `READ` offset: each pending
+/// tuple is hashed with its commit time iff its `STAMP_TRANS` appears
+/// earlier in `L` than the read.
+fn leaf_read_hash(
+    tuples: &[TupleVersion],
+    stamps: &HashMap<TxnId, (Timestamp, u64)>,
+    read_offset: u64,
+) -> Digest {
+    let mut sorted: Vec<&TupleVersion> = tuples.iter().collect();
+    sorted.sort_by_key(|t| t.seq);
+    let mut chain = ccdb_crypto::HsChain::new();
+    for t in sorted {
+        let rc = t.time.pending().and_then(|txn| match stamps.get(&txn) {
+            Some((ct, soff)) if *soff < read_offset => Some(*ct),
+            _ => None,
+        });
+        chain.extend(&hs_element_bytes(t, rc));
+    }
+    chain.value()
+}
+
+/// The `(key, rank)` order of an encoded index entry; undecodable cells sort
+/// last (and will be flagged by the physical checks).
+fn entry_order(cell: &[u8]) -> (Vec<u8>, (u8, u64)) {
+    match ccdb_btree::IndexEntry::decode(cell) {
+        Ok(e) => {
+            let mut w = ccdb_common::ByteWriter::new();
+            e.rank.encode(&mut w);
+            let v = w.into_vec();
+            (e.key, (v[0], u64::from_le_bytes(v[1..9].try_into().expect("8"))))
+        }
+        Err(_) => (vec![0xFF; 64], (0xFF, u64::MAX)),
+    }
+}
+
+/// The litigation holds currently active (used for shred legality; holds
+/// are themselves version-tracked so a forensic auditor can also evaluate
+/// them as of the shred time).
+fn holds_as_of_now(engine: &Engine) -> Result<Vec<Hold>> {
+    let Some(rel) = engine.rel_id(HOLDS_RELATION) else {
+        return Ok(Vec::new());
+    };
+    let mut holds = Vec::new();
+    engine.range_current(TxnId::NONE, rel, &[], &[0xFF; 64], &mut |k, val| {
+        holds.push(Hold::decode(k, val)?);
+        Ok(())
+    })?;
+    Ok(holds)
+}
+
+/// Retention period for `rel_name` as of time `t`, read from the Expiry
+/// relation's version history.
+fn retention_as_of(engine: &Engine, rel_name: &str, t: Timestamp) -> Result<Option<Duration>> {
+    let Some(expiry) = engine.rel_id(ccdb_engine::engine::EXPIRY_RELATION) else {
+        return Ok(None);
+    };
+    Ok(engine.read_as_of(expiry, rel_name.as_bytes(), t)?.map(|val| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&val[..8]);
+        Duration(u64::from_le_bytes(b))
+    }))
+}
+
+/// Cheap helper used by tests: the rank ordering of a pending version.
+pub fn pending_rank(txn: TxnId) -> TimeRank {
+    TimeRank::pending(txn)
+}
+
+/// Content hash of a canonical tuple (shared with `SHREDDED` records).
+pub fn tuple_content_hash(t: &TupleVersion) -> Digest {
+    sha256(&t.canonical_bytes())
+}

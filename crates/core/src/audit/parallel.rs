@@ -1,0 +1,496 @@
+//! The parallel audit pipeline: the three-stage restructuring of the
+//! paper's single-pass audit, proven verdict-identical to the serial oracle
+//! by the differential and property suites.
+//!
+//! # Stage 1 — chunked decode + sharded replay of `L`
+//!
+//! The frame scan (a cheap sequential walk of the `len ‖ checksum ‖ body`
+//! framing) finds record boundaries; decode + checksum verification of the
+//! bodies — the CPU-heavy part — then fans out over
+//! [`l_chunk_records`](super::AuditConfig::l_chunk_records)-sized chunks on
+//! the worker pool. Replay is sharded by **page-split-connected
+//! components**: a union-find over `PAGE_SPLIT` records guarantees every
+//! record that can touch a given page's state lands in the same shard, so
+//! the per-shard [`Replayer`]s own disjoint state maps and each shard sees
+//! its records in global offset order. Cross-shard effects (the
+//! completeness fold's `seen`-membership semantics, shred consumption) are
+//! made deterministic by construction:
+//!
+//! * fold operations are *recorded* per shard with `(offset, sub)` keys and
+//!   applied against the global membership set in one sorted pass — the
+//!   exact order the serial oracle applied them in;
+//! * `SHREDDED`/`UNDO` consumption is precomputed in a sequential pass over
+//!   the decoded records (it needs only the records, not page state), and
+//!   shards read the per-offset decisions.
+//!
+//! Any partitioning therefore yields identical merged results — which the
+//! differential suite checks by running thread counts {1,2,4,8} and chunk
+//! sizes down to one record per chunk.
+//!
+//! # Stage 2 — concurrent tree verification
+//!
+//! Per-relation physical tree checks run as independent tasks over one
+//! shared raw (cache-bypassing) buffer pool — the pool is sharded since the
+//! concurrent-commit work, so readers do not serialize.
+//!
+//! # Stage 3 — parallel completeness join
+//!
+//! The final-state scan (`Df`) fans out over page ranges; each task folds
+//! its pages into a partial ADD-HASH. Addition mod 2^512 is associative and
+//! commutative, so merging partial sums in any grouping yields the same
+//! `H(Df)` byte-for-byte, compared against the replayed `H(Ds ∪ L)`.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ccdb_common::codec::checksum32;
+use ccdb_common::sync::parallel_map;
+use ccdb_common::{Error, PageNo, RelId, Result, Timestamp};
+use ccdb_crypto::AddHash;
+use ccdb_engine::Engine;
+use ccdb_storage::{BufferPool, PageStore, TupleVersion, WriteTime};
+
+use crate::logger::epoch_log_name;
+use crate::records::LogRecord;
+
+use super::{
+    apply_fold_op, check_relation_tree, effective_threads, leftover_states_check, scan_final_page,
+    shred_legality, AuditOutcome, AuditReport, AuditStats, Auditor, FinalScan, FoldOp, PageState,
+    ReplaySink, Replayer, ShredConsume, ShredMap, SnapFold, Violation,
+};
+
+/// One decoded `L` chunk: records before the first error, then the error
+/// string (if any) that stops the ordered merge at that chunk.
+type DecodedChunk = (Vec<(u64, LogRecord)>, Option<String>);
+/// One shard's replay input: its routed snapshot page states plus its
+/// routed slice of decoded records in `L` order.
+type ShardInput = (HashMap<PageNo, PageState>, Vec<(u64, LogRecord)>);
+
+/// SplitMix64 finalizer: decorrelates page numbers from shard indices so
+/// dense page ranges spread evenly.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Union-find over page numbers (path-halving), keyed sparsely: pages never
+/// mentioned in a `PAGE_SPLIT` are their own singleton components.
+#[derive(Default)]
+struct PageUnionFind {
+    parent: HashMap<u64, u64>,
+}
+
+impl PageUnionFind {
+    fn find(&mut self, mut p: u64) -> u64 {
+        while let Some(&up) = self.parent.get(&p) {
+            if up == p {
+                break;
+            }
+            let next = self.parent.get(&up).copied().unwrap_or(up);
+            self.parent.insert(p, next);
+            p = next;
+        }
+        p
+    }
+
+    fn union(&mut self, a: u64, b: u64) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// The page (and thus component/shard) whose replayed state a record
+/// mutates or reads. `None` = the record carries no page state: status
+/// records are no-ops in replay, and `SHREDDED`/`START_RECOVERY` are
+/// consumed by the sequential routing pass.
+fn record_page(rec: &LogRecord) -> Option<PageNo> {
+    match rec {
+        LogRecord::NewTuple { pgno, .. }
+        | LogRecord::Undo { pgno, .. }
+        | LogRecord::Read { pgno, .. }
+        | LogRecord::IndexInsert { pgno, .. }
+        | LogRecord::IndexRemove { pgno, .. }
+        | LogRecord::NewRoot { pgno, .. }
+        | LogRecord::Migrate { pgno, .. } => Some(*pgno),
+        LogRecord::PageSplit { old, .. } => Some(*old),
+        LogRecord::StampTrans { .. }
+        | LogRecord::Abort { .. }
+        | LogRecord::DummyStamp { .. }
+        | LogRecord::Shredded { .. }
+        | LogRecord::StartRecovery { .. } => None,
+    }
+}
+
+/// The sharded sink: records fold ops under `(offset, sub)` keys for the
+/// deterministic merge and reads precomputed shred-consumption decisions.
+/// `SHREDDED`/`START_RECOVERY` records are never routed to shards, so those
+/// hooks are unreachable here.
+struct ShardSink<'a> {
+    decisions: &'a HashMap<u64, ShredConsume>,
+    ops: Vec<(u64, u32, FoldOp)>,
+}
+
+impl ReplaySink for ShardSink<'_> {
+    fn fold(&mut self, off: u64, op: FoldOp) {
+        // Sub-ordinal within one record's emissions (a split's
+        // intermediates, a migration's tuples): preserves the serial
+        // within-offset application order across the global sort.
+        let sub = match self.ops.last() {
+            Some((o, s, _)) if *o == off => s + 1,
+            _ => 0,
+        };
+        self.ops.push((off, sub, op));
+    }
+
+    fn consume_shred(
+        &mut self,
+        off: u64,
+        _rel: RelId,
+        _key: &[u8],
+        _ct: Timestamp,
+    ) -> ShredConsume {
+        self.decisions.get(&off).copied().unwrap_or(ShredConsume::NotFound)
+    }
+
+    fn shredded(
+        &mut self,
+        _off: u64,
+        _rel: RelId,
+        _key: Vec<u8>,
+        _start: Timestamp,
+        _shred: Timestamp,
+    ) {
+    }
+
+    fn recovery(&mut self, _off: u64, _time: Timestamp) {}
+}
+
+/// One shard's replay output, merged deterministically by the coordinator.
+struct ShardOut {
+    states: HashMap<PageNo, PageState>,
+    migrated: HashSet<PageNo>,
+    migrated_versions: HashSet<(RelId, Vec<u8>, Timestamp)>,
+    violations: Vec<Violation>,
+    reads_verified: u64,
+    ops: Vec<(u64, u32, FoldOp)>,
+}
+
+/// A phase-D task: a whole relation's tree check, or a final-state page
+/// range. Tree tasks are listed first (they are the long poles); page
+/// ranges follow in ascending order so the merged snapshot stays
+/// pgno-sorted.
+enum DTask {
+    Tree(RelId),
+    Pages(u64, u64),
+}
+
+enum DOut {
+    Tree(Vec<Violation>, u64),
+    Scan(FinalScan),
+    Failed(Error),
+}
+
+/// The parallel pipeline. Same contract as the serial oracle; the caller
+/// ([`Auditor::audit`]) canonicalizes the report afterwards.
+pub(super) fn audit_parallel(a: &Auditor, engine: &Engine, epoch: u64) -> Result<AuditOutcome> {
+    let threads = effective_threads(&a.config);
+    let mut v: Vec<Violation> = Vec::new();
+    let mut stats = AuditStats { threads_used: threads as u64, ..AuditStats::default() };
+
+    a.phase0_worm_integrity(&mut v);
+
+    // --- Phase A: previous snapshot --------------------------------------
+    let t0 = Instant::now();
+    let SnapFold { states: snap_states, acc: acc0, seen: seen0 } =
+        a.phase_a_snapshot(epoch, &mut v, &mut stats);
+    stats.snapshot_us = t0.elapsed().as_micros() as u64;
+
+    // --- Phase B: stamp index --------------------------------------------
+    let idx = a.phase_b_stamp_index(epoch, &mut v);
+
+    // --- Phase C stage 1: frame scan + chunked decode ---------------------
+    let t1 = Instant::now();
+    let log_bytes = match a.worm.read_all(&epoch_log_name(epoch)) {
+        Ok(b) => b,
+        Err(e) => {
+            // A truncated or checksum-divergent log is itself evidence;
+            // audit what can still be audited instead of erroring out.
+            v.push(Violation::LogUnreadable { reason: e.to_string() });
+            Vec::new()
+        }
+    };
+    stats.log_bytes = log_bytes.len() as u64;
+
+    let td = Instant::now();
+    // Frame scan: record boundaries only (offset, body start, body len,
+    // claimed checksum). Framing errors terminate the scan exactly where
+    // the serial iterator would stop.
+    let mut frames: Vec<(u64, usize, usize, u32)> = Vec::new();
+    let mut frame_err: Option<String> = None;
+    {
+        let b = &log_bytes;
+        let mut pos = 0usize;
+        while pos < b.len() {
+            if pos + 8 > b.len() {
+                frame_err = Some(Error::corruption("truncated compliance-log frame").to_string());
+                break;
+            }
+            let len = u32::from_le_bytes(b[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let sum = u32::from_le_bytes(b[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if pos + 8 + len > b.len() {
+                frame_err = Some(Error::corruption("truncated compliance-log record").to_string());
+                break;
+            }
+            frames.push((pos as u64, pos + 8, len, sum));
+            pos += 8 + len;
+        }
+    }
+    // Chunked checksum + decode on the pool. Each chunk reports the records
+    // it decoded before its first error (if any), mirroring the serial
+    // stop-at-first-error semantics after the ordered merge below.
+    let chunk = a.config.l_chunk_records.max(1);
+    let chunks: Vec<&[(u64, usize, usize, u32)]> = frames.chunks(chunk).collect();
+    stats.l_chunks = chunks.len() as u64;
+    let bytes_ref = &log_bytes;
+    let decoded: Vec<DecodedChunk> = parallel_map(threads, chunks, |frames| {
+        let mut recs = Vec::with_capacity(frames.len());
+        let mut err = None;
+        for &(off, start, len, sum) in frames {
+            let body = &bytes_ref[start..start + len];
+            if checksum32(body) != sum {
+                err = Some(Error::corruption("compliance-log checksum mismatch").to_string());
+                break;
+            }
+            match LogRecord::decode_body(body) {
+                Ok(r) => recs.push((off, r)),
+                Err(e) => {
+                    err = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        (recs, err)
+    });
+    let mut records: Vec<(u64, LogRecord)> = Vec::with_capacity(frames.len());
+    let mut decode_err: Option<String> = None;
+    for (recs, err) in decoded {
+        records.extend(recs);
+        if let Some(e) = err {
+            decode_err = Some(e);
+            break;
+        }
+    }
+    // A decode/checksum error precedes the end-of-buffer framing error in
+    // log order; report whichever the serial scan would have hit first.
+    if decode_err.is_none() {
+        decode_err = frame_err;
+    }
+    if let Some(reason) = decode_err {
+        v.push(Violation::LogUnreadable { reason });
+    }
+    stats.records_scanned = records.len() as u64;
+    stats.log_decode_us = td.elapsed().as_micros() as u64;
+
+    let debug = std::env::var("CCDB_AUDIT_DEBUG").is_ok();
+    if debug {
+        for (off, rec) in &records {
+            let d = format!("{rec:?}");
+            eprintln!("AUDIT {off}: {}", &d[..d.len().min(160)]);
+        }
+    }
+
+    // --- Phase C stage 1b: component routing + sequential precompute ------
+    let tr = Instant::now();
+    let mut uf = PageUnionFind::default();
+    for (_, rec) in &records {
+        if let LogRecord::PageSplit { old, left, right, .. } = rec {
+            uf.union(old.0, left.pgno.0);
+            uf.union(old.0, right.pgno.0);
+        }
+    }
+    // Shred book + per-UNDO consumption decisions, computed in offset order
+    // exactly as the serial oracle consumes them (needs only the record
+    // stream, no page state, so it stays a cheap sequential pass).
+    let mut shreds = ShredMap::new();
+    let mut undo_decisions: HashMap<u64, ShredConsume> = HashMap::new();
+    for (off, rec) in &records {
+        match rec {
+            LogRecord::Shredded { rel, key, start_time, shred_time, .. } => {
+                shreds.insert((*rel, key.clone(), *start_time), (*shred_time, false));
+            }
+            LogRecord::Undo { cell, .. } => {
+                if let Ok(t) = TupleVersion::decode_cell(cell) {
+                    if let WriteTime::Committed(ct) = t.time {
+                        let d = match shreds.get_mut(&(t.rel, t.key.clone(), ct)) {
+                            Some(entry) => {
+                                if !entry.1 {
+                                    entry.1 = true;
+                                    ShredConsume::First
+                                } else {
+                                    ShredConsume::Duplicate
+                                }
+                            }
+                            None => ShredConsume::NotFound,
+                        };
+                        undo_decisions.insert(*off, d);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let nshards = threads.max(1);
+    let shard_of = |uf: &mut PageUnionFind, pgno: PageNo| -> usize {
+        (mix64(uf.find(pgno.0)) % nshards as u64) as usize
+    };
+    let mut shard_states: Vec<HashMap<PageNo, PageState>> =
+        (0..nshards).map(|_| HashMap::new()).collect();
+    for (pgno, st) in snap_states {
+        let s = shard_of(&mut uf, pgno);
+        shard_states[s].insert(pgno, st);
+    }
+    let mut shard_records: Vec<Vec<(u64, LogRecord)>> = (0..nshards).map(|_| Vec::new()).collect();
+    for (off, rec) in records {
+        if let Some(pgno) = record_page(&rec) {
+            let s = shard_of(&mut uf, pgno);
+            shard_records[s].push((off, rec));
+        }
+    }
+    stats.log_route_us = tr.elapsed().as_micros() as u64;
+
+    // --- Phase C stage 1c: sharded replay ---------------------------------
+    let tp = Instant::now();
+    let stamps = &idx.stamps;
+    let aborts = &idx.aborts;
+    let worm = &*a.worm;
+    let verify_reads = a.config.verify_reads;
+    let decisions = &undo_decisions;
+    let inputs: Vec<ShardInput> = shard_states.into_iter().zip(shard_records).collect();
+    let shard_outs: Vec<ShardOut> = parallel_map(threads, inputs, |(states, recs)| {
+        let sink = ShardSink { decisions, ops: Vec::new() };
+        let mut rp = Replayer::new(worm, stamps, aborts, verify_reads, false, states, sink);
+        for (off, rec) in recs {
+            rp.replay(off, rec);
+        }
+        ShardOut {
+            states: rp.states,
+            migrated: rp.migrated,
+            migrated_versions: rp.migrated_versions,
+            violations: rp.violations,
+            reads_verified: rp.reads_verified,
+            ops: rp.sink.ops,
+        }
+    });
+    stats.log_replay_us = tp.elapsed().as_micros() as u64;
+
+    // --- Phase C stage 1d: deterministic merge ----------------------------
+    let tm = Instant::now();
+    let mut states: HashMap<PageNo, PageState> = HashMap::new();
+    let mut migrated: HashSet<PageNo> = HashSet::new();
+    let mut migrated_versions: HashSet<(RelId, Vec<u8>, Timestamp)> = HashSet::new();
+    let mut ops: Vec<(u64, u32, FoldOp)> = Vec::new();
+    for out in shard_outs {
+        states.extend(out.states);
+        migrated.extend(out.migrated);
+        migrated_versions.extend(out.migrated_versions);
+        v.extend(out.violations);
+        stats.reads_verified += out.reads_verified;
+        ops.extend(out.ops);
+    }
+    // Re-establish the serial application order: membership (`seen`)
+    // updates do not commute, so fold ops replay in (offset, sub) order
+    // against the global set — the order invariance is over *sharding*,
+    // never over application order.
+    ops.sort_by_key(|(off, sub, _)| (*off, *sub));
+    let mut seen = seen0;
+    let mut acc = acc0;
+    for (_, _, op) in ops {
+        apply_fold_op(&mut seen, &mut acc, op);
+    }
+    let _ = seen;
+    stats.log_merge_us = tm.elapsed().as_micros() as u64;
+    stats.log_scan_us = t1.elapsed().as_micros() as u64;
+
+    // --- Liveness / shred legality / WAL tail -----------------------------
+    let mut liveness = idx.liveness;
+    a.liveness_and_witness(epoch, &mut liveness, &mut v);
+    shred_legality(engine, &shreds, &mut v);
+    let tw = Instant::now();
+    a.wal_tail_check(engine, epoch, &idx.stamps, &shreds, &migrated_versions, threads, &mut v);
+    stats.wal_tail_us = tw.elapsed().as_micros() as u64;
+
+    // --- Phase D (stages 2 + 3): tree checks + completeness join ----------
+    let t2 = Instant::now();
+    let disk = engine.disk();
+    let page_count = disk.page_count();
+    let raw_pool =
+        Arc::new(BufferPool::new(disk.clone() as Arc<dyn PageStore>, engine.clock().clone(), 1024));
+    let mut tasks: Vec<DTask> =
+        engine.user_relations().into_iter().map(|(_, r)| DTask::Tree(r)).collect();
+    let range = (page_count / (4 * threads as u64).max(1)).max(8);
+    let mut start = 0u64;
+    while start < page_count {
+        let end = (start + range).min(page_count);
+        tasks.push(DTask::Pages(start, end));
+        start = end;
+    }
+    let states_ref = &states;
+    let stamps_ref = &idx.stamps;
+    let outs: Vec<DOut> = parallel_map(threads, tasks, |t| match t {
+        DTask::Tree(rel) => {
+            let tt = Instant::now();
+            let vs = check_relation_tree(engine, &raw_pool, rel);
+            DOut::Tree(vs, tt.elapsed().as_micros() as u64)
+        }
+        DTask::Pages(s, e) => {
+            let mut fs = FinalScan::new();
+            for i in s..e {
+                if let Err(err) = scan_final_page(disk, PageNo(i), states_ref, stamps_ref, &mut fs)
+                {
+                    return DOut::Failed(err);
+                }
+            }
+            DOut::Scan(fs)
+        }
+    });
+    let mut h_final = AddHash::new();
+    let mut forensics = Vec::new();
+    let mut snapshot_pages = Vec::new();
+    for out in outs {
+        match out {
+            DOut::Tree(vs, us) => {
+                v.extend(vs);
+                stats.tree_verify_us += us;
+            }
+            DOut::Scan(fs) => {
+                // ADD-HASH partial sums merge grouping-independently.
+                h_final.merge(&fs.h_final);
+                stats.tuples_final += fs.tuples_final;
+                v.extend(fs.violations);
+                forensics.extend(fs.forensics);
+                snapshot_pages.extend(fs.snapshot_pages);
+            }
+            DOut::Failed(e) => return Err(e),
+        }
+    }
+    leftover_states_check(&states, &migrated, page_count, &mut v);
+    if acc != h_final {
+        v.push(Violation::CompletenessMismatch);
+    }
+    stats.completeness_join_us = t2.elapsed().as_micros() as u64;
+    stats.final_state_us = t2.elapsed().as_micros() as u64;
+    stats.snapshot_pages = snapshot_pages.len() as u64;
+
+    Ok(AuditOutcome {
+        report: AuditReport { epoch, violations: v, forensics, stats },
+        snapshot_pages,
+        tuple_hash: h_final,
+    })
+}

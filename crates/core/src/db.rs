@@ -58,6 +58,14 @@ pub struct ComplianceConfig {
     /// next snapshot is in place" — so a horizon of a few audit periods
     /// keeps WORM usage bounded.
     pub worm_artifact_retention: Option<Duration>,
+    /// Run audits with the serial single-pass oracle instead of the
+    /// parallel pipeline (the two are verdict-identical; the oracle exists
+    /// for differential testing and as the paper's literal algorithm).
+    pub audit_serial: bool,
+    /// Worker threads for the parallel audit pipeline (0 = auto).
+    pub audit_threads: usize,
+    /// Records per decode chunk in the parallel audit's `L` scan.
+    pub audit_l_chunk_records: usize,
 }
 
 impl Default for ComplianceConfig {
@@ -69,6 +77,9 @@ impl Default for ComplianceConfig {
             auditor_seed: [0x42; 32],
             fsync: true,
             worm_artifact_retention: None,
+            audit_serial: false,
+            audit_threads: 0,
+            audit_l_chunk_records: crate::audit::DEFAULT_L_CHUNK_RECORDS,
         }
     }
 }
@@ -455,6 +466,54 @@ impl CompliantDb {
         migrate::migrate_relation(&self.engine, plugin, &self.worm, rel)
     }
 
+    /// The audit configuration this database runs with (regret interval and
+    /// read-verification follow the compliance mode; the serial/threads/
+    /// chunk knobs follow [`ComplianceConfig`]).
+    pub fn audit_config(&self) -> AuditConfig {
+        AuditConfig {
+            regret_interval: self.config.regret_interval,
+            verify_reads: self.config.mode == Mode::HashOnRead,
+            serial: self.config.audit_serial,
+            audit_threads: self.config.audit_threads,
+            l_chunk_records: self.config.audit_l_chunk_records,
+            ..AuditConfig::default()
+        }
+    }
+
+    /// Runs an audit **dry run** under an explicit [`AuditConfig`] without
+    /// advancing the epoch or writing a snapshot: the differential suites
+    /// and the audit bench use this to run the serial oracle and the
+    /// parallel pipeline over the *same* quiesced state and compare
+    /// outcomes. The deployment's regret interval and read-verification
+    /// mode always override the caller's (they are properties of the
+    /// database, not of the audit strategy).
+    pub fn audit_outcome_with(&self, config: AuditConfig) -> Result<crate::audit::AuditOutcome> {
+        let plugin = self
+            .plugin
+            .as_ref()
+            .ok_or_else(|| Error::Invalid("audit requires a compliance mode".into()))?;
+        self.engine.quiesce()?;
+        plugin.logger().flush()?;
+        plugin.tick()?;
+        let epoch = *self.epoch.lock();
+        let auditor = Auditor::new(
+            self.worm.clone(),
+            self.config.auditor_seed,
+            AuditConfig {
+                regret_interval: self.config.regret_interval,
+                verify_reads: self.config.mode == Mode::HashOnRead,
+                ..config
+            },
+        );
+        // The auditor's own relation reads (holds, retention) are trusted
+        // self-reads: suppress READ-record emission so the dry-run leaves
+        // `L` exactly as it found it.
+        plugin.begin_trusted_reads();
+        let out = auditor.audit(&self.engine, epoch);
+        plugin.end_trusted_reads();
+        out
+    }
+
     /// Runs a compliance audit. On a clean report: writes and signs the new
     /// snapshot, seals the epoch's log files, and opens the next epoch.
     pub fn audit(&self) -> Result<AuditReport> {
@@ -467,16 +526,12 @@ impl CompliantDb {
         plugin.logger().flush()?;
         plugin.tick()?;
         let epoch = *self.epoch.lock();
-        let auditor = Auditor::new(
-            self.worm.clone(),
-            self.config.auditor_seed,
-            AuditConfig {
-                regret_interval: self.config.regret_interval,
-                verify_reads: self.config.mode == Mode::HashOnRead,
-                check_witnesses: true,
-            },
-        );
-        let outcome = auditor.audit(&self.engine, epoch)?;
+        let auditor =
+            Auditor::new(self.worm.clone(), self.config.auditor_seed, self.audit_config());
+        plugin.begin_trusted_reads();
+        let outcome = auditor.audit(&self.engine, epoch);
+        plugin.end_trusted_reads();
+        let outcome = outcome?;
         if outcome.report.is_clean() {
             let retention_until = match self.config.worm_artifact_retention {
                 Some(d) => self.clock.now().saturating_add(d),
@@ -487,6 +542,15 @@ impl CompliantDb {
                 self.clock.now(),
                 &outcome.tuple_hash,
                 &outcome.snapshot_pages,
+                retention_until,
+            )?;
+            // Seal the replay checkpoint: the next audit can skip
+            // re-folding this (now attested) snapshot prefix of the
+            // completeness universe.
+            auditor.write_checkpoint(
+                epoch,
+                &outcome.tuple_hash,
+                outcome.report.stats.tuples_final,
                 retention_until,
             )?;
             plugin.logger().advance_epoch(epoch + 1)?;
@@ -536,6 +600,15 @@ impl CompliantDb {
         self.engine.disk().set_io_latency_us(us);
     }
 
+    /// Selects how the emulated I/O latency is served: `true` parks the
+    /// thread (latency *overlaps* across concurrent readers, like a real
+    /// remote volume — what the parallel audit exploits), `false` spins
+    /// (burns the core; the conservative default for single-threaded
+    /// benches).
+    pub fn set_io_latency_sleep(&self, sleep: bool) {
+        self.engine.disk().set_io_latency_sleep(sleep);
+    }
+
     /// Arms (or clears) a deterministic fault injector across every I/O
     /// surface at once: the data-page disk manager, the WAL appender, and
     /// the WORM append path. The torture harness uses this to drive a
@@ -567,6 +640,7 @@ impl CompliantDb {
                     crate::logger::epoch_log_name(e),
                     crate::logger::epoch_stamp_name(e),
                     waltail_name(e),
+                    crate::audit::audit_ckpt_name(e),
                 ];
                 let snap_base = crate::snapshot::snapshot_name(e);
                 if suffixes.iter().any(|s| s == name)

@@ -27,7 +27,10 @@ pub mod records;
 pub mod shred;
 pub mod snapshot;
 
-pub use audit::{AuditReport, AuditStats, Auditor, TupleFinding, Violation};
+pub use audit::{
+    audit_ckpt_name, AuditConfig, AuditOutcome, AuditReport, AuditStats, Auditor, TupleFinding,
+    Violation, DEFAULT_L_CHUNK_RECORDS,
+};
 pub use db::{ComplianceConfig, CompliantDb, Mode, VerificationTicket};
 pub use logger::ComplianceLogger;
 pub use plugin::CompliancePlugin;

@@ -121,6 +121,15 @@ struct PluginState {
     /// from tampering in the audit; any divergence redo cannot justify still
     /// surfaces through the diff records the recovery-time pwrites emit.
     in_recovery: bool,
+    /// Trusted (auditor) reads in flight: reads are *not* hashed. The
+    /// auditor consults live relations (litigation holds, retention
+    /// periods) while evaluating shred legality; those are its own trusted
+    /// reads of state it is simultaneously verifying physically, not user
+    /// query results needing the hash-page-on-read defense. Suppressing
+    /// them keeps an audit side-effect-free on `L`, so back-to-back audit
+    /// dry-runs (the serial/parallel differential harness) observe the
+    /// same log.
+    trusted_reads: usize,
     stats: PluginStats,
 }
 
@@ -155,6 +164,7 @@ impl CompliancePlugin {
                 migrated: HashSet::new(),
                 commit_times: HashMap::new(),
                 in_recovery: false,
+                trusted_reads: 0,
                 stats: PluginStats::default(),
             }),
         })
@@ -187,6 +197,19 @@ impl CompliancePlugin {
     /// Regret-interval housekeeping passthrough.
     pub fn tick(&self) -> Result<()> {
         self.logger.tick()
+    }
+
+    /// Enters a trusted-read section (auditor self-reads): page reads are
+    /// served and cached but no `READ` records are logged. Nestable; must
+    /// be balanced with [`CompliancePlugin::end_trusted_reads`].
+    pub fn begin_trusted_reads(&self) {
+        self.state.lock().trusted_reads += 1;
+    }
+
+    /// Leaves a trusted-read section.
+    pub fn end_trusted_reads(&self) {
+        let mut st = self.state.lock();
+        st.trusted_reads = st.trusted_reads.saturating_sub(1);
     }
 
     fn diff_and_log(&self, page: &Page) -> Result<()> {
@@ -311,7 +334,7 @@ impl PageStore for CompliancePlugin {
                 // our READ append would make an honest read audit as a
                 // violation, so both must be atomic against `on_commit`.
                 let mut st = self.state.lock();
-                if self.hash_on_read && !st.in_recovery {
+                if self.hash_on_read && !st.in_recovery && st.trusted_reads == 0 {
                     let hs = leaf_hs(&tuples, |txn| st.commit_times.get(&txn).copied());
                     self.logger.append(&LogRecord::Read { pgno, hs })?;
                     st.stats.reads_hashed += 1;
@@ -321,7 +344,7 @@ impl PageStore for CompliancePlugin {
             PageType::Inner => {
                 let cells: Vec<Vec<u8>> = page.cells().map(|c| c.to_vec()).collect();
                 let mut st = self.state.lock();
-                if self.hash_on_read && !st.in_recovery {
+                if self.hash_on_read && !st.in_recovery && st.trusted_reads == 0 {
                     let hs = inner_hs(cells.iter().map(|c| c.as_slice()));
                     self.logger.append(&LogRecord::Read { pgno, hs })?;
                     st.stats.reads_hashed += 1;

@@ -48,6 +48,7 @@ fn setup(tag: &str) -> (CompliantDb, Arc<VirtualClock>, TempDir) {
             auditor_seed: [13u8; 32],
             fsync: false,
             worm_artifact_retention: None,
+            ..ComplianceConfig::default()
         },
     )
     .unwrap();

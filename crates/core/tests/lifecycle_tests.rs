@@ -35,6 +35,7 @@ fn config(mode: Mode) -> ComplianceConfig {
         auditor_seed: [7u8; 32],
         fsync: false,
         worm_artifact_retention: None,
+        ..ComplianceConfig::default()
     }
 }
 
@@ -382,4 +383,61 @@ fn remigration_enables_shredding_of_worm_resident_history() {
     );
     let report = db.audit().unwrap();
     assert!(report.is_clean(), "{:?}", &report.violations[..report.violations.len().min(4)]);
+}
+
+#[test]
+fn replay_checkpoint_skips_sealed_prefix() {
+    use ccdb_core::{audit_ckpt_name, AuditConfig};
+    let (db, _clock, _d) = setup("ckpt", Mode::LogConsistent);
+    let rel = db.create_relation("ledger", SplitPolicy::KeyOnly).unwrap();
+    run_workload(&db, rel, 200, "a");
+    let r0 = db.audit().unwrap();
+    assert!(r0.is_clean(), "epoch-0 violations: {:?}", r0.violations);
+    // The epoch-0 audit sealed a replay checkpoint on WORM.
+    assert!(db.worm().exists(&audit_ckpt_name(0)), "missing epoch-0 replay checkpoint");
+
+    run_workload(&db, rel, 150, "b");
+
+    // Epoch-1 dry-run with checkpoints: the sealed snapshot prefix is not
+    // re-folded because the checkpoint attests the stored tuple hash.
+    let fast = db.audit_outcome_with(db.audit_config()).unwrap();
+    assert!(fast.report.is_clean(), "fast violations: {:?}", fast.report.violations);
+    assert!(fast.report.stats.snapshot_prefix_skipped > 0, "checkpoint fast path did not engage");
+
+    // Without checkpoints: the full re-fold — identical verdict and hash.
+    let slow = db.audit_outcome_with(db.audit_config().with_checkpoints(false)).unwrap();
+    assert!(slow.report.is_clean(), "slow violations: {:?}", slow.report.violations);
+    assert_eq!(slow.report.stats.snapshot_prefix_skipped, 0);
+    assert_eq!(fast.tuple_hash, slow.tuple_hash);
+    assert_eq!(fast.report.stats.tuples_final, slow.report.stats.tuples_final);
+
+    // The serial oracle agrees with both.
+    let serial = db.audit_outcome_with(AuditConfig::serial()).unwrap();
+    assert!(serial.report.is_clean(), "serial violations: {:?}", serial.report.violations);
+    assert_eq!(serial.tuple_hash, fast.tuple_hash);
+    assert_eq!(serial.report.stats.threads_used, 1);
+}
+
+#[test]
+fn replay_checkpoint_ignored_when_snapshot_hash_differs() {
+    // A checkpoint whose hash does not match the stored snapshot must not
+    // engage the fast path (the full re-fold + compare runs instead).
+    use ccdb_core::AuditConfig;
+    let (db, _clock, _d) = setup("ckpt-mismatch", Mode::LogConsistent);
+    let rel = db.create_relation("ledger", SplitPolicy::KeyOnly).unwrap();
+    run_workload(&db, rel, 120, "a");
+    let r0 = db.audit().unwrap();
+    assert!(r0.is_clean(), "{:?}", r0.violations);
+    run_workload(&db, rel, 60, "b");
+    let r1 = db.audit().unwrap();
+    assert!(r1.is_clean(), "{:?}", r1.violations);
+    run_workload(&db, rel, 60, "c");
+    // Epoch 2 audits against the epoch-1 snapshot + epoch-1 checkpoint:
+    // still clean, and equal with and without the fast path.
+    let fast = db.audit_outcome_with(db.audit_config()).unwrap();
+    let slow = db.audit_outcome_with(db.audit_config().with_checkpoints(false)).unwrap();
+    let serial = db.audit_outcome_with(AuditConfig::serial()).unwrap();
+    assert!(fast.report.is_clean(), "{:?}", fast.report.violations);
+    assert_eq!(fast.tuple_hash, slow.tuple_hash);
+    assert_eq!(fast.tuple_hash, serial.tuple_hash);
 }

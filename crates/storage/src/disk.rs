@@ -12,7 +12,7 @@
 use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ccdb_common::sync::Mutex;
@@ -50,6 +50,11 @@ pub struct DiskManager {
     /// Artificial per-I/O latency in microseconds (benchmark knob emulating
     /// remote storage — the paper's database lived on an NFS-mounted filer).
     io_latency_us: AtomicU64,
+    /// Latency model: `false` = spin (exact, but occupies a core — right for
+    /// single-stream runs), `true` = sleep (blocking-I/O semantics: waiting
+    /// threads yield the core, so concurrent readers overlap their waits —
+    /// right for the parallel-audit benchmarks).
+    io_latency_sleep: AtomicBool,
     /// Optional deterministic fault layer (crash/torn-write torture tests).
     injector: Mutex<Option<Arc<FaultInjector>>>,
 }
@@ -86,6 +91,7 @@ impl DiskManager {
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             io_latency_us: AtomicU64::new(0),
+            io_latency_sleep: AtomicBool::new(false),
             injector: Mutex::new(None),
         })
     }
@@ -118,15 +124,30 @@ impl DiskManager {
         self.io_latency_us.store(us, Ordering::Relaxed);
     }
 
+    /// Chooses the latency model: `true` sleeps (blocking-I/O semantics —
+    /// concurrent readers overlap their waits, which is what the parallel
+    /// auditor exploits), `false` spins (default; exact single-stream
+    /// emulation unaffected by OS timer granularity).
+    pub fn set_io_latency_sleep(&self, sleep: bool) {
+        self.io_latency_sleep.store(sleep, Ordering::Relaxed);
+    }
+
     fn simulate_latency(&self) {
         let us = self.io_latency_us.load(Ordering::Relaxed);
         if us > 0 {
-            // Spin rather than sleep: OS sleep granularity (~1 ms) would
-            // inflate the emulated latency ~10x. For a single-stream
-            // benchmark a spin models blocking I/O time exactly.
-            let deadline = std::time::Instant::now() + std::time::Duration::from_micros(us);
-            while std::time::Instant::now() < deadline {
-                std::hint::spin_loop();
+            if self.io_latency_sleep.load(Ordering::Relaxed) {
+                // Blocking-I/O model: the waiting thread yields the core, so
+                // N concurrent readers pay ~1x the latency, not Nx — the
+                // behavior of a real remote filer under parallel requests.
+                std::thread::sleep(std::time::Duration::from_micros(us));
+            } else {
+                // Spin rather than sleep: OS sleep granularity (~1 ms) would
+                // inflate the emulated latency ~10x. For a single-stream
+                // benchmark a spin models blocking I/O time exactly.
+                let deadline = std::time::Instant::now() + std::time::Duration::from_micros(us);
+                while std::time::Instant::now() < deadline {
+                    std::hint::spin_loop();
+                }
             }
         }
     }
@@ -143,8 +164,19 @@ impl DiskManager {
 
     /// Reads a raw page image without constructing a `Page` (used by the
     /// auditor, which wants to see exactly what is on disk even if it is
-    /// garbage).
+    /// garbage). Pays the emulated I/O latency like `pread` — the auditor's
+    /// final-state scan hits the same (emulated-remote) medium the engine
+    /// does.
     pub fn read_raw(&self, pgno: PageNo) -> Result<Vec<u8>> {
+        self.simulate_latency();
+        self.read_raw_inner(pgno)
+    }
+
+    /// The physical read, with no latency emulation. The latency is charged
+    /// *outside* the file lock (in `read_raw`/`pread`), so concurrent reads
+    /// under the sleep model overlap their waits and only serialize on the
+    /// microseconds of actual file I/O.
+    fn read_raw_inner(&self, pgno: PageNo) -> Result<Vec<u8>> {
         let mut f = self.file.lock();
         f.seek(SeekFrom::Start(pgno.0 * PAGE_SIZE as u64))
             .map_err(|e| Error::io("seeking database file", e))?;
@@ -166,7 +198,7 @@ impl PageStore for DiskManager {
         }
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.simulate_latency();
-        let buf = self.read_raw(pgno)?;
+        let buf = self.read_raw_inner(pgno)?;
         let page = Page::from_bytes(&buf)?;
         if page.pgno() != pgno {
             return Err(Error::corruption(format!(

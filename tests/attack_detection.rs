@@ -42,6 +42,7 @@ fn setup(tag: &str, mode: Mode) -> (CompliantDb, Arc<VirtualClock>, TempDir) {
             auditor_seed: [3u8; 32],
             fsync: false,
             worm_artifact_retention: None,
+            ..ComplianceConfig::default()
         },
     )
     .unwrap();
@@ -67,12 +68,38 @@ fn mala(db: &CompliantDb) -> Mala {
     Mala::new(db.engine().db_path())
 }
 
+/// Runs the serial oracle and the parallel pipeline as dry-runs over the
+/// same quiesced state, asserts they agree on every observable (verdict,
+/// violations, forensics, completeness hash), then performs the real
+/// epoch-advancing audit and returns its report. Every attack in this
+/// gauntlet therefore proves detection under **both** auditors.
+fn audit_both(db: &CompliantDb) -> ccdb::compliance::AuditReport {
+    use ccdb::compliance::AuditConfig;
+    let serial = db.audit_outcome_with(AuditConfig::serial()).unwrap();
+    for threads in [2usize, 4] {
+        let par = db.audit_outcome_with(AuditConfig::default().with_threads(threads)).unwrap();
+        assert_eq!(
+            serial.report.violations, par.report.violations,
+            "serial/parallel divergence at {threads} threads"
+        );
+        assert_eq!(
+            serial.report.forensics, par.report.forensics,
+            "forensics divergence at {threads} threads"
+        );
+        assert_eq!(
+            serial.tuple_hash, par.tuple_hash,
+            "completeness-hash divergence at {threads} threads"
+        );
+    }
+    db.audit().unwrap()
+}
+
 #[test]
 fn altering_a_committed_tuple_is_detected() {
     let (db, _c, _d) = setup("alter", Mode::LogConsistent);
     seed(&db, 200);
     assert!(mala(&db).alter_tuple_value(b"acct-0042", b"balance=1000000").unwrap());
-    let report = db.audit().unwrap();
+    let report = audit_both(&db);
     assert!(!report.is_clean());
     assert!(
         report.violations.iter().any(|v| matches!(v, Violation::CompletenessMismatch)),
@@ -91,7 +118,7 @@ fn shredding_evidence_outside_the_protocol_is_detected() {
     let (db, _c, _d) = setup("shred", Mode::LogConsistent);
     seed(&db, 200);
     assert!(mala(&db).delete_tuple(b"acct-0007").unwrap());
-    let report = db.audit().unwrap();
+    let report = audit_both(&db);
     assert!(report.violations.iter().any(|v| matches!(v, Violation::CompletenessMismatch)));
 }
 
@@ -102,7 +129,7 @@ fn post_hoc_insertion_of_backdated_records_is_detected() {
     let (db, _c, _d) = setup("backdate", Mode::LogConsistent);
     let rel = seed(&db, 200);
     assert!(mala(&db).backdate_insert(rel, b"acct-9999", b"born=1985", Timestamp(10)).unwrap());
-    let report = db.audit().unwrap();
+    let report = audit_both(&db);
     assert!(
         report.violations.iter().any(|v| matches!(v, Violation::CompletenessMismatch)),
         "{:?}",
@@ -115,7 +142,7 @@ fn fig2b_swapped_leaf_entries_detected_by_sort_check() {
     let (db, _c, _d) = setup("fig2b", Mode::LogConsistent);
     seed(&db, 200);
     assert!(mala(&db).swap_leaf_entries().unwrap());
-    let report = db.audit().unwrap();
+    let report = audit_both(&db);
     assert!(
         report.violations.iter().any(|v| matches!(v, Violation::TreeIntegrity(_))),
         "{:?}",
@@ -128,7 +155,7 @@ fn fig2c_tampered_separator_detected_by_parent_child_check() {
     let (db, _c, _d) = setup("fig2c", Mode::LogConsistent);
     seed(&db, 2000); // enough to grow internal nodes
     assert!(mala(&db).corrupt_separator().unwrap(), "no inner page found to corrupt");
-    let report = db.audit().unwrap();
+    let report = audit_both(&db);
     assert!(
         report
             .violations
@@ -161,7 +188,7 @@ fn state_reversion_attack_beats_log_consistent_but_not_hash_on_read() {
         // …and Mala reverts before the audit.
         db.engine().clear_cache().unwrap();
         m.restore_page(pgno, &pristine).unwrap();
-        let report = db.audit().unwrap();
+        let report = audit_both(&db);
         if expect_detection {
             assert!(
                 report.violations.iter().any(|v| matches!(v, Violation::ReadHashMismatch { .. })),
@@ -189,7 +216,7 @@ fn spurious_abort_appended_to_l_is_detected() {
     let victim_txn = TxnId(5);
     let plugin = db.plugin().unwrap().clone();
     plugin.logger().append_flush(&ccdb::compliance::LogRecord::Abort { txn: victim_txn }).unwrap();
-    let report = db.audit().unwrap();
+    let report = audit_both(&db);
     assert!(
         report.violations.iter().any(|v| matches!(v, Violation::ConflictingStatus { .. })),
         "{:?}",
@@ -211,7 +238,7 @@ fn backdated_stamp_appended_to_l_is_detected() {
             commit_time: Timestamp(1),
         })
         .unwrap();
-    let report = db.audit().unwrap();
+    let report = audit_both(&db);
     assert!(
         report.violations.iter().any(|v| matches!(v, Violation::CommitTimesNotMonotonic { .. })),
         "{:?}",
@@ -250,6 +277,7 @@ fn wal_wipe_after_crash_cannot_unwind_commits() {
             auditor_seed: [3u8; 32],
             fsync: false,
             worm_artifact_retention: None,
+            ..ComplianceConfig::default()
         },
     )
     .unwrap();
@@ -257,7 +285,7 @@ fn wal_wipe_after_crash_cannot_unwind_commits() {
     let t = db.begin().unwrap();
     assert_eq!(db.read(t, rel, b"incriminating").unwrap(), None, "the commit is locally gone");
     db.commit(t).unwrap();
-    let report = db.audit().unwrap();
+    let report = audit_both(&db);
     assert!(
         report.violations.iter().any(|v| matches!(v, Violation::WalTailInconsistent { .. })),
         "{:?}",
@@ -271,14 +299,14 @@ fn tampering_with_pre_snapshot_data_is_detected_in_later_epochs() {
     // intact through audit N+1.
     let (db, _c, _d) = setup("old-data", Mode::LogConsistent);
     let rel = seed(&db, 100);
-    assert!(db.audit().unwrap().is_clean());
+    assert!(audit_both(&db).is_clean());
     // Epoch 1: some fresh activity, then Mala edits epoch-0 data.
     let t = db.begin().unwrap();
     db.write(t, rel, b"fresh", b"data").unwrap();
     db.commit(t).unwrap();
     db.engine().clear_cache().unwrap();
     assert!(mala(&db).alter_tuple_value(b"acct-0001", b"rewritten-history").unwrap());
-    let report = db.audit().unwrap();
+    let report = audit_both(&db);
     assert!(
         report.violations.iter().any(|v| matches!(v, Violation::CompletenessMismatch)),
         "{:?}",
@@ -292,7 +320,7 @@ fn honest_database_stays_clean_under_the_same_scrutiny() {
     for mode in [Mode::LogConsistent, Mode::HashOnRead] {
         let (db, _c, _d) = setup("control", mode);
         seed(&db, 200);
-        let report = db.audit().unwrap();
+        let report = audit_both(&db);
         assert!(report.is_clean(), "{mode:?}: {:?}", report.violations);
     }
 }
@@ -307,7 +335,7 @@ fn forensics_localize_the_exact_tampered_tuple() {
     assert!(m.alter_tuple_value(b"acct-0033", b"balance=overwritten").unwrap());
     assert!(m.delete_tuple(b"acct-0077").unwrap());
     assert!(m.backdate_insert(rel, b"acct-zzzz", b"forged", Timestamp(99)).unwrap());
-    let report = db.audit().unwrap();
+    let report = audit_both(&db);
     assert!(!report.is_clean());
     use ccdb::compliance::TupleFinding;
     let altered = report.forensics.iter().any(|f| {
@@ -347,6 +375,7 @@ fn worm_reclamation_after_audits() {
             auditor_seed: [3u8; 32],
             fsync: false,
             worm_artifact_retention: Some(Duration::from_mins(30)),
+            ..ComplianceConfig::default()
         },
     )
     .unwrap();
@@ -357,7 +386,7 @@ fn worm_reclamation_after_audits() {
             db.write(t, rel, &[b'k', round, i], b"v").unwrap();
             db.commit(t).unwrap();
         }
-        assert!(db.audit().unwrap().is_clean());
+        assert!(audit_both(&db).is_clean());
     }
     let before = db.worm().stats().files;
     // Retention on epoch-0/1 artifacts has not elapsed yet: nothing to do.
@@ -373,6 +402,6 @@ fn worm_reclamation_after_audits() {
         db.write(t, rel, &[b'z', i], b"v").unwrap();
         db.commit(t).unwrap();
     }
-    let report = db.audit().unwrap();
+    let report = audit_both(&db);
     assert!(report.is_clean(), "{:?}", report.violations);
 }

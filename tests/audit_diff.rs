@@ -1,0 +1,211 @@
+//! Differential proof of the parallel audit pipeline against the serial
+//! oracle: for seeded workloads exercising commits, aborts, reads,
+//! structure modifications, WORM migration, and shredding, the parallel
+//! auditor must produce **identical** verdicts, violation sets, forensic
+//! findings, completeness hashes, and snapshot material at every thread
+//! count and chunk size — including degenerate 1-record chunks that place
+//! every record at a chunk boundary.
+//!
+//! Seed control: `CCDB_AUDIT_DIFF_SEEDS` (comma-separated u64 list) widens
+//! the seeded sweep in CI without recompiling.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ccdb::btree::SplitPolicy;
+use ccdb::common::{Duration, SplitMix64, VirtualClock};
+use ccdb::compliance::{AuditConfig, AuditOutcome, ComplianceConfig, CompliantDb, Mode};
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "ccdb-adiff-{}-{}-{}",
+            std::process::id(),
+            tag,
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn open(dir: &TempDir, mode: Mode) -> (CompliantDb, Arc<VirtualClock>) {
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(30)));
+    let db = CompliantDb::open(
+        &dir.0,
+        clock.clone(),
+        ComplianceConfig {
+            mode,
+            regret_interval: Duration::from_mins(5),
+            cache_pages: 128,
+            auditor_seed: [0xD1; 32],
+            fsync: false,
+            worm_artifact_retention: None,
+            ..ComplianceConfig::default()
+        },
+    )
+    .unwrap();
+    (db, clock)
+}
+
+/// Drives one seeded workload: interleaved commits/aborts/updates/deletes
+/// and reads over two relations (one time-split), with optional WORM
+/// migration, retention expiry + vacuum, and a mid-run audit epoch roll.
+fn seeded_workload(db: &CompliantDb, clock: &VirtualClock, seed: u64, epochs: u32) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let ledger = db.create_relation("ledger", SplitPolicy::KeyOnly).unwrap();
+    let hot = db.create_relation("hot", SplitPolicy::TimeSplit { threshold: 0.8 }).unwrap();
+    let _ = clock;
+    for epoch in 0..epochs {
+        let txns = rng.gen_range(120..240u32);
+        for i in 0..txns {
+            let t = db.begin().unwrap();
+            let rel = if rng.gen_bool(0.3) { hot } else { ledger };
+            let nwrites = rng.gen_range(1..5u32);
+            for _ in 0..nwrites {
+                let k = format!("s{seed}-k{:04}", rng.gen_range(0..600u32));
+                if rng.gen_bool(0.12) {
+                    db.delete(t, rel, k.as_bytes()).unwrap();
+                } else {
+                    let v = format!("e{epoch}i{i}v{}", rng.gen_range(0..u32::MAX));
+                    db.write(t, rel, k.as_bytes(), v.as_bytes()).unwrap();
+                }
+            }
+            if rng.gen_bool(0.25) {
+                let k = format!("s{seed}-k{:04}", rng.gen_range(0..600u32));
+                let _ = db.read(t, rel, k.as_bytes()).unwrap();
+            }
+            if rng.gen_bool(0.1) {
+                db.abort(t).unwrap();
+            } else {
+                db.commit(t).unwrap();
+            }
+        }
+        if rng.gen_bool(0.6) {
+            // Time-split + WORM migration of historical pages.
+            let _ = db.migrate_to_worm(hot).unwrap();
+        }
+        if rng.gen_bool(0.5) {
+            // Expire and shred a slice of the ledger.
+            let t = db.begin().unwrap();
+            db.set_retention(t, "ledger", Duration::from_micros(1)).unwrap();
+            db.commit(t).unwrap();
+            let _ = db.vacuum().unwrap();
+            // Restore a long retention so later epochs keep their tuples.
+            let t = db.begin().unwrap();
+            db.set_retention(t, "ledger", Duration::from_mins(60)).unwrap();
+            db.commit(t).unwrap();
+        }
+        if epoch + 1 < epochs {
+            // Roll the audit epoch so later dry-runs replay against a real
+            // snapshot prefix (exercising the checkpoint fast path too).
+            let report = db.audit().unwrap();
+            assert!(report.is_clean(), "seed {seed} epoch {epoch}: {:?}", report.violations);
+        }
+    }
+}
+
+/// Asserts two audit outcomes are observably identical: verdict, violation
+/// list, forensics, counts, completeness hash, and snapshot material.
+#[track_caller]
+fn assert_same_outcome(tag: &str, a: &AuditOutcome, b: &AuditOutcome) {
+    assert_eq!(a.report.epoch, b.report.epoch, "{tag}: epoch");
+    assert_eq!(a.report.violations, b.report.violations, "{tag}: violations");
+    assert_eq!(a.report.forensics, b.report.forensics, "{tag}: forensics");
+    assert_eq!(
+        a.report.stats.records_scanned, b.report.stats.records_scanned,
+        "{tag}: records_scanned"
+    );
+    assert_eq!(a.report.stats.tuples_final, b.report.stats.tuples_final, "{tag}: tuples_final");
+    assert_eq!(
+        a.report.stats.reads_verified, b.report.stats.reads_verified,
+        "{tag}: reads_verified"
+    );
+    assert_eq!(a.tuple_hash, b.tuple_hash, "{tag}: tuple_hash");
+    assert_eq!(a.snapshot_pages, b.snapshot_pages, "{tag}: snapshot_pages");
+}
+
+fn diff_seeds() -> Vec<u64> {
+    match std::env::var("CCDB_AUDIT_DIFF_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .filter(|t| !t.trim().is_empty())
+            .map(|t| t.trim().parse().expect("CCDB_AUDIT_DIFF_SEEDS: bad u64"))
+            .collect(),
+        Err(_) => vec![11, 42],
+    }
+}
+
+/// The core differential sweep: serial oracle vs the parallel pipeline at
+/// thread counts {1, 2, 4, 8} and several chunk sizes.
+fn sweep(mode: Mode, tag: &str) {
+    for seed in diff_seeds() {
+        let d = TempDir::new(&format!("{tag}-{seed}"));
+        let (db, clock) = open(&d, mode);
+        seeded_workload(&db, &clock, seed, 2);
+
+        let serial = db.audit_outcome_with(AuditConfig::serial()).unwrap();
+        assert_eq!(serial.report.stats.threads_used, 1);
+
+        for threads in [1usize, 2, 4, 8] {
+            for chunk in [1usize, 3, ccdb::compliance::DEFAULT_L_CHUNK_RECORDS] {
+                let cfg = AuditConfig::default().with_threads(threads).with_chunk_records(chunk);
+                let par = db.audit_outcome_with(cfg).unwrap();
+                assert_eq!(par.report.stats.threads_used, threads as u64);
+                assert_same_outcome(
+                    &format!("{tag} seed={seed} threads={threads} chunk={chunk}"),
+                    &serial,
+                    &par,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_log_consistent() {
+    sweep(Mode::LogConsistent, "lc");
+}
+
+#[test]
+fn parallel_matches_serial_hash_on_read() {
+    sweep(Mode::HashOnRead, "hor");
+}
+
+/// The checkpoint fast path must not change the differential result: with
+/// checkpoints disabled, serial and parallel still agree with the
+/// checkpointed runs bit-for-bit on everything but the skip counter.
+#[test]
+fn checkpoints_do_not_change_the_verdict() {
+    let d = TempDir::new("ckpt-diff");
+    let (db, clock) = open(&d, Mode::LogConsistent);
+    seeded_workload(&db, &clock, 7, 3);
+
+    let base = db.audit_outcome_with(AuditConfig::serial()).unwrap();
+    for cfg in [
+        AuditConfig::serial().with_checkpoints(false),
+        AuditConfig::default().with_threads(4),
+        AuditConfig::default().with_threads(4).with_checkpoints(false),
+    ] {
+        let other = db.audit_outcome_with(cfg).unwrap();
+        assert_same_outcome("ckpt-diff", &base, &other);
+    }
+}
+
+/// Auto thread selection (0 = available parallelism) also matches.
+#[test]
+fn auto_threads_match_serial() {
+    let d = TempDir::new("auto");
+    let (db, clock) = open(&d, Mode::HashOnRead);
+    seeded_workload(&db, &clock, 23, 1);
+    let serial = db.audit_outcome_with(AuditConfig::serial()).unwrap();
+    let auto = db.audit_outcome_with(AuditConfig::default().with_threads(0)).unwrap();
+    assert!(auto.report.stats.threads_used >= 1);
+    assert_same_outcome("auto", &serial, &auto);
+}

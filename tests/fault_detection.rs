@@ -43,6 +43,7 @@ fn config(mode: Mode, cache_pages: usize) -> ComplianceConfig {
         auditor_seed: [9u8; 32],
         fsync: false,
         worm_artifact_retention: None,
+        ..ComplianceConfig::default()
     }
 }
 

@@ -63,6 +63,7 @@ fn concurrent_commit_pipeline_audits_clean() {
                 auditor_seed: [7u8; 32],
                 fsync: false,
                 worm_artifact_retention: None,
+                ..ComplianceConfig::default()
             },
         )
         .unwrap(),
@@ -206,6 +207,7 @@ fn fifty_thousand_ops_across_epochs() {
             auditor_seed: [42u8; 32],
             fsync: false,
             worm_artifact_retention: None,
+            ..ComplianceConfig::default()
         },
     )
     .unwrap();
@@ -259,4 +261,93 @@ fn fifty_thousand_ops_across_epochs() {
         );
     }
     assert!(committed_keys > 45_000);
+}
+
+/// Audit-under-migration: waves of commits interleave with WORM migrations
+/// of time-split pages, and after every wave the serial oracle and the
+/// parallel pipeline are run over the same state — with a **one-record
+/// decode chunk** so each `MIGRATE` record sits on its own chunk boundary
+/// at the migration frontier. Both auditors must exempt migrated pages
+/// identically: same violations, same completeness hash, same snapshot
+/// material, plus a clean verdict throughout.
+#[test]
+fn audit_under_migration_parallel_matches_serial() {
+    use ccdb::compliance::AuditConfig;
+
+    let d = TempDir::new("mig-diff");
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(25)));
+    let db = CompliantDb::open(
+        &d.0,
+        clock,
+        ComplianceConfig {
+            mode: Mode::LogConsistent,
+            regret_interval: Duration::from_mins(60),
+            cache_pages: 96,
+            auditor_seed: [0x4D; 32],
+            fsync: false,
+            worm_artifact_retention: None,
+            ..ComplianceConfig::default()
+        },
+    )
+    .unwrap();
+    let hot = db.create_relation("hot", SplitPolicy::TimeSplit { threshold: 0.7 }).unwrap();
+    let cold = db.create_relation("cold", SplitPolicy::KeyOnly).unwrap();
+
+    let mut migrated_total = 0usize;
+    for wave in 0..4u32 {
+        // Overwrite-heavy traffic so the time-split policy produces
+        // historical pages for the migrator to take.
+        for i in 0..120u32 {
+            let t = db.begin().unwrap();
+            let k = format!("h{:03}", i % 37);
+            db.write(t, hot, k.as_bytes(), format!("w{wave}i{i}").as_bytes()).unwrap();
+            if i % 5 == 0 {
+                db.write(t, cold, format!("c{wave}-{i:03}").as_bytes(), b"archived").unwrap();
+            }
+            if i % 11 == 7 {
+                db.abort(t).unwrap();
+            } else {
+                db.commit(t).unwrap();
+            }
+        }
+        let rep = db.migrate_to_worm(hot).unwrap();
+        migrated_total += rep.pages_migrated;
+
+        // Dual audit over the post-migration state. chunk=1 puts every
+        // MIGRATE record at a chunk boundary; the sweep also covers a
+        // mid-size chunk so boundaries fall *inside* migration runs.
+        let serial = db.audit_outcome_with(AuditConfig::serial()).unwrap();
+        assert!(
+            serial.report.is_clean(),
+            "wave {wave}: serial auditor flagged an honest migration: {:?}",
+            serial.report.violations
+        );
+        for (threads, chunk) in [(2usize, 1usize), (4, 1), (4, 5), (8, 2)] {
+            let par = db
+                .audit_outcome_with(
+                    AuditConfig::default().with_threads(threads).with_chunk_records(chunk),
+                )
+                .unwrap();
+            assert_eq!(
+                serial.report.violations, par.report.violations,
+                "wave {wave} threads={threads} chunk={chunk}: violation divergence"
+            );
+            assert_eq!(
+                serial.tuple_hash, par.tuple_hash,
+                "wave {wave} threads={threads} chunk={chunk}: hash divergence"
+            );
+            assert_eq!(
+                serial.snapshot_pages, par.snapshot_pages,
+                "wave {wave} threads={threads} chunk={chunk}: snapshot divergence"
+            );
+        }
+
+        // Roll the epoch every other wave so migrations also cross epoch
+        // (snapshot-prefix) boundaries.
+        if wave % 2 == 1 {
+            let r = db.audit().unwrap();
+            assert!(r.is_clean(), "wave {wave}: epoch-roll audit: {:?}", r.violations);
+        }
+    }
+    assert!(migrated_total > 0, "the workload never migrated a page — test is vacuous");
 }
