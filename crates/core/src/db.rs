@@ -132,6 +132,23 @@ impl CompliantDb {
     ) -> Result<CompliantDb> {
         let dir = dir.as_ref().to_path_buf();
         let worm = Arc::new(WormServer::open(dir.join("worm"), clock.clone())?);
+        Self::open_with_worm(dir, clock, config, worm)
+    }
+
+    /// Opens a compliant database whose conventional-media files live under
+    /// `dir/engine` but whose compliance artifacts go to the caller-supplied
+    /// WORM server — typically a [`WormServer::namespace`] view of a volume
+    /// shared by many tenants, so one physically-WORM device (one sequence
+    /// number space, one metadata journal) serves the whole deployment while
+    /// each tenant's logs, witnesses, and snapshots stay under its own
+    /// prefix.
+    pub fn open_with_worm(
+        dir: impl AsRef<Path>,
+        clock: ClockRef,
+        config: ComplianceConfig,
+        worm: Arc<WormServer>,
+    ) -> Result<CompliantDb> {
+        let dir = dir.as_ref().to_path_buf();
         // Current epoch = number of *completed* audits: epochs whose
         // snapshot (body + signature + public key) is fully written and
         // sealed. A crash while the snapshot was being written leaves a

@@ -26,6 +26,7 @@ pub mod plugin;
 pub mod records;
 pub mod shred;
 pub mod snapshot;
+pub mod tenant;
 
 pub use audit::{
     audit_ckpt_name, AuditConfig, AuditOutcome, AuditReport, AuditStats, Auditor, TupleFinding,
@@ -37,3 +38,4 @@ pub use plugin::CompliancePlugin;
 pub use records::LogRecord;
 pub use shred::{Hold, Vacuum};
 pub use snapshot::SnapshotManager;
+pub use tenant::TenantRegistry;

@@ -59,6 +59,11 @@ pub(crate) struct CommitPipeline {
     /// The ticket currently allowed to finalize.
     turn: Mutex<u64>,
     turn_cv: Condvar,
+    /// Lock-free mirror of `turn`: tickets finalized so far. A flush leader
+    /// compares it against `next_ticket` to tell a genuinely uncontended
+    /// commit (nothing else sequenced and unfinalized) from a momentary gap
+    /// between concurrent committers.
+    finalized: AtomicU64,
     /// Successful group flushes (each one fsync + one tail-mirror append).
     pub(crate) batches: AtomicU64,
     /// Transactions made durable through the pipeline.
@@ -77,6 +82,7 @@ impl CommitPipeline {
             flush_cv: Condvar::new(),
             turn: Mutex::new(0),
             turn_cv: Condvar::new(),
+            finalized: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_txns: AtomicU64::new(0),
         }
@@ -99,12 +105,16 @@ impl CommitPipeline {
     /// protocol. `flush_interval_us`/`group_size` control the leader's
     /// batch-formation stall; an interval of 0 flushes immediately and still
     /// batches naturally (followers accumulate while the leader fsyncs).
+    /// `others_active` is the caller's hint that commit traffic besides this
+    /// one exists (the engine passes "any other transaction currently
+    /// begun"); it gates the leader's batch-formation stall.
     pub(crate) fn wait_durable(
         &self,
         wal: &WalWriter,
         lsn: Lsn,
         flush_interval_us: u64,
         group_size: usize,
+        others_active: bool,
     ) -> Result<()> {
         let mut st = self.state.lock();
         st.waiters += 1;
@@ -125,9 +135,18 @@ impl CommitPipeline {
                 st = self.flush_cv.wait(st);
                 continue;
             }
-            // Become the leader.
+            // Become the leader. The batch-formation stall runs only when
+            // there is evidence of concurrent commit traffic: another
+            // sequenced-but-unfinalized commit in the pipeline, or (the
+            // caller's hint) another transaction open in the engine — under
+            // multi-client load the stall is what *forms* batches, since
+            // committers spend most of their cycle outside `wait_durable`.
+            // A genuinely uncontended leader flushes immediately: stalling
+            // for a batch that cannot form is the BENCH_PR4 single-thread
+            // regression.
             st.leader_active = true;
-            if flush_interval_us > 0 && group_size > 1 {
+            let in_flight = st.next_ticket - self.finalized.load(Ordering::Relaxed);
+            if flush_interval_us > 0 && group_size > 1 && (others_active || in_flight > 1) {
                 let deadline = Instant::now() + StdDuration::from_micros(flush_interval_us);
                 while st.waiters < group_size {
                     let now = Instant::now();
@@ -179,6 +198,7 @@ impl CommitPipeline {
     /// Phase 3 exit: advances the finalize turn and wakes waiting tickets.
     pub(crate) fn finish_turn(&self, mut turn: MutexGuard<'_, u64>) {
         *turn += 1;
+        self.finalized.fetch_add(1, Ordering::Relaxed);
         drop(turn);
         self.turn_cv.notify_all();
     }
@@ -242,6 +262,27 @@ mod tests {
     }
 
     #[test]
+    fn uncontended_leader_skips_the_batch_stall() {
+        use ccdb_common::TxnId;
+        use ccdb_wal::WalRecord;
+        let (w, p) = wal("solo");
+        let pipe = CommitPipeline::new();
+        // A 200ms window with a lone committer: the fast path must flush
+        // immediately instead of parking for the full interval.
+        let (lsn, _ticket) =
+            pipe.sequence(|| w.append(&WalRecord::Begin { txn: TxnId(1) })).unwrap();
+        let start = Instant::now();
+        pipe.wait_durable(&w, lsn, 200_000, 64, false).unwrap();
+        assert!(
+            start.elapsed() < StdDuration::from_millis(100),
+            "uncontended commit stalled {:?} waiting for a batch that cannot form",
+            start.elapsed()
+        );
+        assert!(w.flushed_lsn() > lsn);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
     fn group_flush_batches_concurrent_committers() {
         use ccdb_common::TxnId;
         use ccdb_wal::WalRecord;
@@ -254,7 +295,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let (lsn, _ticket) =
                     pipe.sequence(|| w.append(&WalRecord::Begin { txn: TxnId(i + 1) })).unwrap();
-                pipe.wait_durable(&w, lsn, 1000, 8).unwrap();
+                pipe.wait_durable(&w, lsn, 1000, 8, true).unwrap();
                 assert!(w.flushed_lsn() > lsn);
             }));
         }

@@ -3,7 +3,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ccdb_btree::{BTree, SplitPolicy, StructureHooks, TimeRank};
@@ -109,6 +109,9 @@ pub struct EngineStats {
     pub fsyncs_saved: u64,
     /// Current lazy-timestamping queue length.
     pub stamp_queue_len: usize,
+    /// Transactions currently in flight (begun, neither committed nor
+    /// aborted).
+    pub active_txns: u64,
 }
 
 /// Number of shards in the active-transaction table.
@@ -118,11 +121,18 @@ const TXN_SHARDS: usize = 16;
 /// transactions touch different shards and never contend.
 struct TxnTable {
     shards: Vec<Mutex<HashMap<TxnId, TxnState>>>,
+    /// Lock-free mirror of the total entry count, so [`EngineStats`] and the
+    /// service layer's admission/metrics paths can read the in-flight
+    /// transaction count without touching any shard lock.
+    count: AtomicU64,
 }
 
 impl TxnTable {
     fn new() -> TxnTable {
-        TxnTable { shards: (0..TXN_SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+        TxnTable {
+            shards: (0..TXN_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            count: AtomicU64::new(0),
+        }
     }
 
     fn shard(&self, txn: TxnId) -> &Mutex<HashMap<TxnId, TxnState>> {
@@ -130,11 +140,17 @@ impl TxnTable {
     }
 
     fn insert(&self, txn: TxnId, state: TxnState) {
-        self.shard(txn).lock().insert(txn, state);
+        if self.shard(txn).lock().insert(txn, state).is_none() {
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn remove(&self, txn: TxnId) -> Option<TxnState> {
-        self.shard(txn).lock().remove(&txn)
+        let removed = self.shard(txn).lock().remove(&txn);
+        if removed.is_some() {
+            self.count.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
     }
 
     fn contains(&self, txn: TxnId) -> bool {
@@ -148,6 +164,17 @@ impl TxnTable {
             .ok_or_else(|| Error::InvalidTransactionState(format!("{txn} is not active")))?;
         state.writes.push((rel, key.to_vec()));
         Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Lock-free: whether any transaction is tracked, per the mirror count.
+    /// Used on the commit hot path as the group-commit contention hint;
+    /// [`TxnTable::is_empty`] is the shard-locked exact check.
+    fn any_active(&self) -> bool {
+        self.count.load(Ordering::Relaxed) != 0
     }
 
     fn is_empty(&self) -> bool {
@@ -166,6 +193,7 @@ impl TxnTable {
         for s in &self.shards {
             s.lock().clear();
         }
+        self.count.store(0, Ordering::Relaxed);
     }
 }
 
@@ -223,6 +251,8 @@ pub struct Engine {
     /// respects commit order).
     #[allow(clippy::type_complexity)]
     stamp_queue: Mutex<VecDeque<(TxnId, Timestamp, Vec<(RelId, Vec<u8>)>)>>,
+    /// Lock-free mirror of `stamp_queue.len()` for [`EngineStats`].
+    stamp_queue_depth: AtomicUsize,
     /// Serializes stampers (checkpoint drains vs incremental drains).
     stamper: Mutex<()>,
     /// Group-commit coordination (sequencing, leader flush, finalize order).
@@ -307,6 +337,7 @@ impl Engine {
             txns: TxnTable::new(),
             commit_times: RwLock::new(HashMap::new()),
             stamp_queue: Mutex::new(VecDeque::new()),
+            stamp_queue_depth: AtomicUsize::new(0),
             stamper: Mutex::new(()),
             pipeline: CommitPipeline::new(),
             next_txn: AtomicU64::new(next_txn),
@@ -534,12 +565,16 @@ impl Engine {
         })?;
 
         // Phase 2: group durability (or the per-commit-flush baseline).
+        // "Other transactions are open" is the contention hint that lets an
+        // uncontended leader skip the batch-formation stall (our own txn was
+        // already removed from the table above, so the count is only peers).
         let durable = if self.cfg.group_commit {
             self.pipeline.wait_durable(
                 &self.wal,
                 lsn,
                 self.cfg.flush_interval_us,
                 self.cfg.group_size,
+                self.txns.any_active(),
             )
         } else {
             self.wal.flush()
@@ -552,6 +587,7 @@ impl Engine {
             durable?;
             self.commit_times.write().insert(txn, t);
             self.stamp_queue.lock().push_back((txn, t, state.writes));
+            self.stamp_queue_depth.fetch_add(1, Ordering::Relaxed);
             self.commits.fetch_add(1, Ordering::Relaxed);
             if let Some(h) = self.hooks.read().clone() {
                 h.on_commit(txn, t)?;
@@ -796,6 +832,7 @@ impl Engine {
             let Some((txn, t, writes)) = self.stamp_queue.lock().pop_front() else {
                 break;
             };
+            self.stamp_queue_depth.fetch_sub(1, Ordering::Relaxed);
             drained += 1;
             let mut seen: Vec<(RelId, &[u8])> = Vec::new();
             for (rel, key) in &writes {
@@ -816,9 +853,15 @@ impl Engine {
     }
 
     /// Current lazy-timestamping queue length (bounded-queue regression
-    /// tests and [`EngineStats`]).
+    /// tests and [`EngineStats`]); lock-free.
     pub fn stamp_queue_len(&self) -> usize {
-        self.stamp_queue.lock().len()
+        self.stamp_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Transactions currently in flight; lock-free (the service layer polls
+    /// this from admission control and the metrics scraper).
+    pub fn active_txn_count(&self) -> u64 {
+        self.txns.len()
     }
 
     /// Flushes every page dirty since `cutoff` (the regret-interval sweep).
@@ -860,6 +903,7 @@ impl Engine {
         self.txns.clear();
         self.commit_times.write().clear();
         self.stamp_queue.lock().clear();
+        self.stamp_queue_depth.store(0, Ordering::Relaxed);
         self.trees.write().clear();
     }
 
@@ -915,7 +959,10 @@ impl Engine {
         Ok((leaves, hist, inner))
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics. Every counter here is backed by an atomic (or
+    /// the WAL/disk managers' own internal counters), so a metrics scraper
+    /// can call this concurrently with committers without touching any of
+    /// the engine's map or queue locks.
     pub fn stats(&self) -> EngineStats {
         let buffer = self.pool.stats();
         let (batches, txns) = self.pipeline.counters();
@@ -929,7 +976,8 @@ impl Engine {
             group_commit_batches: batches,
             group_commit_txns: txns,
             fsyncs_saved: txns.saturating_sub(batches),
-            stamp_queue_len: self.stamp_queue.lock().len(),
+            stamp_queue_len: self.stamp_queue_depth.load(Ordering::Relaxed),
+            active_txns: self.txns.len(),
         }
     }
 

@@ -1,0 +1,172 @@
+//! A minimal HTTP/1.1 scrape endpoint for a [`Registry`].
+//!
+//! Serves `GET /metrics` with `text/plain; version=0.0.4` (the Prometheus
+//! text format content type); anything else gets 404. One thread accepts
+//! and handles connections serially — a scrape endpoint sees one poller
+//! every few seconds, not load. `Connection: close` on every response
+//! keeps the loop allocation-free of keep-alive state.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ccdb_common::{Error, Result};
+
+use crate::registry::Registry;
+
+/// A running scrape endpoint. Dropping it stops the accept loop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
+    /// `registry` until dropped.
+    pub fn start(addr: &str, registry: Arc<Registry>) -> Result<MetricsServer> {
+        let listener = TcpListener::bind(addr).map_err(|e| Error::io("metrics: bind ", e))?;
+        let addr = listener.local_addr().map_err(|e| Error::io("metrics: local_addr", e))?;
+        // A short accept timeout lets the loop poll the stop flag; the
+        // listener itself stays blocking for the actual request I/O.
+        listener.set_nonblocking(true).map_err(|e| Error::io("metrics: nonblocking", e))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("ccdb-metrics".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = serve_one(stream, &registry);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })
+            .map_err(|e| Error::io("metrics: spawn", e))?;
+        Ok(MetricsServer { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_one(stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers until the blank line; we never need them.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut stream = stream;
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method == "GET" && (path == "/metrics" || path == "/metrics/") {
+        let body = registry.render();
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else {
+        let body = "not found\n";
+        write!(
+            stream,
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    }
+    stream.flush()
+}
+
+/// Fetches `path` from an HTTP/1.1 server at `addr` and returns
+/// `(status_code, body)`. Test/bench helper — also used by the CI smoke job
+/// so the workspace needs no external HTTP client.
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| Error::io("metrics: connect ", e))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| Error::io("metrics: timeout", e))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: ccdb\r\nConnection: close\r\n\r\n")
+        .map_err(|e| Error::io("metrics: send", e))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).map_err(|e| Error::io("metrics: read status", e))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::Invalid(format!("metrics: bad status line {status_line:?}")))?;
+    let mut body_started = false;
+    let mut body = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| Error::io("metrics: read", e))?;
+        if n == 0 {
+            break;
+        }
+        if body_started {
+            body.push_str(&line);
+        } else if line == "\r\n" || line == "\n" {
+            body_started = true;
+        }
+    }
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrape_roundtrip() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("up_total", "liveness").add(1);
+        let server = MetricsServer::start("127.0.0.1:0", registry.clone()).unwrap();
+        let (status, body) = http_get(server.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE up_total counter"));
+        assert!(body.contains("up_total 1"));
+        let (status, _) = http_get(server.addr(), "/other").unwrap();
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn scrapes_observe_live_updates() {
+        let registry = Arc::new(Registry::new());
+        let c = registry.counter("n_total", "n");
+        let server = MetricsServer::start("127.0.0.1:0", registry.clone()).unwrap();
+        c.add(41);
+        let (_, body) = http_get(server.addr(), "/metrics").unwrap();
+        assert!(body.contains("n_total 41"), "{body}");
+        c.inc();
+        let (_, body) = http_get(server.addr(), "/metrics").unwrap();
+        assert!(body.contains("n_total 42"), "{body}");
+    }
+}

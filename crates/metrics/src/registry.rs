@@ -1,0 +1,297 @@
+//! The metric registry and Prometheus text rendering.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ccdb_common::sync::Mutex;
+
+/// A monotonically increasing counter (`TYPE counter`). Cheap to clone;
+/// clones share the cell.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge (`TYPE gauge`): a value that can go up and down. Stored as an
+/// `i64` so `set`/`add`/`sub` stay atomic; rendered as an integer.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One sample emitted by a collector: label set + value. Values are `f64`
+/// on the wire (Prometheus has no integer type); integer counters convert
+/// losslessly up to 2^53.
+pub struct Sample {
+    /// `(label, value)` pairs, e.g. `[("tenant", "alpha")]`. Empty for an
+    /// unlabelled metric.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// An unlabelled sample.
+    pub fn value(v: f64) -> Sample {
+        Sample { labels: Vec::new(), value: v }
+    }
+
+    /// A sample with one label.
+    pub fn labelled(label: &str, label_value: &str, v: f64) -> Sample {
+        Sample { labels: vec![(label.to_string(), label_value.to_string())], value: v }
+    }
+}
+
+/// Metric kind for the `# TYPE` header.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+        }
+    }
+}
+
+type CollectorFn = dyn Fn() -> Vec<Sample> + Send + Sync;
+
+enum Source {
+    Counter(Counter),
+    Gauge(Gauge),
+    Collector(Box<CollectorFn>),
+}
+
+struct Metric {
+    help: String,
+    kind: Kind,
+    source: Source,
+}
+
+/// A named collection of metrics, rendered in Prometheus text format.
+///
+/// Registration order is not significant: metrics render sorted by name so
+/// scrapes are deterministic (and diffable in tests).
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or returns the existing) counter `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut m = self.metrics.lock();
+        if let Some(metric) = m.get(name) {
+            if let Source::Counter(c) = &metric.source {
+                return c.clone();
+            }
+        }
+        let c = Counter::default();
+        m.insert(
+            name.to_string(),
+            Metric {
+                help: help.to_string(),
+                kind: Kind::Counter,
+                source: Source::Counter(c.clone()),
+            },
+        );
+        c
+    }
+
+    /// Registers (or returns the existing) gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut m = self.metrics.lock();
+        if let Some(metric) = m.get(name) {
+            if let Source::Gauge(g) = &metric.source {
+                return g.clone();
+            }
+        }
+        let g = Gauge::default();
+        m.insert(
+            name.to_string(),
+            Metric { help: help.to_string(), kind: Kind::Gauge, source: Source::Gauge(g.clone()) },
+        );
+        g
+    }
+
+    /// Registers a counter whose samples are pulled from `f` at scrape time
+    /// (for counters maintained elsewhere, e.g. `EngineStats`). `f` may
+    /// return multiple samples with distinct label sets under one name.
+    pub fn collector_counter(
+        &self,
+        name: &str,
+        help: &str,
+        f: impl Fn() -> Vec<Sample> + Send + Sync + 'static,
+    ) {
+        self.metrics.lock().insert(
+            name.to_string(),
+            Metric {
+                help: help.to_string(),
+                kind: Kind::Counter,
+                source: Source::Collector(Box::new(f)),
+            },
+        );
+    }
+
+    /// Registers a gauge-kind collector (see [`Registry::collector_counter`]).
+    pub fn collector_gauge(
+        &self,
+        name: &str,
+        help: &str,
+        f: impl Fn() -> Vec<Sample> + Send + Sync + 'static,
+    ) {
+        self.metrics.lock().insert(
+            name.to_string(),
+            Metric {
+                help: help.to_string(),
+                kind: Kind::Gauge,
+                source: Source::Collector(Box::new(f)),
+            },
+        );
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let metrics = self.metrics.lock();
+        for (name, metric) in metrics.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&metric.help));
+            let _ = writeln!(out, "# TYPE {name} {}", metric.kind.as_str());
+            let samples = match &metric.source {
+                Source::Counter(c) => vec![Sample::value(c.get() as f64)],
+                Source::Gauge(g) => vec![Sample::value(g.get() as f64)],
+                Source::Collector(f) => f(),
+            };
+            for s in samples {
+                if s.labels.is_empty() {
+                    let _ = writeln!(out, "{name} {}", fmt_value(s.value));
+                } else {
+                    let labels = s
+                        .labels
+                        .iter()
+                        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let _ = writeln!(out, "{name}{{{labels}}} {}", fmt_value(s.value));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Prometheus renders integers without a fractional part; everything else
+/// uses shortest-roundtrip `f64` formatting.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_gauges_and_collectors_sorted() {
+        let r = Registry::new();
+        let c = r.counter("ccdb_commits_total", "Transactions committed.");
+        c.add(3);
+        let g = r.gauge("ccdb_active_sessions", "Open sessions.");
+        g.set(2);
+        r.collector_counter("ccdb_tenant_commits_total", "Commits per tenant.", || {
+            vec![Sample::labelled("tenant", "alpha", 5.0), Sample::labelled("tenant", "beta", 7.0)]
+        });
+        let text = r.render();
+        let expected = "\
+# HELP ccdb_active_sessions Open sessions.
+# TYPE ccdb_active_sessions gauge
+ccdb_active_sessions 2
+# HELP ccdb_commits_total Transactions committed.
+# TYPE ccdb_commits_total counter
+ccdb_commits_total 3
+# HELP ccdb_tenant_commits_total Commits per tenant.
+# TYPE ccdb_tenant_commits_total counter
+ccdb_tenant_commits_total{tenant=\"alpha\"} 5
+ccdb_tenant_commits_total{tenant=\"beta\"} 7
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn re_registering_returns_the_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x");
+        let b = r.counter("x_total", "x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.collector_gauge("g", "a \"quoted\" help\nline", || {
+            vec![Sample::labelled("k", "a\"b\\c", 1.5)]
+        });
+        let text = r.render();
+        assert!(text.contains("# HELP g a \"quoted\" help\\nline"));
+        assert!(text.contains("g{k=\"a\\\"b\\\\c\"} 1.5"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Blocking client: one framed connection per [`Client`], plus a
+//! fixed-size [`ClientPool`] that checks connections out to worker threads
+//! and discards broken ones instead of returning them.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ccdb_common::sync::{Condvar, Mutex};
+use ccdb_common::{Error, RelId, Result, Timestamp, TxnId};
+
+use crate::proto::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+
+/// A single framed connection bound to one tenant.
+pub struct Client {
+    stream: TcpStream,
+    tenant: String,
+}
+
+impl Client {
+    /// Connects and performs the `Hello` handshake, binding the session to
+    /// `tenant` (created server-side on first use).
+    pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(|e| Error::io("rpc: connect", e))?;
+        stream.set_nodelay(true).map_err(|e| Error::io("rpc: nodelay", e))?;
+        let mut client = Client { stream, tenant: tenant.to_string() };
+        match client
+            .call(Request::Hello { version: PROTOCOL_VERSION, tenant: tenant.to_string() })?
+        {
+            Response::Ok => Ok(client),
+            other => Err(Error::Invalid(format!("rpc: unexpected hello response {other:?}"))),
+        }
+    }
+
+    /// The tenant this session is bound to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Sets the per-call read timeout (`None` = block forever).
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout).map_err(|e| Error::io("rpc: timeout", e))
+    }
+
+    /// Sends one request and reads one response. A transport-level failure
+    /// leaves the connection unusable (the caller should drop it).
+    pub fn call(&mut self, req: Request) -> Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| Error::Invalid("rpc: server closed the connection".into()))?;
+        Response::decode(&payload)
+    }
+
+    /// Like [`Client::call`] but converts `Response::Err` into `Err(..)`.
+    fn call_ok(&mut self, req: Request) -> Result<Response> {
+        match self.call(req)? {
+            Response::Err { code, msg } => Err(code.to_error(&msg)),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call_ok(Request::Ping)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("ping", &other)),
+        }
+    }
+
+    /// Begins a transaction. Fails with the admission-rejected error when
+    /// the server's in-flight bound is reached.
+    pub fn begin(&mut self) -> Result<TxnId> {
+        match self.call_ok(Request::Begin)? {
+            Response::TxnBegun { txn } => Ok(txn),
+            other => Err(unexpected("begin", &other)),
+        }
+    }
+
+    /// Writes `key` → `value` in `rel` under `txn`.
+    pub fn write(&mut self, txn: TxnId, rel: RelId, key: &[u8], value: &[u8]) -> Result<()> {
+        let req = Request::Write { txn, rel, key: key.to_vec(), value: value.to_vec() };
+        match self.call_ok(req)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("write", &other)),
+        }
+    }
+
+    /// Deletes `key` in `rel` under `txn`.
+    pub fn delete(&mut self, txn: TxnId, rel: RelId, key: &[u8]) -> Result<()> {
+        match self.call_ok(Request::Delete { txn, rel, key: key.to_vec() })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("delete", &other)),
+        }
+    }
+
+    /// Reads `key` in `rel` as of `txn`'s snapshot.
+    pub fn read(&mut self, txn: TxnId, rel: RelId, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.call_ok(Request::Read { txn, rel, key: key.to_vec() })? {
+            Response::Value { value } => Ok(value),
+            other => Err(unexpected("read", &other)),
+        }
+    }
+
+    /// Commits `txn`, returning its commit timestamp.
+    pub fn commit(&mut self, txn: TxnId) -> Result<Timestamp> {
+        match self.call_ok(Request::Commit { txn })? {
+            Response::Committed { commit_time } => Ok(commit_time),
+            other => Err(unexpected("commit", &other)),
+        }
+    }
+
+    /// Aborts `txn`.
+    pub fn abort(&mut self, txn: TxnId) -> Result<()> {
+        match self.call_ok(Request::Abort { txn })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("abort", &other)),
+        }
+    }
+
+    /// Creates (or opens) relation `name` with key-only splits.
+    pub fn create_relation(&mut self, name: &str) -> Result<RelId> {
+        let req =
+            Request::CreateRelation { name: name.to_string(), time_split_threshold: f64::NAN };
+        match self.call_ok(req)? {
+            Response::Rel { rel } => Ok(rel),
+            other => Err(unexpected("create_relation", &other)),
+        }
+    }
+
+    /// Resolves relation `name`.
+    pub fn rel_id(&mut self, name: &str) -> Result<RelId> {
+        match self.call_ok(Request::RelId { name: name.to_string() })? {
+            Response::Rel { rel } => Ok(rel),
+            other => Err(unexpected("rel_id", &other)),
+        }
+    }
+
+    /// Sets relation `name`'s retention period (µs) under `txn`.
+    pub fn set_retention(&mut self, txn: TxnId, name: &str, period_us: u64) -> Result<()> {
+        let req = Request::SetRetention { txn, name: name.to_string(), period_us };
+        match self.call_ok(req)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("set_retention", &other)),
+        }
+    }
+
+    /// Audits this session's tenant; returns `(clean, violations)`.
+    pub fn audit(&mut self, serial: bool) -> Result<(bool, u32)> {
+        match self.call_ok(Request::Audit { serial })? {
+            Response::AuditDone { clean, violations, .. } => Ok((clean, violations)),
+            other => Err(unexpected("audit", &other)),
+        }
+    }
+
+    /// Migrates expired tuples of `rel` to WORM; returns the tuple count.
+    pub fn migrate(&mut self, rel: RelId) -> Result<u64> {
+        match self.call_ok(Request::Migrate { rel })? {
+            Response::Migrated { tuples } => Ok(tuples),
+            other => Err(unexpected("migrate", &other)),
+        }
+    }
+
+    /// Tenant-scoped engine counters.
+    pub fn stats(&mut self) -> Result<Response> {
+        match self.call_ok(Request::Stats)? {
+            s @ Response::Stats { .. } => Ok(s),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+}
+
+fn unexpected(op: &str, resp: &Response) -> Error {
+    Error::Invalid(format!("rpc: unexpected {op} response {resp:?}"))
+}
+
+/// Whether an error is the server's typed admission rejection.
+pub fn is_admission_rejected(e: &Error) -> bool {
+    matches!(e, Error::Invalid(msg) if msg.starts_with("admission rejected"))
+}
+
+struct PoolState {
+    idle: Vec<Client>,
+    /// Connections checked out or idle; bounds total connections.
+    live: usize,
+}
+
+/// A fixed-capacity connection pool for one `(addr, tenant)` pair.
+///
+/// [`ClientPool::get`] returns an idle connection or dials a new one while
+/// under capacity, and blocks when the pool is exhausted. The returned
+/// [`PooledClient`] checks itself back in on drop — unless the caller
+/// marked it broken ([`PooledClient::discard`]), in which case the slot is
+/// freed and the next `get` dials fresh.
+pub struct ClientPool {
+    addr: String,
+    tenant: String,
+    capacity: usize,
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+impl ClientPool {
+    /// A pool of up to `capacity` connections to `addr`, all bound to
+    /// `tenant`. Dialing is lazy.
+    pub fn new(addr: &str, tenant: &str, capacity: usize) -> Arc<ClientPool> {
+        Arc::new(ClientPool {
+            addr: addr.to_string(),
+            tenant: tenant.to_string(),
+            capacity: capacity.max(1),
+            state: Mutex::new(PoolState { idle: Vec::new(), live: 0 }),
+            available: Condvar::new(),
+        })
+    }
+
+    /// Checks out a connection, dialing if under capacity, blocking if not.
+    pub fn get(self: &Arc<ClientPool>) -> Result<PooledClient> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(client) = st.idle.pop() {
+                return Ok(PooledClient { pool: self.clone(), client: Some(client) });
+            }
+            if st.live < self.capacity {
+                st.live += 1;
+                drop(st);
+                // Dial outside the lock; on failure release the slot.
+                match Client::connect(&self.addr, &self.tenant) {
+                    Ok(client) => {
+                        return Ok(PooledClient { pool: self.clone(), client: Some(client) })
+                    }
+                    Err(e) => {
+                        let mut st = self.state.lock();
+                        st.live -= 1;
+                        drop(st);
+                        self.available.notify_one();
+                        return Err(e);
+                    }
+                }
+            }
+            st = self.available.wait(st);
+        }
+    }
+
+    /// (idle, live) connection counts.
+    pub fn counts(&self) -> (usize, usize) {
+        let st = self.state.lock();
+        (st.idle.len(), st.live)
+    }
+
+    fn check_in(&self, client: Option<Client>) {
+        let mut st = self.state.lock();
+        match client {
+            Some(c) => st.idle.push(c),
+            None => st.live -= 1,
+        }
+        drop(st);
+        self.available.notify_one();
+    }
+}
+
+/// A checked-out connection; returns to the pool on drop.
+pub struct PooledClient {
+    pool: Arc<ClientPool>,
+    client: Option<Client>,
+}
+
+impl PooledClient {
+    /// Marks the connection broken: dropped instead of returned, freeing
+    /// the slot for a fresh dial.
+    pub fn discard(mut self) {
+        self.client = None;
+        // Drop runs next and checks in `None`.
+    }
+}
+
+impl std::ops::Deref for PooledClient {
+    type Target = Client;
+    fn deref(&self) -> &Client {
+        self.client.as_ref().expect("client present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledClient {
+    fn deref_mut(&mut self) -> &mut Client {
+        self.client.as_mut().expect("client present until drop")
+    }
+}
+
+impl Drop for PooledClient {
+    fn drop(&mut self) {
+        self.pool.check_in(self.client.take());
+    }
+}

@@ -1,0 +1,571 @@
+//! The multi-tenant compliant-DB service: TCP front-end, session table,
+//! admission control, and metrics, assembled around a
+//! [`TenantRegistry`].
+//!
+//! # Shape
+//!
+//! One process hosts many tenants. Each tenant is a full [`CompliantDb`]
+//! (own engine, catalog, retention, compliance-log namespace on the shared
+//! WORM volume — see `ccdb_core::tenant`); the server contributes what the
+//! embedded library cannot: a wire boundary (`ccdb_rpc`), per-session
+//! transaction ownership with idle reaping (`session`), a global bound on
+//! in-flight transactions (admission control — backpressure instead of
+//! unbounded queueing), and a Prometheus scrape endpoint (`ccdb_metrics`).
+//!
+//! Threading is deliberately boring: one accept loop, one OS thread per
+//! connection (sessions are long-lived and the engine's own locking is the
+//! concurrency story), one reaper thread, one metrics thread.
+
+pub mod session;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+use ccdb_btree::SplitPolicy;
+use ccdb_common::{ClockRef, Duration, Error, Result, TxnId};
+use ccdb_core::db::{ComplianceConfig, CompliantDb};
+use ccdb_core::tenant::TenantRegistry;
+use ccdb_metrics::{MetricsServer, Registry, Sample};
+use ccdb_rpc::proto::{read_frame, write_frame, ErrorCode, Request, Response, PROTOCOL_VERSION};
+
+pub use session::SessionTable;
+
+/// Service configuration.
+pub struct ServerConfig {
+    /// Data directory (tenants under `dir/tenants`, WORM under `dir/worm`).
+    pub dir: PathBuf,
+    /// RPC listen address, e.g. `"127.0.0.1:4999"` (port 0 = ephemeral).
+    pub addr: String,
+    /// Metrics listen address; `None` disables the endpoint.
+    pub metrics_addr: Option<String>,
+    /// Compliance configuration applied to every tenant.
+    pub compliance: ComplianceConfig,
+    /// Global bound on in-flight transactions across all sessions; `Begin`
+    /// past the bound gets the typed admission-rejected error.
+    pub max_inflight_txns: u64,
+    /// Sessions idle longer than this are reaped (their sockets shut down,
+    /// their open transactions aborted).
+    pub idle_timeout: StdDuration,
+    /// How often the reaper scans.
+    pub reap_interval: StdDuration,
+}
+
+impl ServerConfig {
+    /// Defaults: ephemeral loopback port, metrics off, 256 in-flight
+    /// transactions, 5-minute idle timeout.
+    pub fn new(dir: impl Into<PathBuf>, compliance: ComplianceConfig) -> ServerConfig {
+        ServerConfig {
+            dir: dir.into(),
+            addr: "127.0.0.1:0".to_string(),
+            metrics_addr: None,
+            compliance,
+            max_inflight_txns: 256,
+            idle_timeout: StdDuration::from_secs(300),
+            reap_interval: StdDuration::from_millis(500),
+        }
+    }
+}
+
+/// Shared server state.
+struct Inner {
+    tenants: TenantRegistry,
+    sessions: SessionTable,
+    /// Transactions begun and not yet resolved, across all sessions.
+    inflight: AtomicU64,
+    max_inflight: u64,
+    /// `Begin` requests bounced by admission control.
+    rejections: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Inner {
+    /// Takes an admission slot, or returns the typed rejection.
+    fn admit(&self) -> std::result::Result<(), Response> {
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max_inflight {
+                self.rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(Response::Err {
+                    code: ErrorCode::AdmissionRejected,
+                    msg: format!("{} transactions in flight (bound {})", cur, self.max_inflight),
+                });
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A running server. Dropping it stops the accept loop, shuts every
+/// session down, and joins all service threads.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    metrics: Option<MetricsServer>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    reaper_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Opens the tenant registry under `config.dir` and starts serving.
+    pub fn start(config: ServerConfig, clock: ClockRef) -> Result<Server> {
+        let tenants = TenantRegistry::open(&config.dir, clock, config.compliance.clone())?;
+        let inner = Arc::new(Inner {
+            tenants,
+            sessions: SessionTable::new(),
+            inflight: AtomicU64::new(0),
+            max_inflight: config.max_inflight_txns.max(1),
+            rejections: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+
+        let registry = Arc::new(Registry::new());
+        register_metrics(&registry, &inner);
+        let metrics = match &config.metrics_addr {
+            Some(addr) => Some(MetricsServer::start(addr, registry.clone())?),
+            None => None,
+        };
+
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| Error::io(format!("server: bind {}", config.addr), e))?;
+        let addr = listener.local_addr().map_err(|e| Error::io("server: local_addr", e))?;
+        listener.set_nonblocking(true).map_err(|e| Error::io("server: nonblocking", e))?;
+
+        let accept_inner = inner.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("ccdb-accept".into())
+            .spawn(move || {
+                while !accept_inner.stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let conn_inner = accept_inner.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("ccdb-conn".into())
+                                .spawn(move || serve_conn(conn_inner, stream));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(StdDuration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(StdDuration::from_millis(5)),
+                    }
+                }
+            })
+            .map_err(|e| Error::io("server: spawn accept", e))?;
+
+        let reaper_inner = inner.clone();
+        let (idle, interval) = (config.idle_timeout, config.reap_interval);
+        let reaper_thread = std::thread::Builder::new()
+            .name("ccdb-reaper".into())
+            .spawn(move || {
+                while !reaper_inner.stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    reaper_inner.sessions.reap_idle(idle);
+                }
+            })
+            .map_err(|e| Error::io("server: spawn reaper", e))?;
+
+        Ok(Server {
+            inner,
+            addr,
+            registry,
+            metrics,
+            accept_thread: Some(accept_thread),
+            reaper_thread: Some(reaper_thread),
+        })
+    }
+
+    /// The RPC listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The metrics listen address, when enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|m| m.addr())
+    }
+
+    /// The metrics registry (for in-process scraping in tests).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The tenant registry.
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.inner.tenants
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.inner.sessions.len()
+    }
+
+    /// In-flight transaction count (admission view).
+    pub fn inflight_txns(&self) -> u64 {
+        self.inner.inflight.load(Ordering::Relaxed)
+    }
+
+    /// `Begin` requests bounced by admission control.
+    pub fn admission_rejections(&self) -> u64 {
+        self.inner.rejections.load(Ordering::Relaxed)
+    }
+
+    /// Sessions reaped for idleness.
+    pub fn sessions_reaped(&self) -> u64 {
+        self.inner.sessions.reaped.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        self.inner.sessions.shutdown_all();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.reaper_thread.take() {
+            let _ = t.join();
+        }
+        // MetricsServer stops in its own Drop.
+    }
+}
+
+/// Registers the service + per-tenant engine counters on `registry`.
+/// Everything here reads lock-free counters (or per-tenant `EngineStats`,
+/// itself built from atomics), so scrapes never contend with committers.
+fn register_metrics(registry: &Arc<Registry>, inner: &Arc<Inner>) {
+    let i = inner.clone();
+    registry.collector_gauge("ccdb_active_sessions", "Live RPC sessions.", move || {
+        vec![Sample::value(i.sessions.len() as f64)]
+    });
+    let i = inner.clone();
+    registry.collector_gauge(
+        "ccdb_inflight_txns",
+        "Transactions begun and not yet resolved (admission view).",
+        move || vec![Sample::value(i.inflight.load(Ordering::Relaxed) as f64)],
+    );
+    let i = inner.clone();
+    registry.collector_counter(
+        "ccdb_admission_rejections_total",
+        "Begin requests bounced by admission control.",
+        move || vec![Sample::value(i.rejections.load(Ordering::Relaxed) as f64)],
+    );
+    let i = inner.clone();
+    registry.collector_counter(
+        "ccdb_sessions_reaped_total",
+        "Sessions reaped for idleness.",
+        move || vec![Sample::value(i.sessions.reaped.load(Ordering::Relaxed) as f64)],
+    );
+    let i = inner.clone();
+    registry.collector_counter(
+        "ccdb_commits_total",
+        "Transactions committed, per tenant.",
+        move || per_tenant(&i, |db| db.engine().stats().commits as f64),
+    );
+    let i = inner.clone();
+    registry.collector_counter(
+        "ccdb_aborts_total",
+        "Transactions aborted, per tenant.",
+        move || per_tenant(&i, |db| db.engine().stats().aborts as f64),
+    );
+    let i = inner.clone();
+    registry.collector_counter(
+        "ccdb_group_commit_batches_total",
+        "Group-commit batches flushed (one fsync each), per tenant.",
+        move || per_tenant(&i, |db| db.engine().stats().group_commit_batches as f64),
+    );
+    let i = inner.clone();
+    registry.collector_counter(
+        "ccdb_fsyncs_saved_total",
+        "Fsyncs avoided by group-commit batching, per tenant.",
+        move || per_tenant(&i, |db| db.engine().stats().fsyncs_saved as f64),
+    );
+    let i = inner.clone();
+    registry.collector_gauge(
+        "ccdb_buffer_hit_rate",
+        "Buffer-pool hit rate, per tenant.",
+        move || per_tenant(&i, |db| db.engine().stats().buffer_hit_rate),
+    );
+    let i = inner.clone();
+    registry.collector_gauge("ccdb_wal_bytes", "WAL length in bytes, per tenant.", move || {
+        per_tenant(&i, |db| db.engine().stats().wal_bytes as f64)
+    });
+    let i = inner.clone();
+    registry.collector_gauge(
+        "ccdb_stamp_queue_len",
+        "Lazy-timestamping queue depth, per tenant.",
+        move || per_tenant(&i, |db| db.engine().stats().stamp_queue_len as f64),
+    );
+    let i = inner.clone();
+    registry.collector_gauge(
+        "ccdb_audit_epoch",
+        "Completed audit epochs, per tenant.",
+        move || per_tenant(&i, |db| db.epoch() as f64),
+    );
+    let i = inner.clone();
+    registry.collector_counter(
+        "ccdb_l_records_total",
+        "Compliance-log records appended this epoch, per tenant (audit lag proxy).",
+        move || {
+            per_tenant(&i, |db| {
+                db.plugin().map(|p| p.logger().records_appended() as f64).unwrap_or(0.0)
+            })
+        },
+    );
+}
+
+fn per_tenant(inner: &Inner, f: impl Fn(&CompliantDb) -> f64) -> Vec<Sample> {
+    inner
+        .tenants
+        .names()
+        .into_iter()
+        .filter_map(|name| {
+            inner.tenants.tenant(&name).map(|db| Sample::labelled("tenant", &name, f(&db)))
+        })
+        .collect()
+}
+
+/// Per-connection state once `Hello` has bound a tenant.
+struct Session {
+    id: u64,
+    db: Arc<CompliantDb>,
+}
+
+/// The connection loop: `Hello` handshake, then request/response until
+/// disconnect (clean, error, or reaper-initiated). All cleanup — aborting
+/// the session's open transactions, releasing admission slots,
+/// deregistering — happens here, in exactly one place.
+fn serve_conn(inner: Arc<Inner>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut session: Option<Session> = None;
+    // The read stops on clean EOF or a dead socket (peer gone / reaper
+    // shutdown) — either way the cleanup below runs.
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        let req = match Request::decode(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                // Undecodable frame: answer if possible, then drop the
+                // connection (framing state is unknown).
+                let resp =
+                    Response::Err { code: ErrorCode::Invalid, msg: format!("bad request: {e}") };
+                let _ = write_frame(&mut stream, &resp.encode());
+                break;
+            }
+        };
+        let resp = dispatch(&inner, &mut session, &stream, req);
+        if let Some(s) = &session {
+            inner.sessions.touch(s.id);
+        }
+        if write_frame(&mut stream, &resp.encode()).is_err() {
+            break;
+        }
+    }
+    // The single cleanup path.
+    if let Some(s) = session {
+        if let Some((_tenant, txns)) = inner.sessions.deregister(s.id) {
+            for txn in txns {
+                let _ = s.db.abort(txn);
+                inner.release();
+            }
+        }
+    }
+}
+
+fn err_of(e: Error) -> Response {
+    Response::Err { code: ErrorCode::from_error(&e), msg: e.to_string() }
+}
+
+fn dispatch(
+    inner: &Arc<Inner>,
+    session: &mut Option<Session>,
+    stream: &TcpStream,
+    req: Request,
+) -> Response {
+    // Hello is the only request valid without a session.
+    if let Request::Hello { version, tenant } = &req {
+        if *version != PROTOCOL_VERSION {
+            return Response::Err {
+                code: ErrorCode::Invalid,
+                msg: format!(
+                    "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+                ),
+            };
+        }
+        if session.is_some() {
+            return Response::Err {
+                code: ErrorCode::Invalid,
+                msg: "session already bound".to_string(),
+            };
+        }
+        let db = match inner.tenants.create_or_open(tenant) {
+            Ok(db) => db,
+            Err(e) => return err_of(e),
+        };
+        let reaper_handle = match stream.try_clone() {
+            Ok(s) => s,
+            Err(e) => return err_of(Error::io("server: clone session socket", e)),
+        };
+        let id = inner.sessions.register(tenant, reaper_handle);
+        *session = Some(Session { id, db });
+        return Response::Ok;
+    }
+    let Some(s) = session.as_ref() else {
+        return Response::Err {
+            code: ErrorCode::NoSession,
+            msg: "Hello required before any other request".to_string(),
+        };
+    };
+
+    // Transaction-handle requests must use a handle this session owns:
+    // sessions cannot observe or resolve each other's transactions.
+    let owns = |txn: TxnId| -> Option<Response> {
+        if inner.sessions.owns_txn(s.id, txn) {
+            None
+        } else {
+            Some(Response::Err {
+                code: ErrorCode::InvalidTransaction,
+                msg: format!("{txn:?} is not owned by this session"),
+            })
+        }
+    };
+
+    match req {
+        Request::Hello { .. } => unreachable!("handled above"),
+        Request::Ping => Response::Ok,
+        Request::Begin => {
+            if let Err(rejection) = inner.admit() {
+                return rejection;
+            }
+            match s.db.begin() {
+                Ok(txn) => {
+                    inner.sessions.track_txn(s.id, txn);
+                    Response::TxnBegun { txn }
+                }
+                Err(e) => {
+                    inner.release();
+                    err_of(e)
+                }
+            }
+        }
+        Request::Write { txn, rel, key, value } => {
+            owns(txn).unwrap_or_else(|| match s.db.write(txn, rel, &key, &value) {
+                Ok(()) => Response::Ok,
+                Err(e) => err_of(e),
+            })
+        }
+        Request::Delete { txn, rel, key } => {
+            owns(txn).unwrap_or_else(|| match s.db.delete(txn, rel, &key) {
+                Ok(()) => Response::Ok,
+                Err(e) => err_of(e),
+            })
+        }
+        Request::Read { txn, rel, key } => {
+            owns(txn).unwrap_or_else(|| match s.db.read(txn, rel, &key) {
+                Ok(value) => Response::Value { value },
+                Err(e) => err_of(e),
+            })
+        }
+        Request::Commit { txn } => owns(txn).unwrap_or_else(|| {
+            // Commit consumes the handle even on failure (the engine
+            // removes the transaction state on entry), so the admission
+            // slot and ownership entry are released unconditionally.
+            let result = s.db.commit(txn);
+            inner.sessions.untrack_txn(s.id, txn);
+            inner.release();
+            match result {
+                Ok(commit_time) => Response::Committed { commit_time },
+                Err(e) => err_of(e),
+            }
+        }),
+        Request::Abort { txn } => owns(txn).unwrap_or_else(|| {
+            let result = s.db.abort(txn);
+            inner.sessions.untrack_txn(s.id, txn);
+            inner.release();
+            match result {
+                Ok(()) => Response::Ok,
+                Err(e) => err_of(e),
+            }
+        }),
+        Request::CreateRelation { name, time_split_threshold } => {
+            let policy = if time_split_threshold.is_nan() {
+                SplitPolicy::KeyOnly
+            } else {
+                SplitPolicy::TimeSplit { threshold: time_split_threshold }
+            };
+            match s.db.engine().rel_id(&name) {
+                Some(rel) => Response::Rel { rel },
+                None => match s.db.create_relation(&name, policy) {
+                    Ok(rel) => Response::Rel { rel },
+                    Err(e) => err_of(e),
+                },
+            }
+        }
+        Request::RelId { name } => match s.db.engine().rel_id(&name) {
+            Some(rel) => Response::Rel { rel },
+            None => Response::Err { code: ErrorCode::NotFound, msg: format!("relation {name:?}") },
+        },
+        Request::SetRetention { txn, name, period_us } => {
+            owns(txn).unwrap_or_else(|| match s.db.set_retention(txn, &name, Duration(period_us)) {
+                Ok(()) => Response::Ok,
+                Err(e) => err_of(e),
+            })
+        }
+        Request::Audit { serial } => {
+            if serial {
+                // Dry-run with the serial single-pass oracle: verdict only,
+                // no epoch advance (differential checks against the real
+                // audit below).
+                let mut cfg = s.db.audit_config();
+                cfg.serial = true;
+                match s.db.audit_outcome_with(cfg) {
+                    Ok(out) => Response::AuditDone {
+                        clean: out.report.is_clean(),
+                        violations: out.report.violations.len() as u32,
+                        tuples_final: out.report.stats.tuples_final,
+                        records_scanned: out.report.stats.records_scanned,
+                    },
+                    Err(e) => err_of(e),
+                }
+            } else {
+                match s.db.audit() {
+                    Ok(report) => Response::AuditDone {
+                        clean: report.is_clean(),
+                        violations: report.violations.len() as u32,
+                        tuples_final: report.stats.tuples_final,
+                        records_scanned: report.stats.records_scanned,
+                    },
+                    Err(e) => err_of(e),
+                }
+            }
+        }
+        Request::Migrate { rel } => match s.db.migrate_to_worm(rel) {
+            Ok(report) => Response::Migrated { tuples: report.tuples_migrated as u64 },
+            Err(e) => err_of(e),
+        },
+        Request::Stats => {
+            let stats = s.db.engine().stats();
+            Response::Stats {
+                commits: stats.commits,
+                aborts: stats.aborts,
+                active_txns: stats.active_txns,
+                group_commit_batches: stats.group_commit_batches,
+                wal_bytes: stats.wal_bytes,
+                epoch: s.db.epoch(),
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! `ccdb-server`: the multi-tenant compliant-DB service binary.
+//!
+//! ```text
+//! ccdb-server --dir /var/lib/ccdb --addr 127.0.0.1:4999 \
+//!             --metrics-addr 127.0.0.1:9187
+//! ```
+
+use std::sync::Arc;
+
+use ccdb_common::time::SystemClock;
+use ccdb_core::db::{ComplianceConfig, Mode};
+use ccdb_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ccdb-server --dir <path> [--addr <host:port>] \
+         [--metrics-addr <host:port>] [--max-inflight <n>] [--idle-timeout-secs <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut dir: Option<String> = None;
+    let mut addr = "127.0.0.1:4999".to_string();
+    let mut metrics_addr: Option<String> = None;
+    let mut max_inflight: u64 = 256;
+    let mut idle_timeout_secs: u64 = 300;
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| usage_missing(flag));
+        match flag.as_str() {
+            "--dir" => dir = Some(value("--dir")),
+            "--addr" => addr = value("--addr"),
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")),
+            "--max-inflight" => {
+                max_inflight = value("--max-inflight").parse().unwrap_or_else(|_| usage())
+            }
+            "--idle-timeout-secs" => {
+                idle_timeout_secs = value("--idle-timeout-secs").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+
+    let compliance = ComplianceConfig { mode: Mode::LogConsistent, ..ComplianceConfig::default() };
+    let mut config = ServerConfig::new(dir, compliance);
+    config.addr = addr;
+    config.metrics_addr = metrics_addr;
+    config.max_inflight_txns = max_inflight;
+    config.idle_timeout = std::time::Duration::from_secs(idle_timeout_secs);
+
+    let server = match Server::start(config, Arc::new(SystemClock::new())) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ccdb-server: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("ccdb-server listening on {}", server.addr());
+    if let Some(m) = server.metrics_addr() {
+        eprintln!("ccdb-server metrics on http://{m}/metrics");
+    }
+    // Serve until killed; the accept/reaper threads do the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn usage_missing(flag: &str) -> String {
+    eprintln!("ccdb-server: missing value for {flag}");
+    usage()
+}

@@ -1,0 +1,152 @@
+//! The session table: per-connection state, transaction ownership, and
+//! idle-timeout reaping.
+//!
+//! A session is one TCP connection after its `Hello`. It owns every
+//! transaction it begins: only it may operate on those handles, and when
+//! it ends — clean disconnect, error, or reap — its open transactions are
+//! aborted so no handle leaks engine resources or admission slots.
+//!
+//! # Reaping
+//!
+//! The reaper thread never aborts transactions itself: it only calls
+//! `shutdown` on an idle session's socket. The connection thread's
+//! blocking read then fails, and *that* thread runs the one cleanup path
+//! (abort transactions, release admission slots, deregister). One owner
+//! per session means no cleanup races between reaper and connection.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ccdb_common::sync::Mutex;
+use ccdb_common::TxnId;
+
+/// One connection's server-side state.
+struct SessionEntry {
+    tenant: String,
+    /// Transactions begun and not yet committed/aborted by this session.
+    open_txns: Vec<TxnId>,
+    /// Last request time, for idle reaping.
+    last_active: Instant,
+    /// Socket handle the reaper can shut down (never read/written here).
+    stream: TcpStream,
+}
+
+/// All live sessions.
+pub struct SessionTable {
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    next_id: AtomicU64,
+    /// Sessions reaped for idleness (metrics).
+    pub reaped: AtomicU64,
+}
+
+impl SessionTable {
+    pub fn new() -> SessionTable {
+        SessionTable {
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            reaped: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a session bound to `tenant`; returns its id.
+    pub fn register(&self, tenant: &str, stream: TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions.lock().insert(
+            id,
+            SessionEntry {
+                tenant: tenant.to_string(),
+                open_txns: Vec::new(),
+                last_active: Instant::now(),
+                stream,
+            },
+        );
+        id
+    }
+
+    /// Removes the session, returning `(tenant, open transactions)` for the
+    /// caller to abort. Idempotent: a second call returns `None`.
+    pub fn deregister(&self, id: u64) -> Option<(String, Vec<TxnId>)> {
+        self.sessions.lock().remove(&id).map(|e| (e.tenant, e.open_txns))
+    }
+
+    /// Marks activity (called on every request).
+    pub fn touch(&self, id: u64) {
+        if let Some(e) = self.sessions.lock().get_mut(&id) {
+            e.last_active = Instant::now();
+        }
+    }
+
+    /// Records that `txn` is owned by session `id`.
+    pub fn track_txn(&self, id: u64, txn: TxnId) {
+        if let Some(e) = self.sessions.lock().get_mut(&id) {
+            e.open_txns.push(txn);
+        }
+    }
+
+    /// Removes `txn` from session `id`'s open set; `false` if the session
+    /// does not own it (the dispatch layer turns that into a typed error —
+    /// one session cannot commit another's transaction).
+    pub fn untrack_txn(&self, id: u64, txn: TxnId) -> bool {
+        let mut sessions = self.sessions.lock();
+        match sessions.get_mut(&id) {
+            Some(e) => match e.open_txns.iter().position(|t| *t == txn) {
+                Some(i) => {
+                    e.open_txns.swap_remove(i);
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Whether session `id` owns `txn`.
+    pub fn owns_txn(&self, id: u64, txn: TxnId) -> bool {
+        self.sessions.lock().get(&id).map(|e| e.open_txns.contains(&txn)).unwrap_or(false)
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shuts down the socket of every session idle longer than
+    /// `idle_timeout`; returns how many were shut down. The connection
+    /// threads observe the dead socket and run their normal cleanup.
+    pub fn reap_idle(&self, idle_timeout: std::time::Duration) -> usize {
+        let now = Instant::now();
+        let sessions = self.sessions.lock();
+        let mut reaped = 0;
+        for e in sessions.values() {
+            if now.duration_since(e.last_active) >= idle_timeout {
+                let _ = e.stream.shutdown(std::net::Shutdown::Both);
+                reaped += 1;
+            }
+        }
+        drop(sessions);
+        if reaped > 0 {
+            self.reaped.fetch_add(reaped as u64, Ordering::Relaxed);
+        }
+        reaped
+    }
+
+    /// Shuts down every session's socket (server shutdown).
+    pub fn shutdown_all(&self) {
+        for e in self.sessions.lock().values() {
+            let _ = e.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Default for SessionTable {
+    fn default() -> Self {
+        SessionTable::new()
+    }
+}

@@ -29,11 +29,24 @@ struct Inner {
 }
 
 /// The trusted WORM compliance server. See the crate docs for the contract.
+///
+/// # Tenant namespaces
+///
+/// One physical volume can be shared by many tenants: [`WormServer::namespace`]
+/// returns a *view* whose file names are transparently prefixed (e.g.
+/// `tenants/acme/` + `L/epoch-0`). Views share the volume's metadata journal,
+/// compliance clock, and fault injector, so cross-tenant create/append order
+/// is recorded in one globally verifiable journal while each tenant's
+/// compliance artifacts (`L`, stamp index, witnesses, snapshots, WAL tails)
+/// live under its own prefix and are listed/audited in isolation.
 pub struct WormServer {
     root: PathBuf,
     clock: ClockRef,
-    inner: Mutex<Inner>,
-    injector: Mutex<Option<std::sync::Arc<FaultInjector>>>,
+    inner: std::sync::Arc<Mutex<Inner>>,
+    injector: std::sync::Arc<Mutex<Option<std::sync::Arc<FaultInjector>>>>,
+    /// Name prefix of this view (`""` for the root view; otherwise ends in
+    /// `/`). Applied to every name-taking operation.
+    ns: String,
 }
 
 /// A cheap named handle to a WORM file (no open file descriptor is held; the
@@ -124,11 +137,37 @@ impl WormServer {
         let server = WormServer {
             root,
             clock,
-            inner: Mutex::new(Inner { meta, journal, appends: 0 }),
-            injector: Mutex::new(None),
+            inner: std::sync::Arc::new(Mutex::new(Inner { meta, journal, appends: 0 })),
+            injector: std::sync::Arc::new(Mutex::new(None)),
+            ns: String::new(),
         };
         server.reconcile_backing_store()?;
         Ok(server)
+    }
+
+    /// A namespaced view of this volume: every name is prefixed with
+    /// `prefix/`. Views share the underlying journal, clock, and injector;
+    /// namespaces nest (`a` then `b` ⇒ `a/b/…`). The prefix obeys the same
+    /// validation rules as file names.
+    pub fn namespace(&self, prefix: &str) -> Result<WormServer> {
+        Self::validate_name(prefix)?;
+        Ok(WormServer {
+            root: self.root.clone(),
+            clock: self.clock.clone(),
+            inner: self.inner.clone(),
+            injector: self.injector.clone(),
+            ns: format!("{}{prefix}/", self.ns),
+        })
+    }
+
+    /// This view's name prefix (`""` for the root view).
+    pub fn namespace_prefix(&self) -> &str {
+        &self.ns
+    }
+
+    /// Qualifies a caller-visible name with this view's namespace prefix.
+    fn qualify(&self, name: &str) -> String {
+        format!("{}{name}", self.ns)
     }
 
     /// Startup reconciliation: appends write the data file *before* the
@@ -172,12 +211,13 @@ impl WormServer {
     /// metadata. The auditor compares this against `stat(name).len` to
     /// distinguish tail truncation (tampering) from unacknowledged appends.
     pub fn backing_len(&self, name: &str) -> Result<u64> {
+        let name = self.qualify(name);
         let inner = self.inner.lock();
-        if !inner.meta.contains_key(name) {
+        if !inner.meta.contains_key(&name) {
             return Err(Error::NotFound(format!("WORM file {name:?}")));
         }
         drop(inner);
-        fs::metadata(self.data_path(name))
+        fs::metadata(self.data_path(&name))
             .map(|md| md.len())
             .map_err(|e| Error::io(format!("statting WORM backing file {name:?}"), e))
     }
@@ -216,6 +256,7 @@ impl WormServer {
     /// whole point).
     pub fn create(&self, name: &str, retention_until: Timestamp) -> Result<WormFile> {
         Self::validate_name(name)?;
+        let name = &self.qualify(name);
         let mut inner = self.inner.lock();
         if inner.meta.contains_key(name) {
             return Err(Error::WormViolation(format!(
@@ -313,6 +354,10 @@ impl WormServer {
     /// Reads `len` bytes at `offset`. Short reads at end-of-file are errors:
     /// the trusted metadata says how long the file is.
     pub fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.read_at_full(&self.qualify(name), offset, len)
+    }
+
+    fn read_at_full(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         let inner = self.inner.lock();
         let m =
             inner.meta.get(name).ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
@@ -334,6 +379,7 @@ impl WormServer {
     /// Reads the whole file, verifying the trusted running checksum — the
     /// simulator's stand-in for appliance firmware integrity.
     pub fn read_all(&self, name: &str) -> Result<Vec<u8>> {
+        let name = &self.qualify(name);
         let (len, expect) = {
             let inner = self.inner.lock();
             let m = inner
@@ -342,7 +388,7 @@ impl WormServer {
                 .ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
             (m.len, m.checksum)
         };
-        let data = self.read_at(name, 0, len as usize)?;
+        let data = self.read_at_full(name, 0, len as usize)?;
         let got = incremental_checksum(EMPTY_CHECKSUM, &data);
         if got != expect {
             return Err(Error::corruption(format!(
@@ -355,6 +401,7 @@ impl WormServer {
 
     /// Permanently closes a file to appends.
     pub fn seal(&self, name: &str) -> Result<()> {
+        let name = &self.qualify(name);
         let mut inner = self.inner.lock();
         if !inner.meta.contains_key(name) {
             return Err(Error::NotFound(format!("WORM file {name:?}")));
@@ -367,6 +414,7 @@ impl WormServer {
 
     /// Extends (never shortens) a file's retention horizon.
     pub fn extend_retention(&self, name: &str, until: Timestamp) -> Result<()> {
+        let name = &self.qualify(name);
         let mut inner = self.inner.lock();
         let m =
             inner.meta.get(name).ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
@@ -383,6 +431,7 @@ impl WormServer {
     /// period has elapsed on the compliance clock. "The unit of deletion on
     /// WORM is an entire file" (Section VIII).
     pub fn delete(&self, name: &str) -> Result<()> {
+        let name = &self.qualify(name);
         let mut inner = self.inner.lock();
         let m =
             inner.meta.get(name).ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))?;
@@ -404,42 +453,50 @@ impl WormServer {
 
     /// Trusted metadata for a file.
     pub fn stat(&self, name: &str) -> Result<FileMeta> {
+        let name = &self.qualify(name);
         let inner = self.inner.lock();
         inner.meta.get(name).cloned().ok_or_else(|| Error::NotFound(format!("WORM file {name:?}")))
     }
 
     /// Whether the file exists (has been created and not expired+deleted).
     pub fn exists(&self, name: &str) -> bool {
-        self.inner.lock().meta.contains_key(name)
+        self.inner.lock().meta.contains_key(&self.qualify(name))
     }
 
     /// A handle to an existing file.
     pub fn handle(&self, name: &str) -> Result<WormFile> {
-        if self.exists(name) {
-            Ok(WormFile { name: name.to_string() })
+        let full = self.qualify(name);
+        if self.inner.lock().meta.contains_key(&full) {
+            Ok(WormFile { name: full })
         } else {
-            Err(Error::NotFound(format!("WORM file {name:?}")))
+            Err(Error::NotFound(format!("WORM file {full:?}")))
         }
     }
 
-    /// Lists live files whose names start with `prefix`, in name order, with
-    /// their trusted metadata.
+    /// Lists live files whose names start with `prefix` (within this view's
+    /// namespace), in name order, with their trusted metadata. Returned
+    /// names are namespace-relative, so a tenant view never observes another
+    /// tenant's artifacts.
     pub fn list(&self, prefix: &str) -> Vec<(String, FileMeta)> {
+        let full = self.qualify(prefix);
         self.inner
             .lock()
             .meta
             .iter()
-            .filter(|(n, _)| n.starts_with(prefix))
-            .map(|(n, m)| (n.clone(), m.clone()))
+            .filter(|(n, _)| n.starts_with(&full))
+            .map(|(n, m)| (n[self.ns.len()..].to_string(), m.clone()))
             .collect()
     }
 
-    /// Aggregate statistics for reporting.
+    /// Aggregate statistics for reporting, scoped to this view's namespace
+    /// (the root view reports the whole volume). `appends` is volume-global:
+    /// it counts served append operations, not per-namespace traffic.
     pub fn stats(&self) -> WormStats {
         let inner = self.inner.lock();
+        let scoped = inner.meta.iter().filter(|(n, _)| n.starts_with(&self.ns));
         WormStats {
-            files: inner.meta.len() as u64,
-            bytes: inner.meta.values().map(|m| m.len).sum(),
+            files: scoped.clone().count() as u64,
+            bytes: scoped.map(|(_, m)| m.len).sum(),
             appends: inner.appends,
         }
     }
@@ -701,6 +758,69 @@ mod tests {
         assert_eq!(s2.backing_len("t").unwrap(), 4);
         assert_eq!(s2.stat("t").unwrap().len, 10);
         assert!(s2.read_all("t").is_err());
+    }
+
+    #[test]
+    fn namespaces_isolate_names_and_share_the_journal() {
+        let (s, _, _d) = server();
+        let a = s.namespace("tenants/acme").unwrap();
+        let b = s.namespace("tenants/bob").unwrap();
+        // The same tenant-relative name is two distinct files on the volume.
+        let fa = a.create("L/epoch-0", Timestamp::MAX).unwrap();
+        let fb = b.create("L/epoch-0", Timestamp::MAX).unwrap();
+        a.append(&fa, b"acme-records").unwrap();
+        b.append(&fb, b"bob").unwrap();
+        assert_eq!(a.read_all("L/epoch-0").unwrap(), b"acme-records");
+        assert_eq!(b.read_all("L/epoch-0").unwrap(), b"bob");
+        assert_eq!(a.stat("L/epoch-0").unwrap().len, 12);
+        // Tenant views never see each other's artifacts…
+        assert_eq!(a.list("").len(), 1);
+        assert_eq!(b.list("L/").into_iter().map(|(n, _)| n).collect::<Vec<_>>(), ["L/epoch-0"]);
+        assert!(!a.exists("tenants/bob/L/epoch-0"));
+        // …but the root view sees both under their full names (one journal,
+        // globally verifiable order).
+        assert!(s.exists("tenants/acme/L/epoch-0"));
+        assert!(s.exists("tenants/bob/L/epoch-0"));
+        assert_eq!(s.list("tenants/").len(), 2);
+        // Per-namespace stats; root stats cover the volume.
+        assert_eq!(a.stats().files, 1);
+        assert_eq!(a.stats().bytes, 12);
+        assert_eq!(s.stats().files, 2);
+        assert_eq!(s.stats().bytes, 15);
+        // WORM semantics hold across views: acme's file is sealed for
+        // everyone, under either name.
+        a.seal("L/epoch-0").unwrap();
+        assert!(matches!(a.append(&fa, b"x"), Err(Error::WormViolation(_))));
+        assert!(s.stat("tenants/acme/L/epoch-0").unwrap().sealed);
+    }
+
+    #[test]
+    fn namespace_survives_reopen() {
+        let clock = Arc::new(VirtualClock::new());
+        let dir = tempdir::TempDir::new();
+        {
+            let s = WormServer::open(dir.path(), clock.clone()).unwrap();
+            let t = s.namespace("tenants/acme").unwrap();
+            t.create("witness/e0-i0", Timestamp::MAX).unwrap();
+            let f2 = t.create("L/epoch-0", Timestamp(9)).unwrap();
+            t.append(&f2, b"payload").unwrap();
+        }
+        let s2 = WormServer::open(dir.path(), clock).unwrap();
+        let t2 = s2.namespace("tenants/acme").unwrap();
+        assert!(t2.exists("witness/e0-i0"));
+        assert_eq!(t2.read_all("L/epoch-0").unwrap(), b"payload");
+        assert_eq!(t2.stat("L/epoch-0").unwrap().retention_until, Timestamp(9));
+    }
+
+    #[test]
+    fn namespace_prefix_is_validated() {
+        let (s, _, _d) = server();
+        for bad in ["", "/abs", "a/../b", "a//b"] {
+            assert!(s.namespace(bad).is_err(), "{bad:?} accepted as namespace");
+        }
+        // Nesting composes prefixes.
+        let t = s.namespace("tenants").unwrap().namespace("acme").unwrap();
+        assert_eq!(t.namespace_prefix(), "tenants/acme/");
     }
 
     #[test]
