@@ -1,11 +1,13 @@
 //! Multi-tenant service benchmark: N client tasks × M tenants hammering an
-//! in-process `ccdb-server` over TCP loopback, with end-to-end correctness
-//! checks (zero lost/duplicated commits, per-tenant audits clean and
-//! identical between the serial oracle and the parallel pipeline, live
-//! metrics endpoint), plus the single-thread group-commit fast-path check
-//! against the per-commit-fsync baseline.
+//! in-process `ccdb-server` over TCP loopback — with the **streaming-audit
+//! daemon running the whole time** — plus end-to-end correctness checks
+//! (zero lost/duplicated commits, per-tenant audits clean and identical
+//! between the serial oracle and the parallel pipeline, live metrics
+//! endpoint, zero false tamper alerts, bounded audit lag) and the
+//! single-thread group-commit fast-path check against the per-commit-fsync
+//! baseline.
 //!
-//! Writes `BENCH_PR6.json` into the repo root (override with
+//! Writes `BENCH_PR7.json` into the repo root (override with
 //! `CCDB_BENCH_OUT`). Scale knobs: `CCDB_BENCH_TENANTS` (default 4),
 //! `CCDB_BENCH_CLIENTS` (clients per tenant, default 8),
 //! `CCDB_BENCH_TXNS` (transactions per client, default 50).
@@ -13,9 +15,9 @@
 //! Usage: `cargo run --release -p ccdb-bench --bin server_bench`
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration as StdDuration, Instant};
 
 use ccdb_bench::TempDir;
 use ccdb_btree::SplitPolicy;
@@ -34,6 +36,20 @@ fn env_or(name: &str, default: u32) -> u32 {
 // Section A: the service under multi-tenant load.
 // ---------------------------------------------------------------------------
 
+/// Streaming-audit daemon poll interval during the load.
+const AUDIT_POLL_MS: u64 = 10;
+/// Every Nth daemon poll per tenant is a deep (quiescing) poll.
+const AUDIT_DEEP_EVERY: u32 = 10;
+
+struct AuditOutcome {
+    /// Mid-load (lag_records, last_poll_us) samples across all tenants.
+    samples: Vec<(u64, u64)>,
+    /// Lag after the load stopped and the daemon caught up.
+    drained_lag_records: u64,
+    epochs_sealed_total: u64,
+    tamper_alerts_total: u64,
+}
+
 struct ServiceOutcome {
     tenants: u32,
     clients_per_tenant: u32,
@@ -44,6 +60,7 @@ struct ServiceOutcome {
     audits_clean: bool,
     serial_matches_parallel: bool,
     metrics_commits_total: f64,
+    audit: AuditOutcome,
 }
 
 fn run_service(tenants: u32, clients: u32, txns: u32) -> ServiceOutcome {
@@ -58,6 +75,8 @@ fn run_service(tenants: u32, clients: u32, txns: u32) -> ServiceOutcome {
     };
     let mut config = ServerConfig::new(&d.0, compliance);
     config.metrics_addr = Some("127.0.0.1:0".to_string());
+    config.audit_stream_interval = Some(StdDuration::from_millis(AUDIT_POLL_MS));
+    config.audit_stream_deep_every = AUDIT_DEEP_EVERY;
     let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(20)));
     let server = Server::start(config, clock).unwrap();
     let addr = server.addr().to_string();
@@ -74,30 +93,65 @@ fn run_service(tenants: u32, clients: u32, txns: u32) -> ServiceOutcome {
 
     // The load: every client is its own connection; every acked commit is
     // counted exactly once so the engine counters can be reconciled below.
+    // A sampler thread rides along, snapshotting the streaming auditors'
+    // lag mid-load — that is the steady-state figure the daemon promises to
+    // bound (roughly one poll interval behind the appended log).
     let acked = Arc::new(AtomicU64::new(0));
+    let load_done = AtomicBool::new(false);
     let start = Instant::now();
-    let mut handles = Vec::new();
-    for name in &tenant_names {
-        for w in 0..clients {
-            let (name, addr, acked) = (name.clone(), addr.clone(), acked.clone());
-            handles.push(std::thread::spawn(move || {
-                let mut c = Client::connect(&addr, &name).unwrap();
-                let rel = c.rel_id("orders").unwrap();
-                for i in 0..txns {
-                    let txn = c.begin().unwrap();
-                    let key = format!("w{w:02}-k{i:06}");
-                    c.write(txn, rel, key.as_bytes(), &i.to_le_bytes()).unwrap();
-                    c.commit(txn).unwrap();
-                    acked.fetch_add(1, Ordering::Relaxed);
+    let samples: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let sampler = s.spawn(|| {
+            let mut out = Vec::new();
+            while !load_done.load(Ordering::Relaxed) {
+                std::thread::sleep(StdDuration::from_millis(25));
+                for st in server.audit_stats().values() {
+                    if st.polls > 0 {
+                        out.push((st.lag_records, st.last_poll_us));
+                    }
                 }
-            }));
+            }
+            out
+        });
+        let mut handles = Vec::new();
+        for name in &tenant_names {
+            for w in 0..clients {
+                let (name, addr, acked) = (name.clone(), addr.clone(), acked.clone());
+                handles.push(s.spawn(move || {
+                    let mut c = Client::connect(&addr, &name).unwrap();
+                    let rel = c.rel_id("orders").unwrap();
+                    for i in 0..txns {
+                        let txn = c.begin().unwrap();
+                        let key = format!("w{w:02}-k{i:06}");
+                        c.write(txn, rel, key.as_bytes(), &i.to_le_bytes()).unwrap();
+                        c.commit(txn).unwrap();
+                        acked.fetch_add(1, Ordering::Relaxed);
+                    }
+                }));
+            }
         }
-    }
-    for h in handles {
-        h.join().unwrap();
-    }
+        for h in handles {
+            h.join().unwrap();
+        }
+        load_done.store(true, Ordering::Relaxed);
+        sampler.join().unwrap()
+    });
     let secs = start.elapsed().as_secs_f64();
     let acked = acked.load(Ordering::Relaxed);
+
+    // Quiesced, the daemon must drain its backlog to zero within a few
+    // polls, having raised no alert against the honest workload.
+    let drained_lag_records = {
+        let deadline = Instant::now() + StdDuration::from_secs(10);
+        loop {
+            let stats = server.audit_stats();
+            let lag: u64 = stats.values().map(|s| s.lag_records).sum();
+            if stats.len() == tenant_names.len() && lag == 0 {
+                break lag;
+            }
+            assert!(Instant::now() < deadline, "streaming auditors never drained: {lag} records");
+            std::thread::sleep(StdDuration::from_millis(AUDIT_POLL_MS * 2));
+        }
+    };
 
     // Zero lost / duplicated commits: what the clients saw acknowledged is
     // exactly what the per-tenant engines recorded.
@@ -123,6 +177,21 @@ fn run_service(tenants: u32, clients: u32, txns: u32) -> ServiceOutcome {
         serial_matches_parallel &= serial == parallel;
     }
 
+    // The daemon follows every tenant's epoch roll within a few polls.
+    let (epochs_sealed_total, tamper_alerts_total) = {
+        let deadline = Instant::now() + StdDuration::from_secs(10);
+        loop {
+            let stats = server.audit_stats();
+            let sealed: u64 = stats.values().map(|s| s.epochs_sealed).sum();
+            if sealed >= tenant_names.len() as u64 {
+                break (sealed, stats.values().map(|s| s.tamper_alerts).sum());
+            }
+            assert!(Instant::now() < deadline, "daemon missed epoch rolls: {sealed} sealed");
+            std::thread::sleep(StdDuration::from_millis(AUDIT_POLL_MS * 2));
+        }
+    };
+    assert_eq!(tamper_alerts_total, 0, "false tamper alert against an honest workload");
+
     // The scrape endpoint must expose non-zero per-tenant commit counters.
     let (status, body) = http_get(server.metrics_addr().unwrap(), "/metrics").unwrap();
     assert_eq!(status, 200, "metrics scrape failed");
@@ -139,6 +208,12 @@ fn run_service(tenants: u32, clients: u32, txns: u32) -> ServiceOutcome {
         metrics_commits_total += value;
     }
 
+    // The scrape endpoint carries the streaming-audit series.
+    for metric in ["ccdb_audit_lag_records", "ccdb_epochs_sealed_total", "ccdb_tamper_alerts_total"]
+    {
+        assert!(body.lines().any(|l| l.starts_with(metric)), "metrics endpoint missing {metric}");
+    }
+
     ServiceOutcome {
         tenants,
         clients_per_tenant: clients,
@@ -149,6 +224,12 @@ fn run_service(tenants: u32, clients: u32, txns: u32) -> ServiceOutcome {
         audits_clean,
         serial_matches_parallel,
         metrics_commits_total,
+        audit: AuditOutcome {
+            samples,
+            drained_lag_records,
+            epochs_sealed_total,
+            tamper_alerts_total,
+        },
     }
 }
 
@@ -231,6 +312,25 @@ fn main() {
     assert!(service.audits_clean, "per-tenant audit reported violations");
     assert!(service.serial_matches_parallel, "serial oracle disagrees with parallel audit");
 
+    let a = &service.audit;
+    let n = a.samples.len().max(1) as f64;
+    let lag_mean = a.samples.iter().map(|(l, _)| *l as f64).sum::<f64>() / n;
+    let lag_max = a.samples.iter().map(|(l, _)| *l).max().unwrap_or(0);
+    let poll_mean = a.samples.iter().map(|(_, p)| *p as f64).sum::<f64>() / n;
+    let poll_max = a.samples.iter().map(|(_, p)| *p).max().unwrap_or(0);
+    println!(
+        "streaming audit: {} mid-load samples, lag mean {:.1} / max {} records, poll mean \
+         {:.0} / max {} us, drained to {}, {} epochs sealed, {} tamper alerts",
+        a.samples.len(),
+        lag_mean,
+        lag_max,
+        poll_mean,
+        poll_max,
+        a.drained_lag_records,
+        a.epochs_sealed_total,
+        a.tamper_alerts_total
+    );
+
     let scenarios = [(1u32, false), (1, true), (8, false), (8, true)];
     let mut engine_outcomes = Vec::new();
     for (threads, group_commit) in scenarios {
@@ -278,6 +378,18 @@ fn main() {
         service.metrics_commits_total
     ));
     json.push_str("  },\n");
+    json.push_str("  \"streaming_audit\": {\n");
+    json.push_str(&format!("    \"poll_interval_ms\": {AUDIT_POLL_MS},\n"));
+    json.push_str(&format!("    \"deep_every\": {AUDIT_DEEP_EVERY},\n"));
+    json.push_str(&format!("    \"mid_load_samples\": {},\n", a.samples.len()));
+    json.push_str(&format!("    \"lag_records_mean\": {lag_mean:.1},\n"));
+    json.push_str(&format!("    \"lag_records_max\": {lag_max},\n"));
+    json.push_str(&format!("    \"poll_us_mean\": {poll_mean:.0},\n"));
+    json.push_str(&format!("    \"poll_us_max\": {poll_max},\n"));
+    json.push_str(&format!("    \"drained_lag_records\": {},\n", a.drained_lag_records));
+    json.push_str(&format!("    \"epochs_sealed_total\": {},\n", a.epochs_sealed_total));
+    json.push_str(&format!("    \"tamper_alerts_total\": {}\n", a.tamper_alerts_total));
+    json.push_str("  },\n");
     json.push_str("  \"group_commit_fastpath\": {\n");
     json.push_str("    \"fsync\": true,\n");
     json.push_str(&format!("    \"flush_window_us\": {FLUSH_WINDOW_US},\n"));
@@ -305,7 +417,7 @@ fn main() {
 
     let out = std::env::var("CCDB_BENCH_OUT")
         .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json"));
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR7.json"));
     std::fs::write(&out, json).unwrap();
     println!("wrote {}", out.display());
 }

@@ -154,16 +154,27 @@ impl Clock for VirtualClock {
     }
 }
 
-/// A wall-clock implementation backed by [`std::time::Instant`], anchored at
-/// process start so timestamps stay small and monotonic.
+/// A wall-clock implementation: UNIX-epoch microseconds at construction plus
+/// an [`std::time::Instant`] delta, so timestamps are monotone within the
+/// process AND advance across restarts. The compliance clock must never run
+/// backwards between process lifetimes — an `Instant`-only anchor restarts
+/// at zero and makes every post-restart commit look backdated to the
+/// auditor (`CommitTimesNotMonotonic`).
 pub struct SystemClock {
+    /// Wall-clock µs since the UNIX epoch when this clock was built.
+    wall_origin_us: u64,
+    /// Monotonic anchor; deltas from here are immune to wall-clock steps.
     origin: std::time::Instant,
 }
 
 impl SystemClock {
     /// Creates a clock anchored at "now".
     pub fn new() -> SystemClock {
-        SystemClock { origin: std::time::Instant::now() }
+        let wall_origin_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        SystemClock { wall_origin_us, origin: std::time::Instant::now() }
     }
 }
 
@@ -175,7 +186,7 @@ impl Default for SystemClock {
 
 impl Clock for SystemClock {
     fn now(&self) -> Timestamp {
-        Timestamp(self.origin.elapsed().as_micros() as u64)
+        Timestamp(self.wall_origin_us + self.origin.elapsed().as_micros() as u64)
     }
 }
 
@@ -233,5 +244,21 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(2));
         let b = c.now();
         assert!(b > a);
+    }
+
+    #[test]
+    fn system_clock_survives_restarts() {
+        // The compliance clock must not rewind between process lifetimes:
+        // an Instant-anchored clock restarts at ~0 and makes every
+        // post-restart commit look backdated to the auditor. Anchoring to
+        // UNIX-epoch wall time means a fresh clock (a "restarted process")
+        // never reads earlier than an older one.
+        let first = SystemClock::new();
+        let before = first.now();
+        // Well past 2017 in µs: proves the anchor is the epoch, not startup.
+        assert!(before.0 > 1_500_000_000_000_000, "clock anchored at process start: {before:?}");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let restarted = SystemClock::new();
+        assert!(restarted.now() >= before, "fresh clock rewound behind an older one");
     }
 }

@@ -52,6 +52,7 @@
 //! size.
 
 mod parallel;
+pub mod stream;
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -255,6 +256,13 @@ pub struct AuditStats {
     /// WAL-tail cross-check (µs wall; per-transaction presence probes fan
     /// out on the worker pool in the parallel pipeline).
     pub wal_tail_us: u64,
+    /// Streaming auditor: records appended to `L` this epoch but not yet
+    /// ingested by the stream at the last poll (0 for batch audits and for
+    /// a fully caught-up stream).
+    pub audit_lag_records: u64,
+    /// Streaming auditor: wall-clock µs the last poll spent catching up
+    /// (0 for batch audits).
+    pub audit_lag_us: u64,
 }
 
 /// A per-tuple forensic finding, localizing *what* was tampered where. The
@@ -485,9 +493,15 @@ const CKPT_MAGIC: u64 = 0xCCDB_AC99;
 // Shared replay machinery (one implementation, two sinks)
 // ---------------------------------------------------------------------------
 
-/// `(rel, key, start) → (shred_time, consumed)` — the `SHREDDED` bookkeeping
-/// both auditors share.
-type ShredMap = BTreeMap<(RelId, Vec<u8>, Timestamp), (Timestamp, bool)>;
+/// `(rel, key, start) → (shred_time, consumed seqs)` — the `SHREDDED`
+/// bookkeeping both auditors share. Consumption is tracked **per version
+/// seq**: a transaction may write the same key several times at one commit
+/// instant (same `(rel, key, start)`, distinct seqs), and the vacuum shreds
+/// each version with its own `UNDO`. Keying consumption by seq folds every
+/// distinct version out of the completeness accumulator while still
+/// tolerating byte-identical crash-recovery replays of the same `UNDO`
+/// (same seq → duplicate).
+type ShredMap = BTreeMap<(RelId, Vec<u8>, Timestamp), (Timestamp, HashSet<u16>)>;
 
 /// A deferred mutation of the completeness accumulator. The serial oracle
 /// applies these immediately; the parallel pipeline records them per shard
@@ -537,8 +551,15 @@ trait ReplaySink {
     /// Record (or apply) a completeness-fold operation emitted at `off`.
     fn fold(&mut self, off: u64, op: FoldOp);
     /// Decide/perform consumption of a `SHREDDED` entry by an `UNDO` at
-    /// `off` for the version `(rel, key, ct)`.
-    fn consume_shred(&mut self, off: u64, rel: RelId, key: &[u8], ct: Timestamp) -> ShredConsume;
+    /// `off` for the version `(rel, key, ct, seq)`.
+    fn consume_shred(
+        &mut self,
+        off: u64,
+        rel: RelId,
+        key: &[u8],
+        ct: Timestamp,
+        seq: u16,
+    ) -> ShredConsume;
     /// A `SHREDDED` record was replayed.
     fn shredded(&mut self, off: u64, rel: RelId, key: Vec<u8>, start: Timestamp, shred: Timestamp);
     /// A `START_RECOVERY` record was replayed.
@@ -559,11 +580,17 @@ impl ReplaySink for SerialSink {
         apply_fold_op(&mut self.seen, &mut self.acc, op);
     }
 
-    fn consume_shred(&mut self, _off: u64, rel: RelId, key: &[u8], ct: Timestamp) -> ShredConsume {
+    fn consume_shred(
+        &mut self,
+        _off: u64,
+        rel: RelId,
+        key: &[u8],
+        ct: Timestamp,
+        seq: u16,
+    ) -> ShredConsume {
         match self.shreds.get_mut(&(rel, key.to_vec(), ct)) {
             Some(entry) => {
-                if !entry.1 {
-                    entry.1 = true;
+                if entry.1.insert(seq) {
                     ShredConsume::First
                 } else {
                     ShredConsume::Duplicate
@@ -581,7 +608,8 @@ impl ReplaySink for SerialSink {
         start: Timestamp,
         shred: Timestamp,
     ) {
-        self.shreds.insert((rel, key, start), (shred, false));
+        let entry = self.shreds.entry((rel, key, start)).or_insert((shred, HashSet::new()));
+        entry.0 = shred;
     }
 
     fn recovery(&mut self, off: u64, time: Timestamp) {
@@ -684,7 +712,7 @@ impl<'a, S: ReplaySink> Replayer<'a, S> {
                 let justified = match t.time {
                     WriteTime::Pending(txn) => self.aborts.contains_key(&txn),
                     WriteTime::Committed(ct) => {
-                        match self.sink.consume_shred(off, t.rel, &t.key, ct) {
+                        match self.sink.consume_shred(off, t.rel, &t.key, ct, t.seq) {
                             ShredConsume::First => {
                                 // The shredded version leaves the
                                 // completeness universe.
@@ -1139,7 +1167,7 @@ fn canonicalize(report: &mut AuditReport) {
 fn shred_legality(engine: &Engine, shreds: &ShredMap, v: &mut Vec<Violation>) {
     let holds = holds_as_of_now(engine).unwrap_or_default();
     for ((rel, key, start), (shred_time, consumed)) in shreds {
-        if !consumed {
+        if consumed.is_empty() {
             v.push(Violation::ShredIncomplete { rel: *rel, key: key.clone() });
         }
         let rel_name = engine.user_relations().into_iter().find(|(_, r)| r == rel).map(|(n, _)| n);

@@ -155,6 +155,7 @@ impl ReplaySink for ShardSink<'_> {
         _rel: RelId,
         _key: &[u8],
         _ct: Timestamp,
+        _seq: u16,
     ) -> ShredConsume {
         self.decisions.get(&off).copied().unwrap_or(ShredConsume::NotFound)
     }
@@ -323,15 +324,17 @@ pub(super) fn audit_parallel(a: &Auditor, engine: &Engine, epoch: u64) -> Result
     for (off, rec) in &records {
         match rec {
             LogRecord::Shredded { rel, key, start_time, shred_time, .. } => {
-                shreds.insert((*rel, key.clone(), *start_time), (*shred_time, false));
+                let entry = shreds
+                    .entry((*rel, key.clone(), *start_time))
+                    .or_insert((*shred_time, HashSet::new()));
+                entry.0 = *shred_time;
             }
             LogRecord::Undo { cell, .. } => {
                 if let Ok(t) = TupleVersion::decode_cell(cell) {
                     if let WriteTime::Committed(ct) = t.time {
                         let d = match shreds.get_mut(&(t.rel, t.key.clone(), ct)) {
                             Some(entry) => {
-                                if !entry.1 {
-                                    entry.1 = true;
+                                if entry.1.insert(t.seq) {
                                     ShredConsume::First
                                 } else {
                                     ShredConsume::Duplicate

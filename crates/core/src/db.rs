@@ -20,11 +20,14 @@ use ccdb_common::{ClockRef, Duration, Error, RelId, Result, Timestamp, TxnId};
 use ccdb_engine::{Engine, EngineConfig};
 use ccdb_worm::WormServer;
 
+use crate::audit::stream::StreamAuditor;
 use crate::audit::{AuditConfig, AuditReport, Auditor};
 use crate::logger::ComplianceLogger;
 use crate::migrate::{self, MigrationReport};
 use crate::plugin::CompliancePlugin;
+use crate::proof::{self, EpochHeadManager, ProvenRead, SignedHead};
 use crate::shred::{self, Hold, Vacuum, VacuumReport, HOLDS_RELATION};
+use crate::snapshot::SnapshotManager;
 
 /// Which architecture variant to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -570,6 +573,14 @@ impl CompliantDb {
                 outcome.report.stats.tuples_final,
                 retention_until,
             )?;
+            // Materialize the signed epoch head for client-verifiable
+            // reads. Idempotent and derived from the just-sealed snapshot,
+            // so a crash here only means lazy materialization later.
+            EpochHeadManager::new(self.worm.clone(), self.config.auditor_seed).ensure(
+                auditor.snapshots(),
+                epoch,
+                retention_until,
+            )?;
             plugin.logger().advance_epoch(epoch + 1)?;
             // Rotate the WAL-tail mirror.
             let tail_name = waltail_name(epoch + 1);
@@ -590,6 +601,76 @@ impl CompliantDb {
             self.tick()?;
         }
         Ok(outcome.report)
+    }
+
+    /// Attaches a [`StreamAuditor`] tailing this database's current epoch
+    /// with the deployment's audit configuration. The stream polls the
+    /// WORM log independently of transaction processing; the server runs
+    /// one per tenant in its audit daemon.
+    pub fn stream_auditor(&self) -> Result<StreamAuditor> {
+        self.stream_auditor_with(self.audit_config())
+    }
+
+    /// Like [`CompliantDb::stream_auditor`] with an explicit
+    /// [`AuditConfig`] (the differential and checkpoint-accounting suites
+    /// toggle [`AuditConfig::with_checkpoints`]). As in
+    /// [`CompliantDb::audit_outcome_with`], the deployment's regret
+    /// interval and read-verification mode override the caller's.
+    pub fn stream_auditor_with(&self, config: AuditConfig) -> Result<StreamAuditor> {
+        if self.plugin.is_none() {
+            return Err(Error::Invalid("streaming audit requires a compliance mode".into()));
+        }
+        let auditor = Auditor::new(
+            self.worm.clone(),
+            self.config.auditor_seed,
+            AuditConfig {
+                regret_interval: self.config.regret_interval,
+                verify_reads: self.config.mode == Mode::HashOnRead,
+                ..config
+            },
+        );
+        Ok(StreamAuditor::attach(auditor, *self.epoch.lock()))
+    }
+
+    /// A **client-verifiable read** against the last *sealed* epoch: the
+    /// latest committed version of `(rel, key)` in the attested snapshot,
+    /// plus a Merkle inclusion proof and the Lamport-signed epoch head.
+    /// A thin client checks the bundle with `ccdb-verifier` alone — no
+    /// trust in this server required beyond pinning the auditor lineage's
+    /// per-epoch key fingerprint.
+    ///
+    /// Returns the signed head and `Some(ProvenRead)` when the key has a
+    /// committed version in the sealed epoch, `None` when it does not
+    /// (absence carries no proof: the snapshot tree proves membership
+    /// only). Errors with [`Error::NotFound`] before the first audit seals
+    /// an epoch.
+    pub fn read_proof(&self, rel: RelId, key: &[u8]) -> Result<(SignedHead, Option<ProvenRead>)> {
+        if self.plugin.is_none() {
+            return Err(Error::Invalid("proof-carrying reads require a compliance mode".into()));
+        }
+        let epoch = *self.epoch.lock();
+        let Some(sealed) = epoch.checked_sub(1) else {
+            return Err(Error::NotFound(
+                "no sealed epoch yet; proof-carrying reads need one clean audit".into(),
+            ));
+        };
+        let snapshots = SnapshotManager::new(self.worm.clone(), self.config.auditor_seed);
+        let snap = snapshots.load(sealed)?.ok_or_else(|| {
+            Error::NotFound(format!("snapshot for sealed epoch {sealed} is missing"))
+        })?;
+        let retention_until = match self.config.worm_artifact_retention {
+            Some(d) => self.clock.now().saturating_add(d),
+            None => Timestamp::MAX,
+        };
+        // Lazy head materialization covers epochs sealed before this
+        // feature existed (and crash windows between snapshot and head).
+        let head = EpochHeadManager::new(self.worm.clone(), self.config.auditor_seed).ensure(
+            &snapshots,
+            sealed,
+            retention_until,
+        )?;
+        let proven = proof::build_read_proof(&snap, rel, key)?;
+        Ok((head, proven))
     }
 
     /// Simulates a crash and reopens (running recovery under the compliance
@@ -660,10 +741,13 @@ impl CompliantDb {
                     crate::audit::audit_ckpt_name(e),
                 ];
                 let snap_base = crate::snapshot::snapshot_name(e);
+                let head_base = proof::epoch_head_name(e);
                 if suffixes.iter().any(|s| s == name)
                     || *name == snap_base
                     // retry generations + .sig/.pub companions
                     || name.starts_with(&format!("{snap_base}."))
+                    || *name == head_base
+                    || name.starts_with(&format!("{head_base}."))
                     || name.starts_with(&format!("witness/e{e}-"))
                 {
                     return true;

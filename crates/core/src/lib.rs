@@ -23,11 +23,13 @@ pub mod db;
 pub mod logger;
 pub mod migrate;
 pub mod plugin;
+pub mod proof;
 pub mod records;
 pub mod shred;
 pub mod snapshot;
 pub mod tenant;
 
+pub use audit::stream::{StreamAuditor, StreamStats, TamperAlert};
 pub use audit::{
     audit_ckpt_name, AuditConfig, AuditOutcome, AuditReport, AuditStats, Auditor, TupleFinding,
     Violation, DEFAULT_L_CHUNK_RECORDS,
@@ -35,6 +37,7 @@ pub use audit::{
 pub use db::{ComplianceConfig, CompliantDb, Mode, VerificationTicket};
 pub use logger::ComplianceLogger;
 pub use plugin::CompliancePlugin;
+pub use proof::{epoch_head_name, EpochHeadManager, ProvenRead, SignedHead};
 pub use records::LogRecord;
 pub use shred::{Hold, Vacuum};
 pub use snapshot::SnapshotManager;

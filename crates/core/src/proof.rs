@@ -1,0 +1,354 @@
+//! Epoch heads on WORM and server-side read-proof construction.
+//!
+//! An **epoch head** is the client-facing summary of one sealed audit
+//! epoch: `(epoch, time, tuple ADD-HASH, Merkle root over the snapshot's
+//! page content hashes, page count)`, Lamport-signed with a one-time key
+//! derived from the auditor's master seed under a dedicated domain string
+//! (distinct from the snapshot key, so each one-time key still signs
+//! exactly one message). The head's byte format and Merkle construction
+//! are owned by `ccdb-verifier` — the engine *imports the client's
+//! definition*, so the two sides can never drift.
+//!
+//! Heads are deterministic functions of the signed snapshot: the head for
+//! epoch `e` can always be (re)derived from `snapshots/epoch-{e}` alone.
+//! [`EpochHeadManager::ensure`] exploits that to make head creation
+//! idempotent and crash-safe — a crash between snapshot seal and head
+//! seal just means the head is materialized lazily on the next audit or
+//! the first proof-carrying read.
+
+use std::sync::Arc;
+
+use ccdb_common::{Error, RelId, Result, Timestamp};
+use ccdb_crypto::{Digest, LamportKeyPair, LamportPublicKey, LamportSignature, Sha256};
+use ccdb_storage::{PageType, TupleVersion, WriteTime};
+use ccdb_verifier::{merkle_path, merkle_root, page_leaf_hash, EpochHead, ProofPage, ReadProof};
+use ccdb_worm::WormServer;
+
+use crate::snapshot::{SnapPage, Snapshot, SnapshotManager};
+
+/// WORM name of an epoch's head (generation 0).
+pub fn epoch_head_name(epoch: u64) -> String {
+    head_gen_name(epoch, 0)
+}
+
+/// Like snapshots, heads use write generations: a crash mid-write leaves a
+/// partial generation that append-only WORM cannot finish in place, so the
+/// retry writes the next free generation and only a generation with all
+/// three files sealed counts.
+fn head_gen_name(epoch: u64, generation: u64) -> String {
+    if generation == 0 {
+        format!("epochhead/epoch-{epoch}")
+    } else {
+        format!("epochhead/epoch-{epoch}.r{generation}")
+    }
+}
+
+fn sealed_nonempty(worm: &WormServer, name: &str) -> bool {
+    worm.stat(name).map(|m| m.sealed && m.len > 0).unwrap_or(false)
+}
+
+fn complete_generation(worm: &WormServer, epoch: u64) -> Option<u64> {
+    let mut best = None;
+    let mut generation = 0u64;
+    loop {
+        let name = head_gen_name(epoch, generation);
+        if !worm.exists(&name) {
+            break;
+        }
+        if sealed_nonempty(worm, &name)
+            && sealed_nonempty(worm, &format!("{name}.sig"))
+            && sealed_nonempty(worm, &format!("{name}.pub"))
+        {
+            best = Some(generation);
+        }
+        generation += 1;
+    }
+    best
+}
+
+/// Converts a snapshot page to the verifier's page representation.
+fn proof_page(p: &SnapPage) -> ProofPage {
+    ProofPage {
+        pgno: p.pgno.0,
+        rel: p.rel.0,
+        kind: p.kind as u8,
+        historical: p.historical,
+        aux: p.aux,
+        cells: p.cells.clone(),
+    }
+}
+
+/// The Merkle leaves of a snapshot, in snapshot page order.
+fn snapshot_leaves(pages: &[SnapPage]) -> Vec<Digest> {
+    pages.iter().map(|p| page_leaf_hash(&proof_page(p))).collect()
+}
+
+/// Builds the (unsigned) head summarizing a snapshot.
+pub fn head_of_snapshot(snap: &Snapshot) -> EpochHead {
+    let leaves = snapshot_leaves(&snap.pages);
+    EpochHead {
+        epoch: snap.epoch,
+        time: snap.time.0,
+        tuple_hash: snap.tuple_hash.to_bytes(),
+        page_root: merkle_root(&leaves),
+        page_count: leaves.len() as u64,
+    }
+}
+
+/// A loaded, signature-checked epoch head with its raw artifacts (what the
+/// RPC layer ships to clients verbatim).
+#[derive(Clone, Debug)]
+pub struct SignedHead {
+    /// The decoded head.
+    pub head: EpochHead,
+    /// Encoded head body (the signed bytes).
+    pub head_bytes: Vec<u8>,
+    /// Lamport signature over [`EpochHead::signed_message`].
+    pub sig_bytes: Vec<u8>,
+    /// The signing one-time public key.
+    pub pub_bytes: Vec<u8>,
+}
+
+/// Writes, verifies, and lazily materializes epoch heads.
+pub struct EpochHeadManager {
+    worm: Arc<WormServer>,
+    master_seed: [u8; 32],
+}
+
+impl EpochHeadManager {
+    /// Creates a manager bound to the auditor's master seed.
+    pub fn new(worm: Arc<WormServer>, master_seed: [u8; 32]) -> EpochHeadManager {
+        EpochHeadManager { worm, master_seed }
+    }
+
+    /// The epoch-head signing key: derived like the snapshot key but under
+    /// its own domain string, so the two one-time keys are independent.
+    fn keypair(&self, epoch: u64) -> LamportKeyPair {
+        let mut h = Sha256::new();
+        h.update(&self.master_seed).update(b"ccdb:epoch-head-key").update(&epoch.to_le_bytes());
+        LamportKeyPair::from_seed(&h.finalize())
+    }
+
+    /// The fingerprint clients pin to verify heads from this lineage.
+    pub fn fingerprint(&self, epoch: u64) -> Digest {
+        self.keypair(epoch).public_key().fingerprint()
+    }
+
+    /// Ensures the head for `epoch` exists on WORM, deriving it from the
+    /// sealed snapshot if needed, then returns it. Errors if the epoch has
+    /// no complete snapshot (it was never sealed by a clean audit).
+    pub fn ensure(
+        &self,
+        snapshots: &SnapshotManager,
+        epoch: u64,
+        retention_until: Timestamp,
+    ) -> Result<SignedHead> {
+        if let Some(found) = self.load(epoch)? {
+            return Ok(found);
+        }
+        let snap = snapshots.load(epoch)?.ok_or_else(|| {
+            Error::NotFound(format!("no sealed snapshot for epoch {epoch}; audit first"))
+        })?;
+        let head = head_of_snapshot(&snap);
+        let head_bytes = head.encode();
+        let kp = self.keypair(epoch);
+        let sig_bytes = kp.sign(&EpochHead::signed_message(&head_bytes)).to_bytes();
+        let pub_bytes = kp.public_key().to_bytes();
+        let mut generation = 0u64;
+        while self.worm.exists(&head_gen_name(epoch, generation)) {
+            generation += 1;
+        }
+        let name = head_gen_name(epoch, generation);
+        for (file, bytes) in [
+            (name.clone(), head_bytes.as_slice()),
+            (format!("{name}.sig"), sig_bytes.as_slice()),
+            (format!("{name}.pub"), pub_bytes.as_slice()),
+        ] {
+            let f = self.worm.create(&file, retention_until)?;
+            self.worm.append(&f, bytes)?;
+            self.worm.seal(&file)?;
+        }
+        Ok(SignedHead { head, head_bytes, sig_bytes, pub_bytes })
+    }
+
+    /// Loads and verifies the head for `epoch` if a complete generation
+    /// exists. `Ok(None)` when none was ever completed.
+    pub fn load(&self, epoch: u64) -> Result<Option<SignedHead>> {
+        let Some(generation) = complete_generation(&self.worm, epoch) else {
+            return Ok(None);
+        };
+        let name = head_gen_name(epoch, generation);
+        let head_bytes = self.worm.read_all(&name)?;
+        let sig_bytes = self.worm.read_all(&format!("{name}.sig"))?;
+        let pub_bytes = self.worm.read_all(&format!("{name}.pub"))?;
+        let sig = LamportSignature::from_bytes(&sig_bytes)
+            .ok_or_else(|| Error::corruption("malformed epoch-head signature"))?;
+        let pk = LamportPublicKey::from_bytes(&pub_bytes)
+            .ok_or_else(|| Error::corruption("malformed epoch-head public key"))?;
+        let expect = self.keypair(epoch);
+        if expect.public_key().fingerprint() != pk.fingerprint() {
+            return Err(Error::corruption("epoch-head public key does not match auditor lineage"));
+        }
+        if !pk.verify(&EpochHead::signed_message(&head_bytes), &sig) {
+            return Err(Error::corruption("epoch-head signature verification failed"));
+        }
+        let head = EpochHead::decode(&head_bytes)
+            .map_err(|e| Error::corruption(format!("epoch head undecodable: {e}")))?;
+        if head.epoch != epoch {
+            return Err(Error::corruption(format!(
+                "epoch head names epoch {} but was stored for {epoch}",
+                head.epoch
+            )));
+        }
+        Ok(Some(SignedHead { head, head_bytes, sig_bytes, pub_bytes }))
+    }
+}
+
+/// A proof-carrying answer for one key against a sealed epoch.
+#[derive(Clone, Debug)]
+pub struct ProvenRead {
+    /// The value as of the sealed epoch; `None` if the latest sealed
+    /// version is end-of-life (deleted).
+    pub value: Option<Vec<u8>>,
+    /// Commit time of the proven version.
+    pub commit_time: Timestamp,
+    /// The encoded [`ReadProof`].
+    pub proof_bytes: Vec<u8>,
+}
+
+/// Finds the latest committed version of `(rel, key)` in `snap` and builds
+/// its inclusion proof. Returns `Ok(None)` when the key has no committed
+/// version in the sealed epoch (absence is *not* proof-carrying: the Merkle
+/// tree proves membership only).
+pub fn build_read_proof(snap: &Snapshot, rel: RelId, key: &[u8]) -> Result<Option<ProvenRead>> {
+    // (commit_time, seq) picks the latest version; seq breaks ties within
+    // one transaction's writes to the same key.
+    let mut best: Option<(Timestamp, u16, usize, u32, TupleVersion)> = None;
+    for (page_index, page) in snap.pages.iter().enumerate() {
+        if page.kind != PageType::Leaf {
+            continue;
+        }
+        if page.rel != rel {
+            continue;
+        }
+        for (cell_index, cell) in page.cells.iter().enumerate() {
+            let Ok(t) = TupleVersion::decode_cell(cell) else { continue };
+            if t.rel != rel || t.key != key {
+                continue;
+            }
+            let WriteTime::Committed(ct) = t.time else { continue };
+            let better = match &best {
+                None => true,
+                Some((bt, bs, ..)) => (ct, t.seq) > (*bt, *bs),
+            };
+            if better {
+                best = Some((ct, t.seq, page_index, cell_index as u32, t));
+            }
+        }
+    }
+    let Some((ct, _seq, page_index, cell_index, tuple)) = best else {
+        return Ok(None);
+    };
+    let leaves = snapshot_leaves(&snap.pages);
+    let proof = ReadProof {
+        epoch: snap.epoch,
+        page: proof_page(&snap.pages[page_index]),
+        cell_index,
+        path: merkle_path(&leaves, page_index),
+    };
+    let value = if tuple.end_of_life { None } else { Some(tuple.value) };
+    Ok(Some(ProvenRead { value, commit_time: ct, proof_bytes: proof.encode() }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_common::PageNo;
+    use ccdb_crypto::AddHash;
+
+    fn cell(rel: u32, key: &[u8], t: u64, seq: u16, eol: bool, value: &[u8]) -> Vec<u8> {
+        TupleVersion {
+            rel: RelId(rel),
+            key: key.to_vec(),
+            time: WriteTime::Committed(Timestamp(t)),
+            seq,
+            end_of_life: eol,
+            value: value.to_vec(),
+        }
+        .encode_cell()
+    }
+
+    fn snap() -> Snapshot {
+        Snapshot {
+            epoch: 2,
+            time: Timestamp(999),
+            tuple_hash: AddHash::new(),
+            pages: vec![
+                SnapPage {
+                    pgno: PageNo(3),
+                    rel: RelId(1),
+                    kind: PageType::Leaf,
+                    historical: false,
+                    aux: 0,
+                    cells: vec![
+                        cell(1, b"a", 100, 0, false, b"v1"),
+                        cell(1, b"a", 200, 1, false, b"v2"),
+                        cell(1, b"b", 150, 2, true, b""),
+                    ],
+                },
+                SnapPage {
+                    pgno: PageNo(4),
+                    rel: RelId(1),
+                    kind: PageType::Inner,
+                    historical: false,
+                    aux: 0,
+                    cells: vec![b"sep".to_vec()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn picks_latest_version() {
+        let p = build_read_proof(&snap(), RelId(1), b"a").unwrap().unwrap();
+        assert_eq!(p.value.as_deref(), Some(&b"v2"[..]));
+        assert_eq!(p.commit_time, Timestamp(200));
+    }
+
+    #[test]
+    fn eol_latest_reports_absent_with_proof() {
+        let p = build_read_proof(&snap(), RelId(1), b"b").unwrap().unwrap();
+        assert!(p.value.is_none());
+    }
+
+    #[test]
+    fn missing_key_has_no_proof() {
+        assert!(build_read_proof(&snap(), RelId(1), b"zzz").unwrap().is_none());
+    }
+
+    #[test]
+    fn proof_verifies_against_derived_head() {
+        let s = snap();
+        let head = head_of_snapshot(&s);
+        let head_bytes = head.encode();
+        let seed = [5u8; 32];
+        let mut h = Sha256::new();
+        h.update(&seed).update(b"ccdb:epoch-head-key").update(&2u64.to_le_bytes());
+        let kp = LamportKeyPair::from_seed(&h.finalize());
+        let sig = kp.sign(&EpochHead::signed_message(&head_bytes)).to_bytes();
+        let pk = kp.public_key();
+        let p = build_read_proof(&s, RelId(1), b"a").unwrap().unwrap();
+        let out = ccdb_verifier::verify_read(
+            &head_bytes,
+            &sig,
+            &pk.to_bytes(),
+            Some(&pk.fingerprint()),
+            &p.proof_bytes,
+            1,
+            b"a",
+        )
+        .unwrap();
+        assert_eq!(out.value.as_deref(), Some(&b"v2"[..]));
+        assert_eq!(out.head.page_count, 2);
+    }
+}

@@ -167,6 +167,39 @@ impl Client {
             other => Err(unexpected("stats", &other)),
         }
     }
+
+    /// Reads `key` against the last sealed epoch, returning the signed
+    /// epoch head and (for keys present in the sealed state) a Merkle
+    /// inclusion proof. The blobs are deliberately opaque here: feed them
+    /// to the standalone `ccdb-verifier` crate so the check does not trust
+    /// this client library or the server.
+    pub fn read_verified(&mut self, rel: RelId, key: &[u8]) -> Result<VerifiedRead> {
+        match self.call_ok(Request::ReadVerified { rel, key: key.to_vec() })? {
+            Response::ReadProof { epoch, value, head, sig, pubkey, proof } => {
+                Ok(VerifiedRead { epoch, value, head, sig, pubkey, proof })
+            }
+            other => Err(unexpected("read_verified", &other)),
+        }
+    }
+}
+
+/// A proof-carrying read: everything a client needs to check the value
+/// against the auditor-signed epoch head with `ccdb-verifier`.
+#[derive(Debug, Clone)]
+pub struct VerifiedRead {
+    /// Sealed epoch the proof speaks for.
+    pub epoch: u64,
+    /// The committed value (`None` = absent key or a proven deletion).
+    pub value: Option<Vec<u8>>,
+    /// Canonical epoch-head bytes.
+    pub head: Vec<u8>,
+    /// Lamport signature over the head.
+    pub sig: Vec<u8>,
+    /// One-time public key the signature verifies under.
+    pub pubkey: Vec<u8>,
+    /// Merkle inclusion proof; `None` when the key is absent from the
+    /// sealed epoch (the head alone attests the epoch).
+    pub proof: Option<Vec<u8>>,
 }
 
 fn unexpected(op: &str, resp: &Response) -> Error {

@@ -122,6 +122,10 @@ pub enum Request {
     Migrate { rel: RelId },
     /// Engine + service counters for this session's tenant.
     Stats,
+    /// Reads `key`'s latest version as sealed by the last clean audit,
+    /// returning a client-verifiable inclusion proof against the signed
+    /// epoch head (checkable offline with the `ccdb-verifier` crate).
+    ReadVerified { rel: RelId, key: Vec<u8> },
 }
 
 /// Server → client messages.
@@ -150,6 +154,25 @@ pub enum Response {
         group_commit_batches: u64,
         wal_bytes: u64,
         epoch: u64,
+    },
+    /// `ReadVerified` result: the signed epoch head (always present once an
+    /// epoch has sealed) plus, when the key exists in the sealed epoch, the
+    /// encoded inclusion proof. `proof` is `None` for a key absent from the
+    /// sealed state; `value` is `None` when the key is absent *or* its
+    /// latest sealed version is a deletion (the proof proves the tombstone).
+    ReadProof {
+        /// The sealed epoch the proof speaks for.
+        epoch: u64,
+        /// The proven value (`None`: absent key or proven deletion).
+        value: Option<Vec<u8>>,
+        /// Encoded epoch head (the signed bytes).
+        head: Vec<u8>,
+        /// Lamport signature over the head.
+        sig: Vec<u8>,
+        /// The signing one-time public key.
+        pubkey: Vec<u8>,
+        /// Encoded inclusion proof (`None` = key absent from the epoch).
+        proof: Option<Vec<u8>>,
     },
     /// Typed failure.
     Err { code: ErrorCode, msg: String },
@@ -218,6 +241,11 @@ impl Request {
                 w.put_u32(rel.0);
             }
             Request::Stats => w.put_u8(13),
+            Request::ReadVerified { rel, key } => {
+                w.put_u8(14);
+                w.put_u32(rel.0);
+                w.put_len_bytes(key);
+            }
         }
         w.into_vec()
     }
@@ -260,6 +288,9 @@ impl Request {
             11 => Request::Audit { serial: r.get_u8()? != 0 },
             12 => Request::Migrate { rel: RelId(r.get_u32()?) },
             13 => Request::Stats,
+            14 => {
+                Request::ReadVerified { rel: RelId(r.get_u32()?), key: r.get_len_bytes()?.to_vec() }
+            }
             t => return Err(Error::corruption(format!("rpc: unknown request tag {t}"))),
         };
         if !r.is_exhausted() {
@@ -327,6 +358,27 @@ impl Response {
                 w.put_u64(*wal_bytes);
                 w.put_u64(*epoch);
             }
+            Response::ReadProof { epoch, value, head, sig, pubkey, proof } => {
+                w.put_u8(8);
+                w.put_u64(*epoch);
+                match value {
+                    Some(v) => {
+                        w.put_u8(1);
+                        w.put_len_bytes(v);
+                    }
+                    None => w.put_u8(0),
+                }
+                w.put_len_bytes(head);
+                w.put_len_bytes(sig);
+                w.put_len_bytes(pubkey);
+                match proof {
+                    Some(p) => {
+                        w.put_u8(1);
+                        w.put_len_bytes(p);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
             Response::Err { code, msg } => {
                 w.put_u8(255);
                 w.put_u8(*code as u8);
@@ -361,6 +413,14 @@ impl Response {
                 group_commit_batches: r.get_u64()?,
                 wal_bytes: r.get_u64()?,
                 epoch: r.get_u64()?,
+            },
+            8 => Response::ReadProof {
+                epoch: r.get_u64()?,
+                value: if r.get_u8()? != 0 { Some(r.get_len_bytes()?.to_vec()) } else { None },
+                head: r.get_len_bytes()?.to_vec(),
+                sig: r.get_len_bytes()?.to_vec(),
+                pubkey: r.get_len_bytes()?.to_vec(),
+                proof: if r.get_u8()? != 0 { Some(r.get_len_bytes()?.to_vec()) } else { None },
             },
             255 => Response::Err { code: ErrorCode::from_u8(r.get_u8()?), msg: r.get_str()? },
             t => return Err(Error::corruption(format!("rpc: unknown response tag {t}"))),
@@ -456,6 +516,7 @@ mod tests {
         roundtrip_req(Request::Audit { serial: true });
         roundtrip_req(Request::Migrate { rel: RelId(2) });
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::ReadVerified { rel: RelId(5), key: b"acct-0042".to_vec() });
     }
 
     #[test]
@@ -480,6 +541,32 @@ mod tests {
             group_commit_batches: 4,
             wal_bytes: 5,
             epoch: 6,
+        });
+        roundtrip_resp(Response::ReadProof {
+            epoch: 3,
+            value: Some(b"balance=12".to_vec()),
+            head: vec![0xAB; 96],
+            sig: vec![0xCD; 64],
+            pubkey: vec![0xEF; 32],
+            proof: Some(vec![0x42; 512]),
+        });
+        // Proven deletion: an inclusion proof whose tuple carries no value.
+        roundtrip_resp(Response::ReadProof {
+            epoch: 0,
+            value: None,
+            head: vec![1, 2, 3],
+            sig: vec![4],
+            pubkey: vec![5],
+            proof: Some(vec![6, 7]),
+        });
+        // Absent key: the signed head alone, no proof body.
+        roundtrip_resp(Response::ReadProof {
+            epoch: 9,
+            value: None,
+            head: vec![9; 80],
+            sig: vec![8; 64],
+            pubkey: vec![7; 32],
+            proof: None,
         });
         roundtrip_resp(Response::Err {
             code: ErrorCode::AdmissionRejected,

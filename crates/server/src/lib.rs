@@ -18,6 +18,7 @@
 
 pub mod session;
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -25,7 +26,9 @@ use std::sync::Arc;
 use std::time::Duration as StdDuration;
 
 use ccdb_btree::SplitPolicy;
+use ccdb_common::sync::Mutex;
 use ccdb_common::{ClockRef, Duration, Error, Result, TxnId};
+use ccdb_core::audit::stream::{StreamAuditor, StreamStats};
 use ccdb_core::db::{ComplianceConfig, CompliantDb};
 use ccdb_core::tenant::TenantRegistry;
 use ccdb_metrics::{MetricsServer, Registry, Sample};
@@ -51,6 +54,14 @@ pub struct ServerConfig {
     pub idle_timeout: StdDuration,
     /// How often the reaper scans.
     pub reap_interval: StdDuration,
+    /// Streaming-audit daemon poll interval; `None` disables the daemon.
+    /// When enabled, one thread tails every tenant's compliance log with a
+    /// [`StreamAuditor`], bounding audit lag to roughly one interval.
+    pub audit_stream_interval: Option<StdDuration>,
+    /// Every Nth daemon poll per tenant is a *deep* poll (full fold against
+    /// the disk state, catching in-place tampering); the rest are shallow
+    /// log-tail polls that never touch the engine. `1` = every poll deep.
+    pub audit_stream_deep_every: u32,
 }
 
 impl ServerConfig {
@@ -65,6 +76,8 @@ impl ServerConfig {
             max_inflight_txns: 256,
             idle_timeout: StdDuration::from_secs(300),
             reap_interval: StdDuration::from_millis(500),
+            audit_stream_interval: None,
+            audit_stream_deep_every: 1,
         }
     }
 }
@@ -78,20 +91,25 @@ struct Inner {
     max_inflight: u64,
     /// `Begin` requests bounced by admission control.
     rejections: AtomicU64,
+    /// Last-published streaming-audit counters, per tenant (written by the
+    /// daemon thread, read by scrape collectors and [`Server::audit_stats`]).
+    audit_stats: Mutex<HashMap<String, StreamStats>>,
     stop: AtomicBool,
 }
 
 impl Inner {
-    /// Takes an admission slot, or returns the typed rejection.
-    fn admit(&self) -> std::result::Result<(), Response> {
+    /// Takes an admission slot, or returns the typed rejection (boxed: the
+    /// `Response` enum grew wide with `ReadProof` and the rejection is the
+    /// cold path).
+    fn admit(&self) -> std::result::Result<(), Box<Response>> {
         let mut cur = self.inflight.load(Ordering::Relaxed);
         loop {
             if cur >= self.max_inflight {
                 self.rejections.fetch_add(1, Ordering::Relaxed);
-                return Err(Response::Err {
+                return Err(Box::new(Response::Err {
                     code: ErrorCode::AdmissionRejected,
                     msg: format!("{} transactions in flight (bound {})", cur, self.max_inflight),
-                });
+                }));
             }
             match self.inflight.compare_exchange_weak(
                 cur,
@@ -119,6 +137,7 @@ pub struct Server {
     metrics: Option<MetricsServer>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     reaper_thread: Option<std::thread::JoinHandle<()>>,
+    audit_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -131,6 +150,7 @@ impl Server {
             inflight: AtomicU64::new(0),
             max_inflight: config.max_inflight_txns.max(1),
             rejections: AtomicU64::new(0),
+            audit_stats: Mutex::new(HashMap::new()),
             stop: AtomicBool::new(false),
         });
 
@@ -179,6 +199,35 @@ impl Server {
             })
             .map_err(|e| Error::io("server: spawn reaper", e))?;
 
+        let audit_thread = match config.audit_stream_interval {
+            Some(interval) => {
+                let daemon_inner = inner.clone();
+                let deep_every = config.audit_stream_deep_every.max(1) as u64;
+                Some(
+                    std::thread::Builder::new()
+                        .name("ccdb-audit-stream".into())
+                        .spawn(move || {
+                            // One StreamAuditor per tenant, created lazily and
+                            // re-attached after an error (e.g. a WORM I/O
+                            // failure mid-poll leaves the fold poisoned).
+                            let mut auditors: HashMap<String, StreamAuditor> = HashMap::new();
+                            let mut round: u64 = 0;
+                            while !daemon_inner.stop.load(Ordering::Relaxed) {
+                                std::thread::sleep(interval);
+                                round += 1;
+                                audit_daemon_tick(
+                                    &daemon_inner,
+                                    &mut auditors,
+                                    round.is_multiple_of(deep_every),
+                                );
+                            }
+                        })
+                        .map_err(|e| Error::io("server: spawn audit daemon", e))?,
+                )
+            }
+            None => None,
+        };
+
         Ok(Server {
             inner,
             addr,
@@ -186,6 +235,7 @@ impl Server {
             metrics,
             accept_thread: Some(accept_thread),
             reaper_thread: Some(reaper_thread),
+            audit_thread,
         })
     }
 
@@ -228,6 +278,12 @@ impl Server {
     pub fn sessions_reaped(&self) -> u64 {
         self.inner.sessions.reaped.load(Ordering::Relaxed)
     }
+
+    /// The streaming-audit daemon's last-published counters, per tenant.
+    /// Empty when the daemon is disabled or has not completed a round yet.
+    pub fn audit_stats(&self) -> HashMap<String, StreamStats> {
+        self.inner.audit_stats.lock().clone()
+    }
 }
 
 impl Drop for Server {
@@ -238,6 +294,9 @@ impl Drop for Server {
             let _ = t.join();
         }
         if let Some(t) = self.reaper_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.audit_thread.take() {
             let _ = t.join();
         }
         // MetricsServer stops in its own Drop.
@@ -317,6 +376,30 @@ fn register_metrics(registry: &Arc<Registry>, inner: &Arc<Inner>) {
         move || per_tenant(&i, |db| db.epoch() as f64),
     );
     let i = inner.clone();
+    registry.collector_gauge(
+        "ccdb_audit_lag_records",
+        "Compliance-log records appended but not yet ingested by the streaming auditor, per tenant.",
+        move || per_audit(&i, |s| s.lag_records as f64),
+    );
+    let i = inner.clone();
+    registry.collector_gauge(
+        "ccdb_audit_lag_us",
+        "Wall-clock µs the streaming auditor's last poll spent draining the log tail, per tenant.",
+        move || per_audit(&i, |s| s.last_poll_us as f64),
+    );
+    let i = inner.clone();
+    registry.collector_counter(
+        "ccdb_epochs_sealed_total",
+        "Epoch rolls observed by the streaming auditor (clean audits under the stream), per tenant.",
+        move || per_audit(&i, |s| s.epochs_sealed as f64),
+    );
+    let i = inner.clone();
+    registry.collector_counter(
+        "ccdb_tamper_alerts_total",
+        "Tamper alerts raised by the streaming auditor, per tenant.",
+        move || per_audit(&i, |s| s.tamper_alerts as f64),
+    );
+    let i = inner.clone();
     registry.collector_counter(
         "ccdb_l_records_total",
         "Compliance-log records appended this epoch, per tenant (audit lag proxy).",
@@ -328,6 +411,39 @@ fn register_metrics(registry: &Arc<Registry>, inner: &Arc<Inner>) {
     );
 }
 
+/// One daemon round: poll every tenant's streaming auditor and publish the
+/// counters. Tenants appear lazily (first round after creation) and an
+/// auditor that errors is dropped so the next round re-attaches fresh —
+/// re-seeding from the sealed snapshot is always safe, only the incremental
+/// fold state is lost.
+fn audit_daemon_tick(inner: &Inner, auditors: &mut HashMap<String, StreamAuditor>, deep: bool) {
+    for name in inner.tenants.names() {
+        let Some(db) = inner.tenants.tenant(&name) else { continue };
+        if !auditors.contains_key(&name) {
+            match db.stream_auditor() {
+                Ok(aud) => {
+                    auditors.insert(name.clone(), aud);
+                }
+                Err(_) => continue, // e.g. no compliance mode configured
+            }
+        }
+        let aud = auditors.get_mut(&name).expect("inserted above");
+        let outcome = if deep { aud.poll_deep(&db) } else { aud.poll(&db) };
+        match outcome {
+            Ok(_alert) => {
+                // Alerts are not consumed here: the counters below carry
+                // tamper_alerts / violations to the scrape endpoint, and
+                // the evidence stays queryable through a real audit.
+                inner.audit_stats.lock().insert(name.clone(), aud.stats());
+            }
+            Err(_) => {
+                inner.audit_stats.lock().insert(name.clone(), aud.stats());
+                auditors.remove(&name);
+            }
+        }
+    }
+}
+
 fn per_tenant(inner: &Inner, f: impl Fn(&CompliantDb) -> f64) -> Vec<Sample> {
     inner
         .tenants
@@ -336,6 +452,15 @@ fn per_tenant(inner: &Inner, f: impl Fn(&CompliantDb) -> f64) -> Vec<Sample> {
         .filter_map(|name| {
             inner.tenants.tenant(&name).map(|db| Sample::labelled("tenant", &name, f(&db)))
         })
+        .collect()
+}
+
+fn per_audit(inner: &Inner, f: impl Fn(&StreamStats) -> f64) -> Vec<Sample> {
+    inner
+        .audit_stats
+        .lock()
+        .iter()
+        .map(|(name, stats)| Sample::labelled("tenant", name, f(stats)))
         .collect()
 }
 
@@ -448,7 +573,7 @@ fn dispatch(
         Request::Ping => Response::Ok,
         Request::Begin => {
             if let Err(rejection) = inner.admit() {
-                return rejection;
+                return *rejection;
             }
             match s.db.begin() {
                 Ok(txn) => {
@@ -554,6 +679,25 @@ fn dispatch(
         }
         Request::Migrate { rel } => match s.db.migrate_to_worm(rel) {
             Ok(report) => Response::Migrated { tuples: report.tuples_migrated as u64 },
+            Err(e) => err_of(e),
+        },
+        Request::ReadVerified { rel, key } => match s.db.read_proof(rel, &key) {
+            Ok((head, proven)) => {
+                let (value, proof) = match proven {
+                    Some(p) => (p.value, Some(p.proof_bytes)),
+                    None => (None, None),
+                };
+                Response::ReadProof {
+                    epoch: head.head.epoch,
+                    value,
+                    head: head.head_bytes,
+                    sig: head.sig_bytes,
+                    pubkey: head.pub_bytes,
+                    proof,
+                }
+            }
+            // NotFound covers "no sealed epoch yet" — the client must run
+            // (or wait for) one clean audit before proof-carrying reads.
             Err(e) => err_of(e),
         },
         Request::Stats => {

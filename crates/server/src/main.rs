@@ -14,7 +14,8 @@ use ccdb_server::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: ccdb-server --dir <path> [--addr <host:port>] \
-         [--metrics-addr <host:port>] [--max-inflight <n>] [--idle-timeout-secs <n>]"
+         [--metrics-addr <host:port>] [--max-inflight <n>] [--idle-timeout-secs <n>] \
+         [--audit-stream-ms <n>] [--audit-deep-every <n>]"
     );
     std::process::exit(2);
 }
@@ -26,6 +27,8 @@ fn main() {
     let mut metrics_addr: Option<String> = None;
     let mut max_inflight: u64 = 256;
     let mut idle_timeout_secs: u64 = 300;
+    let mut audit_stream_ms: Option<u64> = None;
+    let mut audit_deep_every: u32 = 1;
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().unwrap_or_else(|| usage_missing(flag));
         match flag.as_str() {
@@ -37,6 +40,13 @@ fn main() {
             }
             "--idle-timeout-secs" => {
                 idle_timeout_secs = value("--idle-timeout-secs").parse().unwrap_or_else(|_| usage())
+            }
+            "--audit-stream-ms" => {
+                audit_stream_ms =
+                    Some(value("--audit-stream-ms").parse().unwrap_or_else(|_| usage()))
+            }
+            "--audit-deep-every" => {
+                audit_deep_every = value("--audit-deep-every").parse().unwrap_or_else(|_| usage())
             }
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -50,6 +60,8 @@ fn main() {
     config.metrics_addr = metrics_addr;
     config.max_inflight_txns = max_inflight;
     config.idle_timeout = std::time::Duration::from_secs(idle_timeout_secs);
+    config.audit_stream_interval = audit_stream_ms.map(std::time::Duration::from_millis);
+    config.audit_stream_deep_every = audit_deep_every;
 
     let server = match Server::start(config, Arc::new(SystemClock::new())) {
         Ok(s) => s,

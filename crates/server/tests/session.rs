@@ -221,6 +221,100 @@ fn tenants_are_isolated_and_audit_clean_over_rpc() {
     }
 }
 
+/// End-to-end over RPC: the streaming-audit daemon follows the epoch roll
+/// and drains its lag; a `ReadVerified` call round-trips through the
+/// engine-free `ccdb-verifier`; corrupted proof bytes are rejected; and an
+/// out-of-band disk edit raises the daemon's tamper counter, visible on the
+/// scrape endpoint.
+#[test]
+fn streaming_daemon_and_verified_reads_over_rpc() {
+    use ccdb_adversary::Mala;
+    use ccdb_core::EpochHeadManager;
+
+    let server = start("stream", |cfg| {
+        cfg.metrics_addr = Some("127.0.0.1:0".to_string());
+        cfg.audit_stream_interval = Some(StdDuration::from_millis(20));
+        cfg.audit_stream_deep_every = 1;
+    });
+    let addr = server.addr().to_string();
+    let mut c = Client::connect(&addr, "acme").unwrap();
+    let rel = c.create_relation("ledger").unwrap();
+
+    // No sealed epoch yet: proof-carrying reads are a typed error.
+    assert!(c.read_verified(rel, b"k007").is_err());
+
+    for i in 0..30u32 {
+        let t = c.begin().unwrap();
+        c.write(t, rel, format!("k{i:03}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        c.commit(t).unwrap();
+    }
+    let (clean, _) = c.audit(false).unwrap();
+    assert!(clean, "seal audit dirty");
+
+    // The daemon follows the sealed epoch and drains its lag.
+    wait_until("daemon follows the sealed epoch", || {
+        server
+            .audit_stats()
+            .get("acme")
+            .is_some_and(|s| s.epochs_sealed >= 1 && s.polls > 0 && s.lag_records == 0)
+    });
+    assert_eq!(server.audit_stats()["acme"].tamper_alerts, 0, "false alarm on honest load");
+
+    // A verified read checks out under the pinned lineage fingerprint —
+    // the client needs nothing from the engine to do this.
+    let vr = c.read_verified(rel, b"k007").unwrap();
+    assert_eq!(vr.epoch, 0);
+    assert_eq!(vr.value.as_deref(), Some(&b"v7"[..]));
+    let db = server.tenants().tenant("acme").unwrap();
+    let fp = EpochHeadManager::new(db.worm().clone(), cfg().auditor_seed).fingerprint(0);
+    let proof = vr.proof.as_ref().expect("committed key carries a proof");
+    let out =
+        ccdb_verifier::verify_read(&vr.head, &vr.sig, &vr.pubkey, Some(&fp), proof, rel.0, b"k007")
+            .unwrap();
+    assert_eq!(out.value.as_deref(), Some(&b"v7"[..]));
+    assert_eq!(out.head.epoch, 0);
+
+    // Corrupting the proof's epoch byte must fail verification.
+    let mut bad = proof.clone();
+    bad[0] ^= 1;
+    assert!(
+        ccdb_verifier::verify_read(&vr.head, &vr.sig, &vr.pubkey, Some(&fp), &bad, rel.0, b"k007")
+            .is_err(),
+        "corrupted proof accepted"
+    );
+
+    // An out-of-band edit to the database file is flagged by the daemon's
+    // next deep poll and lands on the tamper counter.
+    db.engine().run_stamper().unwrap();
+    db.engine().clear_cache().unwrap();
+    assert!(Mala::new(db.engine().db_path()).alter_tuple_value(b"k007", b"forged").unwrap());
+    wait_until("daemon flags the tamper", || {
+        server.audit_stats().get("acme").is_some_and(|s| s.tamper_alerts >= 1)
+    });
+
+    // The scrape endpoint carries the streaming-audit series per tenant.
+    let (status, body) = http_get(server.metrics_addr().unwrap(), "/metrics").unwrap();
+    assert_eq!(status, 200);
+    for metric in [
+        "ccdb_audit_lag_records",
+        "ccdb_audit_lag_us",
+        "ccdb_epochs_sealed_total",
+        "ccdb_tamper_alerts_total",
+    ] {
+        assert!(
+            body.lines().any(|l| l.starts_with(metric) && l.contains("tenant=\"acme\"")),
+            "missing {metric} for acme:\n{body}"
+        );
+    }
+    let alerts = body
+        .lines()
+        .find(|l| l.starts_with("ccdb_tamper_alerts_total") && l.contains("tenant=\"acme\""))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap();
+    assert!(alerts >= 1.0, "tamper alert not exported: {alerts}");
+}
+
 #[test]
 fn pooled_clients_share_connections_under_contention() {
     let server = start("pool", |_| {});

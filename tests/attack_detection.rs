@@ -70,9 +70,13 @@ fn mala(db: &CompliantDb) -> Mala {
 
 /// Runs the serial oracle and the parallel pipeline as dry-runs over the
 /// same quiesced state, asserts they agree on every observable (verdict,
-/// violations, forensics, completeness hash), then performs the real
-/// epoch-advancing audit and returns its report. Every attack in this
-/// gauntlet therefore proves detection under **both** auditors.
+/// violations, forensics, completeness hash), then points the **streaming
+/// daemon** at the same database: a single deep poll — one poll interval
+/// after injection — must raise a [`ccdb::compliance::TamperAlert`] carrying
+/// exactly the violations the batch auditors report (and stay silent when
+/// they report none). Finally performs the real epoch-advancing audit and
+/// returns its report. Every attack in this gauntlet therefore proves
+/// detection under **all three** auditors.
 fn audit_both(db: &CompliantDb) -> ccdb::compliance::AuditReport {
     use ccdb::compliance::AuditConfig;
     let serial = db.audit_outcome_with(AuditConfig::serial()).unwrap();
@@ -90,6 +94,21 @@ fn audit_both(db: &CompliantDb) -> ccdb::compliance::AuditReport {
             serial.tuple_hash, par.tuple_hash,
             "completeness-hash divergence at {threads} threads"
         );
+    }
+    let mut stream = db.stream_auditor().unwrap();
+    let alert = stream.poll_deep(db).unwrap();
+    if serial.report.is_clean() {
+        assert!(alert.is_none(), "streaming daemon false alarm: {alert:?}");
+        assert_eq!(stream.stats().tamper_alerts, 0);
+    } else {
+        let alert = alert.unwrap_or_else(|| {
+            panic!("streaming daemon missed the attack: {:?}", serial.report.violations)
+        });
+        assert_eq!(
+            alert.violations, serial.report.violations,
+            "streaming alert disagrees with the batch verdict"
+        );
+        assert!(stream.stats().tamper_alerts >= 1);
     }
     db.audit().unwrap()
 }
@@ -356,6 +375,45 @@ fn forensics_localize_the_exact_tampered_tuple() {
     assert!(altered, "{:?}", report.forensics);
     assert!(missing, "{:?}", report.forensics);
     assert!(forged, "{:?}", report.forensics);
+}
+
+#[test]
+fn streaming_daemon_flags_tampering_on_the_next_poll() {
+    // The daemon timeline: a stream that has been tailing the epoch and
+    // polling clean must flag Mala's tampering on the very next deep poll
+    // after injection — not an audit later, not after the epoch rolls.
+    let (db, _c, _d) = setup("daemon", Mode::LogConsistent);
+    let mut stream = db.stream_auditor().unwrap();
+    let rel = db.create_relation("ledger", SplitPolicy::KeyOnly).unwrap();
+    for i in 0..200usize {
+        let t = db.begin().unwrap();
+        db.write(t, rel, format!("acct-{i:04}").as_bytes(), format!("balance={i}").as_bytes())
+            .unwrap();
+        db.commit(t).unwrap();
+        if i % 17 == 0 {
+            assert!(stream.poll(&db).unwrap().is_none(), "clean tail alerted");
+        }
+    }
+    db.engine().run_stamper().unwrap();
+    db.engine().clear_cache().unwrap();
+    assert!(stream.poll_deep(&db).unwrap().is_none(), "pre-attack deep poll must be clean");
+
+    assert!(mala(&db).alter_tuple_value(b"acct-0042", b"balance=1000000").unwrap());
+
+    let alert = stream.poll_deep(&db).unwrap().expect("tampering missed on the next poll");
+    assert!(
+        alert.violations.iter().any(|v| matches!(v, Violation::CompletenessMismatch)),
+        "{:?}",
+        alert.violations
+    );
+    assert!(
+        alert.violations.iter().any(|v| matches!(v, Violation::StateMismatch { .. })),
+        "{:?}",
+        alert.violations
+    );
+    assert_eq!(stream.stats().tamper_alerts, 1);
+    // The dirty set is stable: no duplicate alert on the next poll.
+    assert!(stream.poll_deep(&db).unwrap().is_none(), "re-alerted on an unchanged finding set");
 }
 
 #[test]
