@@ -395,6 +395,269 @@ pub fn run_campaign(seeds: impl IntoIterator<Item = u64>) -> Result<Vec<TortureO
     Ok(out)
 }
 
+// --- sharded torture --------------------------------------------------------
+
+/// What one sharded torture schedule did.
+#[derive(Debug)]
+pub struct ShardTortureOutcome {
+    /// The schedule's seed.
+    pub seed: u64,
+    /// Shard count.
+    pub shards: u32,
+    /// Mid-2PC crash rounds executed.
+    pub crash_rounds: usize,
+    /// In-doubt transactions that resolved to COMMIT (a decision record
+    /// was durable somewhere before the crash).
+    pub resolved_commit: usize,
+    /// In-doubt transactions that resolved to ABORT (presumed abort: no
+    /// decision record survived anywhere).
+    pub resolved_abort: usize,
+    /// Whether the final sealing audit (every shard + cross-shard join)
+    /// was clean.
+    pub audit_clean: bool,
+}
+
+/// Reads a key through the shard map, bypassing transactions (recovered
+/// latest state).
+fn shard_read_latest(
+    db: &ccdb_core::ShardedDb,
+    rel: ccdb_common::RelId,
+    key: &[u8],
+) -> Result<Option<Vec<u8>>, Error> {
+    let s = db.map().shard_of(key);
+    db.shards()[s].engine().read_latest(rel, key)
+}
+
+/// Verifies the model against the recovered sharded deployment.
+fn check_shard_model(
+    db: &ccdb_core::ShardedDb,
+    rel: ccdb_common::RelId,
+    model: &Model,
+    seed: u64,
+) -> Result<(), String> {
+    for (key, expect) in model {
+        let got = shard_read_latest(db, rel, key)
+            .map_err(|e| format!("seed {seed}: shard read_latest({key:02x?}) failed: {e}"))?;
+        if got.as_ref() != expect.as_ref() {
+            return Err(format!(
+                "seed {seed}: acknowledged cross-shard commit lost: key {key:02x?} \
+                 expected len {:?} got len {:?}",
+                expect.as_ref().map(|v| v.len()),
+                got.as_ref().map(|v| v.len()),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A dry deployment audit (serial oracle per shard + cross-shard join)
+/// that must be clean; violations fail the schedule with the seed.
+fn assert_shard_audit_clean(
+    db: &ccdb_core::ShardedDb,
+    seed: u64,
+    when: &str,
+) -> Result<(), String> {
+    let (outcomes, cross) = db
+        .audit_dry(ccdb_core::AuditConfig::serial())
+        .map_err(|e| format!("seed {seed}: {when} audit errored: {e}"))?;
+    for (i, o) in outcomes.iter().enumerate() {
+        if !o.report.is_clean() {
+            return Err(format!("seed {seed}: {when}: shard {i} dirty: {:?}", o.report.violations));
+        }
+    }
+    if !cross.is_empty() {
+        return Err(format!("seed {seed}: {when}: cross-shard join dirty: {cross:?}"));
+    }
+    Ok(())
+}
+
+/// One deterministic sharded crash-torture schedule: cross-shard workload,
+/// then repeated mid-2PC crashes — the protocol is driven by hand up to the
+/// prepare phase, the decision is appended to a seeded *prefix* of the
+/// participants (possibly none), and either one seeded shard or the whole
+/// deployment crashes. Recovery must drive every in-doubt transaction to
+/// the unique outcome the surviving decision records dictate (presumed
+/// abort when none survived), identically on all participants, and the
+/// deployment must audit clean — per shard and under the cross-shard join.
+pub fn run_shard_schedule(seed: u64) -> Result<ShardTortureOutcome, String> {
+    use ccdb_core::records::LogRecord;
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let shards = if rng.gen_bool(0.5) { 2u32 } else { 3 };
+    let config = ComplianceConfig {
+        mode: Mode::LogConsistent,
+        regret_interval: Duration::from_mins(5),
+        cache_pages: rng.gen_range(32..128usize),
+        auditor_seed: [7u8; 32],
+        fsync: false,
+        worm_artifact_retention: None,
+        ..ComplianceConfig::default()
+    };
+    let dir = TempDir::new(&format!("shard-torture-{seed}"));
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(40)));
+    let mut db = ccdb_core::ShardedDb::open(&dir.0, clock.clone(), config.clone(), shards)
+        .map_err(|e| format!("seed {seed}: open failed: {e}"))?;
+    let rel = db
+        .create_relation("t", SplitPolicy::KeyOnly)
+        .map_err(|e| format!("seed {seed}: create_relation failed: {e}"))?;
+    let mut model: Model = BTreeMap::new();
+
+    // A committed cross-shard workload step (goes through the real
+    // coordinator, including its short-circuits).
+    let workload_step = |db: &ccdb_core::ShardedDb,
+                         rng: &mut SplitMix64,
+                         model: &mut Model|
+     -> Result<(), String> {
+        let n = rng.gen_range(1..6usize);
+        let ops: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
+            .map(|_| {
+                let key = vec![b'k', rng.gen_range(0..=255u8)];
+                let mut val = vec![0u8; rng.gen_range(8..32usize)];
+                rng.fill_bytes(&mut val);
+                (key, val)
+            })
+            .collect();
+        let commit = rng.gen_bool(0.85);
+        let mut dtx = db.begin();
+        for (key, val) in &ops {
+            db.write(&mut dtx, rel, key, val)
+                .map_err(|e| format!("seed {seed}: write failed: {e}"))?;
+        }
+        if commit {
+            db.commit(dtx).map_err(|e| format!("seed {seed}: commit failed: {e}"))?;
+            for (key, val) in ops {
+                model.insert(key, Some(val));
+            }
+        } else {
+            db.abort(dtx).map_err(|e| format!("seed {seed}: abort failed: {e}"))?;
+        }
+        Ok(())
+    };
+
+    for _ in 0..rng.gen_range(5..15usize) {
+        workload_step(&db, &mut rng, &mut model)?;
+    }
+
+    let crash_rounds = rng.gen_range(2..5usize);
+    let mut resolved_commit = 0usize;
+    let mut resolved_abort = 0usize;
+    for round in 0..crash_rounds {
+        // Build a transaction guaranteed to span ≥ 2 shards.
+        let mut dtx = db.begin();
+        let mut ops: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut salt = 0u8;
+        while dtx.writers().len() < 2 && salt < 64 {
+            let key = vec![b'x', round as u8, salt, rng.gen_range(0..=255u8)];
+            let mut val = vec![0u8; rng.gen_range(8..24usize)];
+            rng.fill_bytes(&mut val);
+            db.write(&mut dtx, rel, &key, &val)
+                .map_err(|e| format!("seed {seed}: victim write failed: {e}"))?;
+            ops.push((key, val));
+            salt += 1;
+        }
+        if dtx.writers().len() < 2 {
+            return Err(format!("seed {seed}: could not span two shards in 64 keys"));
+        }
+        let gtxn = dtx.gtxn();
+        let writers: Vec<usize> = dtx.writers();
+        let parts: Vec<u32> = writers.iter().map(|s| *s as u32).collect();
+        // Prepare phase, by hand.
+        for &s in &writers {
+            let txn = dtx.local_txn(s).expect("writer has a local txn");
+            db.shards()[s].prepare(txn).map_err(|e| format!("seed {seed}: prepare failed: {e}"))?;
+            db.shards()[s]
+                .log_2pc(&LogRecord::TwoPcPrepare {
+                    gtxn,
+                    txn,
+                    shard: s as u32,
+                    participants: parts.clone(),
+                })
+                .map_err(|e| format!("seed {seed}: prepare log failed: {e}"))?;
+        }
+        // The decision reaches a seeded prefix of the participants —
+        // possibly none (crash before the commit point).
+        let decided = rng.gen_range(0..=writers.len() as u64) as usize;
+        for &s in writers.iter().take(decided) {
+            db.shards()[s]
+                .log_2pc(&LogRecord::TwoPcDecision { gtxn, commit: true })
+                .map_err(|e| format!("seed {seed}: decision log failed: {e}"))?;
+        }
+        drop(dtx);
+        // Crash: one seeded participant, or the whole deployment.
+        if rng.gen_bool(0.6) {
+            let victim = writers[rng.gen_range(0..writers.len() as u64) as usize];
+            db.crash_shard(victim)
+                .map_err(|e| format!("seed {seed}: shard {victim} recovery failed: {e}"))?;
+        } else {
+            db = db
+                .crash_and_recover()
+                .map_err(|e| format!("seed {seed}: deployment recovery failed: {e}"))?;
+        }
+        // The contract: decision durable anywhere → COMMIT everywhere;
+        // no decision anywhere → presumed ABORT everywhere. Either way,
+        // every key of the transaction agrees (atomicity).
+        let expect_commit = decided > 0;
+        if expect_commit {
+            resolved_commit += 1;
+            for (key, val) in &ops {
+                model.insert(key.clone(), Some(val.clone()));
+            }
+        } else {
+            resolved_abort += 1;
+        }
+        check_shard_model(&db, rel, &model, seed)
+            .map_err(|e| format!("{e} [round {round}, decided {decided}/{}]", writers.len()))?;
+        if !expect_commit {
+            for (key, _) in &ops {
+                let got = shard_read_latest(&db, rel, key)
+                    .map_err(|e| format!("seed {seed}: read failed: {e}"))?;
+                if got.is_some() && model.get(key).is_none_or(|v| v.is_none()) {
+                    return Err(format!(
+                        "seed {seed}: presumed-abort leaked a write: key {key:02x?}"
+                    ));
+                }
+            }
+        }
+        assert_shard_audit_clean(&db, seed, &format!("round {round} post-recovery"))?;
+        // The deployment keeps working between crashes.
+        for _ in 0..rng.gen_range(1..5usize) {
+            workload_step(&db, &mut rng, &mut model)?;
+        }
+    }
+
+    // Final check: model intact, full sealing audit clean on every shard.
+    for shard in db.shards() {
+        shard
+            .engine()
+            .run_stamper()
+            .map_err(|e| format!("seed {seed}: final stamper failed: {e}"))?;
+    }
+    check_shard_model(&db, rel, &model, seed)?;
+    let dep = db.audit().map_err(|e| format!("seed {seed}: final audit errored: {e}"))?;
+    if !dep.is_clean() {
+        return Err(format!("seed {seed}: final sealing audit dirty: {:?}", dep.all_violations()));
+    }
+    Ok(ShardTortureOutcome {
+        seed,
+        shards,
+        crash_rounds,
+        resolved_commit,
+        resolved_abort,
+        audit_clean: dep.is_clean(),
+    })
+}
+
+/// Runs sharded schedules for `seeds`, failing fast with the first
+/// violated seed.
+pub fn run_shard_campaign(
+    seeds: impl IntoIterator<Item = u64>,
+) -> Result<Vec<ShardTortureOutcome>, String> {
+    let mut out = Vec::new();
+    for seed in seeds {
+        out.push(run_shard_schedule(seed)?);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::run_schedule;

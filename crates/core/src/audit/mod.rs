@@ -211,6 +211,47 @@ pub enum Violation {
         /// Length actually present on the backing store.
         backing_len: u64,
     },
+    /// A transaction prepared for cross-shard 2PC has no decision record on
+    /// this shard's log. Prepare and decision land in the same epoch (the
+    /// coordinator resolves in-doubt transactions before any seal), so a
+    /// missing decision is either a dropped record or an atomicity breach.
+    TwoPcUndecided {
+        /// The global (cross-shard) transaction id.
+        gtxn: u64,
+        /// The shard-local participant transaction.
+        txn: TxnId,
+    },
+    /// A shard's 2PC decision record disagrees with the participant's
+    /// actual outcome on that shard: a commit decision with no
+    /// `STAMP_TRANS`, or an abort decision that was stamped anyway. This is
+    /// the flipped-decision / diverged-outcome attack.
+    TwoPcOutcomeMismatch {
+        /// The global transaction id.
+        gtxn: u64,
+        /// The shard-local participant transaction.
+        txn: TxnId,
+        /// What the decision record on this shard's log says.
+        decided_commit: bool,
+    },
+    /// One shard's log carries two 2PC decision records with opposite
+    /// outcomes for the same global transaction.
+    TwoPcConflictingDecision {
+        /// The global transaction id.
+        gtxn: u64,
+    },
+    /// A 2PC decision record with no matching prepare on this shard's log —
+    /// a forged or misrouted decision.
+    TwoPcOrphanDecision {
+        /// The global transaction id.
+        gtxn: u64,
+    },
+    /// The cross-shard join found participants of one global transaction
+    /// whose logged decisions disagree — atomicity was violated across the
+    /// deployment even though each shard may be locally consistent.
+    TwoPcDivergentDecision {
+        /// The global transaction id.
+        gtxn: u64,
+    },
 }
 
 /// Timing and volume measurements (the audit-time table of Section VII-c).
@@ -454,6 +495,9 @@ pub struct AuditOutcome {
     pub snapshot_pages: Vec<SnapPage>,
     /// The fold over the final canonical tuple set.
     pub tuple_hash: AddHash,
+    /// This shard's 2PC book (empty for an unsharded deployment), for the
+    /// deployment-level cross-shard join.
+    pub two_pc: TwoPcBook,
 }
 
 fn fold_identity(t: &TupleVersion, commit: Timestamp) -> Vec<u8> {
@@ -931,9 +975,14 @@ impl<'a, S: ReplaySink> Replayer<'a, S> {
             LogRecord::StartRecovery { time } => {
                 self.sink.recovery(off, time);
             }
+            // Status and 2PC records carry no page traffic; they are
+            // collected in the sequential passes (stamp index / TwoPcBook)
+            // and judged by the dedicated checks.
             LogRecord::StampTrans { .. }
             | LogRecord::Abort { .. }
-            | LogRecord::DummyStamp { .. } => {}
+            | LogRecord::DummyStamp { .. }
+            | LogRecord::TwoPcPrepare { .. }
+            | LogRecord::TwoPcDecision { .. } => {}
         }
     }
 }
@@ -956,6 +1005,124 @@ struct StampIndex {
     stamps: HashMap<TxnId, (Timestamp, u64)>,
     aborts: HashMap<TxnId, u64>,
     liveness: Vec<(Timestamp, u64)>,
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard 2PC book
+// ---------------------------------------------------------------------------
+
+/// One shard's view of the cross-shard 2PC traffic in its log: every
+/// `2PC_PREPARE` and `2PC_DECISION` record, collected in a sequential pass
+/// (the records are global-ordering facts, like status records, so all
+/// three audit strategies gather them the same way and feed the same
+/// checks). Exposed on [`AuditOutcome`] so a deployment-level auditor can
+/// join the books of all shards and catch decisions that diverge *between*
+/// shards even when each shard is locally consistent.
+#[derive(Clone, Debug, Default)]
+pub struct TwoPcBook {
+    /// `gtxn → (local participant txn, shard id, participant set, offset)`.
+    pub prepares: BTreeMap<u64, (TxnId, u32, Vec<u32>, u64)>,
+    /// `gtxn → (commit?, offset of first decision)`.
+    pub decisions: BTreeMap<u64, (bool, u64)>,
+    /// Global transactions with two opposite-outcome decisions on this log.
+    pub conflicting: Vec<u64>,
+}
+
+impl TwoPcBook {
+    /// Records a `2PC_PREPARE` replayed at `off`.
+    pub fn add_prepare(&mut self, off: u64, gtxn: u64, txn: TxnId, shard: u32, parts: Vec<u32>) {
+        // First-win: a crash-recovery duplicate of the same prepare is
+        // byte-identical and harmless.
+        self.prepares.entry(gtxn).or_insert((txn, shard, parts, off));
+    }
+
+    /// Records a `2PC_DECISION` replayed at `off`.
+    pub fn add_decision(&mut self, off: u64, gtxn: u64, commit: bool) {
+        match self.decisions.get(&gtxn) {
+            Some((prev, _)) if *prev != commit => {
+                if !self.conflicting.contains(&gtxn) {
+                    self.conflicting.push(gtxn);
+                }
+            }
+            Some(_) => {} // idempotent re-append (crash resolution)
+            None => {
+                self.decisions.insert(gtxn, (commit, off));
+            }
+        }
+    }
+
+    /// Ingests one log record if it is 2PC traffic (convenience for the
+    /// sequential collection passes).
+    pub fn ingest(&mut self, off: u64, rec: &LogRecord) {
+        match rec {
+            LogRecord::TwoPcPrepare { gtxn, txn, shard, participants } => {
+                self.add_prepare(off, *gtxn, *txn, *shard, participants.clone());
+            }
+            LogRecord::TwoPcDecision { gtxn, commit } => {
+                self.add_decision(off, *gtxn, *commit);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The per-shard 2PC discipline, shared by all three audit strategies:
+/// every prepare must have a decision, every decision a prepare, no
+/// conflicting decisions, and the decision must agree with the
+/// participant's actual outcome (stamped iff decided-commit).
+fn two_pc_checks(
+    book: &TwoPcBook,
+    stamps: &HashMap<TxnId, (Timestamp, u64)>,
+    v: &mut Vec<Violation>,
+) {
+    for gtxn in &book.conflicting {
+        v.push(Violation::TwoPcConflictingDecision { gtxn: *gtxn });
+    }
+    for (gtxn, (txn, _shard, _parts, _off)) in &book.prepares {
+        match book.decisions.get(gtxn) {
+            None => v.push(Violation::TwoPcUndecided { gtxn: *gtxn, txn: *txn }),
+            Some((commit, _)) => {
+                let stamped = stamps.contains_key(txn);
+                if *commit != stamped {
+                    v.push(Violation::TwoPcOutcomeMismatch {
+                        gtxn: *gtxn,
+                        txn: *txn,
+                        decided_commit: *commit,
+                    });
+                }
+            }
+        }
+    }
+    for gtxn in book.decisions.keys() {
+        if !book.prepares.contains_key(gtxn) {
+            v.push(Violation::TwoPcOrphanDecision { gtxn: *gtxn });
+        }
+    }
+}
+
+/// The deployment-level cross-shard join: given every shard's
+/// [`TwoPcBook`], flag global transactions whose decisions disagree across
+/// participants. Each shard's book may be locally clean; only the join sees
+/// the divergence.
+pub fn two_pc_cross_shard_join(books: &[TwoPcBook]) -> Vec<Violation> {
+    let mut outcome: BTreeMap<u64, bool> = BTreeMap::new();
+    let mut divergent: Vec<u64> = Vec::new();
+    for book in books {
+        for (gtxn, (commit, _)) in &book.decisions {
+            match outcome.get(gtxn) {
+                Some(prev) if prev != commit => {
+                    if !divergent.contains(gtxn) {
+                        divergent.push(*gtxn);
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    outcome.insert(*gtxn, *commit);
+                }
+            }
+        }
+    }
+    divergent.into_iter().map(|gtxn| Violation::TwoPcDivergentDecision { gtxn }).collect()
 }
 
 /// Accumulator for the final-state scan (phase D): partial completeness
@@ -1273,6 +1440,7 @@ impl Auditor {
             snap.states,
             sink,
         );
+        let mut two_pc = TwoPcBook::default();
         for item in LogIter::new(&log_bytes) {
             let (off, rec) = match item {
                 Ok(x) => x,
@@ -1286,6 +1454,7 @@ impl Auditor {
                 let d = format!("{rec:?}");
                 eprintln!("AUDIT {off}: {}", &d[..d.len().min(160)]);
             }
+            two_pc.ingest(off, &rec);
             rp.replay(off, rec);
         }
         stats.log_scan_us = t1.elapsed().as_micros() as u64;
@@ -1302,6 +1471,9 @@ impl Auditor {
 
         // --- Shred legality -----------------------------------------------
         shred_legality(engine, &shreds, &mut v);
+
+        // --- 2PC discipline -----------------------------------------------
+        two_pc_checks(&two_pc, &idx.stamps, &mut v);
 
         // --- WAL-tail cross-check -----------------------------------------
         let tw = Instant::now();
@@ -1343,6 +1515,7 @@ impl Auditor {
             report: AuditReport { epoch, violations: v, forensics, stats },
             snapshot_pages,
             tuple_hash: h_final,
+            two_pc,
         })
     }
 

@@ -56,8 +56,9 @@ use crate::records::LogRecord;
 
 use super::{
     apply_fold_op, check_relation_tree, effective_threads, leftover_states_check, scan_final_page,
-    shred_legality, AuditOutcome, AuditReport, AuditStats, Auditor, FinalScan, FoldOp, PageState,
-    ReplaySink, Replayer, ShredConsume, ShredMap, SnapFold, Violation,
+    shred_legality, two_pc_checks, AuditOutcome, AuditReport, AuditStats, Auditor, FinalScan,
+    FoldOp, PageState, ReplaySink, Replayer, ShredConsume, ShredMap, SnapFold, TwoPcBook,
+    Violation,
 };
 
 /// One decoded `L` chunk: records before the first error, then the error
@@ -124,7 +125,9 @@ fn record_page(rec: &LogRecord) -> Option<PageNo> {
         | LogRecord::Abort { .. }
         | LogRecord::DummyStamp { .. }
         | LogRecord::Shredded { .. }
-        | LogRecord::StartRecovery { .. } => None,
+        | LogRecord::StartRecovery { .. }
+        | LogRecord::TwoPcPrepare { .. }
+        | LogRecord::TwoPcDecision { .. } => None,
     }
 }
 
@@ -318,10 +321,14 @@ pub(super) fn audit_parallel(a: &Auditor, engine: &Engine, epoch: u64) -> Result
     }
     // Shred book + per-UNDO consumption decisions, computed in offset order
     // exactly as the serial oracle consumes them (needs only the record
-    // stream, no page state, so it stays a cheap sequential pass).
+    // stream, no page state, so it stays a cheap sequential pass). The 2PC
+    // book rides the same pass — its records are global-ordering facts with
+    // no page state.
     let mut shreds = ShredMap::new();
+    let mut two_pc = TwoPcBook::default();
     let mut undo_decisions: HashMap<u64, ShredConsume> = HashMap::new();
     for (off, rec) in &records {
+        two_pc.ingest(*off, rec);
         match rec {
             LogRecord::Shredded { rel, key, start_time, shred_time, .. } => {
                 let entry = shreds
@@ -425,6 +432,7 @@ pub(super) fn audit_parallel(a: &Auditor, engine: &Engine, epoch: u64) -> Result
     let mut liveness = idx.liveness;
     a.liveness_and_witness(epoch, &mut liveness, &mut v);
     shred_legality(engine, &shreds, &mut v);
+    two_pc_checks(&two_pc, &idx.stamps, &mut v);
     let tw = Instant::now();
     a.wal_tail_check(engine, epoch, &idx.stamps, &shreds, &migrated_versions, threads, &mut v);
     stats.wal_tail_us = tw.elapsed().as_micros() as u64;
@@ -495,5 +503,6 @@ pub(super) fn audit_parallel(a: &Auditor, engine: &Engine, epoch: u64) -> Result
         report: AuditReport { epoch, violations: v, forensics, stats },
         snapshot_pages,
         tuple_hash: h_final,
+        two_pc,
     })
 }

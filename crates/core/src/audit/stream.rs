@@ -58,8 +58,8 @@ use crate::records::{LogIter, LogRecord};
 
 use super::{
     canonicalize, check_relation_tree, fold_identity, leftover_states_check, scan_final_page,
-    shred_legality, AuditOutcome, AuditReport, AuditStats, Auditor, FinalScan, FoldOp, PageState,
-    ReplaySink, Replayer, SerialSink, ShredMap, Violation,
+    shred_legality, two_pc_checks, AuditOutcome, AuditReport, AuditStats, Auditor, FinalScan,
+    FoldOp, PageState, ReplaySink, Replayer, SerialSink, ShredMap, TwoPcBook, Violation,
 };
 
 /// Evidence surfaced by the streaming auditor: the violations that became
@@ -135,6 +135,7 @@ pub struct StreamAuditor {
     stamps: HashMap<TxnId, (Timestamp, u64)>,
     aborts: HashMap<TxnId, u64>,
     liveness: Vec<(Timestamp, u64)>,
+    two_pc: TwoPcBook,
 
     deferred: HashMap<TxnId, DeferredTxn>,
     violations: Vec<Violation>,
@@ -176,6 +177,7 @@ impl StreamAuditor {
             stamps: HashMap::new(),
             aborts: HashMap::new(),
             liveness: Vec::new(),
+            two_pc: TwoPcBook::default(),
             deferred: HashMap::new(),
             violations: Vec::new(),
             alerted: 0,
@@ -330,6 +332,7 @@ impl StreamAuditor {
         self.stamps = HashMap::new();
         self.aborts = HashMap::new();
         self.liveness = Vec::new();
+        self.two_pc = TwoPcBook::default();
         self.deferred = HashMap::new();
         self.violations = Vec::new();
         self.alerted = 0;
@@ -394,6 +397,9 @@ impl StreamAuditor {
         for item in LogIter::new(batch) {
             let Ok((rel_off, rec)) = item else { break };
             let off = base + rel_off;
+            // 2PC records are global-ordering facts like status records;
+            // the book rides the same pre-scan.
+            self.two_pc.ingest(off, &rec);
             match rec {
                 LogRecord::StampTrans { txn, commit_time } => match self.stamps.get(&txn) {
                     Some((t0, _)) if *t0 != commit_time => {
@@ -578,6 +584,8 @@ impl StreamAuditor {
 
         shred_legality(engine, &self.shreds, &mut v);
 
+        two_pc_checks(&self.two_pc, &self.stamps, &mut v);
+
         self.auditor.wal_tail_check(
             engine,
             self.epoch,
@@ -624,7 +632,12 @@ impl StreamAuditor {
         };
         let mut report = AuditReport { epoch: self.epoch, violations: v, forensics, stats };
         canonicalize(&mut report);
-        Ok(AuditOutcome { report, snapshot_pages, tuple_hash: h_final })
+        Ok(AuditOutcome {
+            report,
+            snapshot_pages,
+            tuple_hash: h_final,
+            two_pc: self.two_pc.clone(),
+        })
     }
 }
 

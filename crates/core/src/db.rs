@@ -312,6 +312,36 @@ impl CompliantDb {
         self.tick()
     }
 
+    // --- cross-shard 2PC participant surface ------------------------------
+
+    /// Prepares `txn` as a participant in a cross-shard 2PC transaction:
+    /// durably records the prepared state in the WAL, after which the
+    /// transaction may no longer write and survives a crash as in-doubt.
+    /// The coordinator follows up with a `2PC_PREPARE` record on `L`
+    /// ([`CompliantDb::log_2pc`]), a `2PC_DECISION` on every participant,
+    /// and finally the local [`CompliantDb::commit`] / [`CompliantDb::abort`].
+    pub fn prepare(&self, txn: TxnId) -> Result<()> {
+        self.engine.prepare(txn)
+    }
+
+    /// Appends (and flushes) a 2PC coordination record to this database's
+    /// compliance log, returning its offset. The records are part of the
+    /// audited history: the auditor enforces that every prepare has a
+    /// matching decision that agrees with the participant's actual outcome.
+    pub fn log_2pc(&self, rec: &crate::records::LogRecord) -> Result<u64> {
+        let plugin = self
+            .plugin
+            .as_ref()
+            .ok_or_else(|| Error::Invalid("2PC records require a compliance mode".into()))?;
+        plugin.logger().append_flush(rec)
+    }
+
+    /// Transactions prepared for 2PC but undecided — populated by crash
+    /// recovery, drained by the coordinator's resolution pass.
+    pub fn indoubt_txns(&self) -> Vec<TxnId> {
+        self.engine.indoubt_txns()
+    }
+
     /// Temporal read, including WORM-migrated history.
     pub fn read_as_of(&self, rel: RelId, key: &[u8], t: Timestamp) -> Result<Option<Vec<u8>>> {
         // Conventional media + on-disk historical pages first.

@@ -25,6 +25,7 @@ pub mod migrate;
 pub mod plugin;
 pub mod proof;
 pub mod records;
+pub mod shard;
 pub mod shred;
 pub mod snapshot;
 pub mod tenant;
@@ -39,6 +40,7 @@ pub use logger::ComplianceLogger;
 pub use plugin::CompliancePlugin;
 pub use proof::{epoch_head_name, EpochHeadManager, ProvenRead, SignedHead};
 pub use records::LogRecord;
+pub use shard::{DeploymentAudit, DistTxn, ShardMap, ShardedDb};
 pub use shred::{Hold, Vacuum};
 pub use snapshot::SnapshotManager;
 pub use tenant::TenantRegistry;

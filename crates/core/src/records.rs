@@ -152,6 +152,34 @@ pub enum LogRecord {
         /// The recovery start time.
         time: Timestamp,
     },
+    /// A local transaction entered the prepared state of a cross-shard
+    /// two-phase commit. Appended to *this shard's* `L` stream after the
+    /// shard's WAL `Prepare` record is durable; the auditor requires every
+    /// prepare to be matched by a [`LogRecord::TwoPcDecision`] in the same
+    /// epoch (a prepared transaction blocks quiesce, so a decision it
+    /// receives always lands in the same epoch's log).
+    TwoPcPrepare {
+        /// Coordinator-issued global transaction id (unique per volume).
+        gtxn: u64,
+        /// The participating local transaction on this shard.
+        txn: TxnId,
+        /// This shard's index in the deployment's shard map.
+        shard: u32,
+        /// Every participating shard index (the audit's cross-shard join
+        /// checks each listed shard recorded the same decision).
+        participants: Vec<u32>,
+    },
+    /// The coordinator's commit/abort decision for global transaction
+    /// `gtxn`, appended to *every* participant's `L` stream. The decision
+    /// record on the last participant's log is the commit point of the
+    /// global transaction; a decision missing on any shard, or contradicted
+    /// by the local outcome, is a typed tamper finding.
+    TwoPcDecision {
+        /// The decided global transaction.
+        gtxn: u64,
+        /// `true` = commit everywhere, `false` = abort everywhere.
+        commit: bool,
+    },
 }
 
 const T_NEW_TUPLE: u8 = 1;
@@ -167,6 +195,8 @@ const T_NEW_ROOT: u8 = 10;
 const T_MIGRATE: u8 = 11;
 const T_SHREDDED: u8 = 12;
 const T_START_RECOVERY: u8 = 13;
+const T_2PC_PREPARE: u8 = 14;
+const T_2PC_DECISION: u8 = 15;
 
 fn put_cells(w: &mut ByteWriter, cells: &[Vec<u8>]) {
     w.put_u32(cells.len() as u32);
@@ -284,6 +314,21 @@ impl LogRecord {
                 w.put_u8(T_START_RECOVERY);
                 w.put_u64(time.0);
             }
+            LogRecord::TwoPcPrepare { gtxn, txn, shard, participants } => {
+                w.put_u8(T_2PC_PREPARE);
+                w.put_u64(*gtxn);
+                w.put_u64(txn.0);
+                w.put_u32(*shard);
+                w.put_u32(participants.len() as u32);
+                for p in participants {
+                    w.put_u32(*p);
+                }
+            }
+            LogRecord::TwoPcDecision { gtxn, commit } => {
+                w.put_u8(T_2PC_DECISION);
+                w.put_u64(*gtxn);
+                w.put_u8(if *commit { 1 } else { 0 });
+            }
         }
         w.into_vec()
     }
@@ -345,6 +390,28 @@ impl LogRecord {
                 shred_time: Timestamp(r.get_u64()?),
             },
             T_START_RECOVERY => LogRecord::StartRecovery { time: Timestamp(r.get_u64()?) },
+            T_2PC_PREPARE => {
+                let gtxn = r.get_u64()?;
+                let txn = TxnId(r.get_u64()?);
+                let shard = r.get_u32()?;
+                let n = r.get_u32()? as usize;
+                let mut participants = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    participants.push(r.get_u32()?);
+                }
+                LogRecord::TwoPcPrepare { gtxn, txn, shard, participants }
+            }
+            T_2PC_DECISION => {
+                let gtxn = r.get_u64()?;
+                let commit = match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    v => {
+                        return Err(Error::corruption(format!("bad 2PC decision flag {v}")));
+                    }
+                };
+                LogRecord::TwoPcDecision { gtxn, commit }
+            }
             t => return Err(Error::corruption(format!("unknown compliance record tag {t}"))),
         };
         if !r.is_exhausted() {
@@ -445,6 +512,14 @@ mod tests {
                 shred_time: Timestamp(99),
             },
             LogRecord::StartRecovery { time: Timestamp(123) },
+            LogRecord::TwoPcPrepare {
+                gtxn: 42,
+                txn: TxnId(9),
+                shard: 1,
+                participants: vec![0, 1, 3],
+            },
+            LogRecord::TwoPcDecision { gtxn: 42, commit: true },
+            LogRecord::TwoPcDecision { gtxn: 43, commit: false },
         ]
     }
 

@@ -162,8 +162,36 @@ impl TxnTable {
         let state = shard
             .get_mut(&txn)
             .ok_or_else(|| Error::InvalidTransactionState(format!("{txn} is not active")))?;
+        if state.prepared {
+            return Err(Error::InvalidTransactionState(format!(
+                "{txn} is prepared (2PC) and may no longer write"
+            )));
+        }
         state.writes.push((rel, key.to_vec()));
         Ok(())
+    }
+
+    /// Marks `txn` prepared; errors if it is not active or already prepared.
+    fn set_prepared(&self, txn: TxnId) -> Result<()> {
+        let mut shard = self.shard(txn).lock();
+        let state = shard
+            .get_mut(&txn)
+            .ok_or_else(|| Error::InvalidTransactionState(format!("{txn} is not active")))?;
+        if state.prepared {
+            return Err(Error::InvalidTransactionState(format!("{txn} is already prepared")));
+        }
+        state.prepared = true;
+        Ok(())
+    }
+
+    /// Transactions currently in the prepared (in-doubt) state, sorted.
+    fn prepared(&self) -> Vec<TxnId> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.lock().iter().filter(|(_, st)| st.prepared).map(|(t, _)| *t));
+        }
+        out.sort();
+        out
     }
 
     fn len(&self) -> u64 {
@@ -206,6 +234,10 @@ pub const EXPIRY_RELATION: &str = "sys.expiry";
 struct TxnState {
     begin_lsn: Lsn,
     writes: Vec<(RelId, Vec<u8>)>,
+    /// In the prepared state of a cross-shard two-phase commit: writes are
+    /// durable, further writes are rejected, and only a coordinator
+    /// decision (commit or abort) may resolve the transaction.
+    prepared: bool,
 }
 
 pub(crate) struct EngineSink {
@@ -491,7 +523,7 @@ impl Engine {
     pub fn begin(&self) -> Result<TxnId> {
         let txn = TxnId(self.next_txn.fetch_add(1, Ordering::SeqCst) + 1);
         let begin_lsn = self.wal.append(&WalRecord::Begin { txn })?;
-        self.txns.insert(txn, TxnState { begin_lsn, writes: Vec::new() });
+        self.txns.insert(txn, TxnState { begin_lsn, writes: Vec::new(), prepared: false });
         if let Some(h) = self.hooks.read().clone() {
             h.on_begin(txn)?;
         }
@@ -600,6 +632,40 @@ impl Engine {
             self.maybe_drain_stamp_queue()?;
         }
         result
+    }
+
+    /// Prepares `txn` for a cross-shard two-phase commit: flushes the WAL up
+    /// to (and including) a `Prepare` record, after which the transaction is
+    /// **in-doubt** — it may no longer write, and only the coordinator's
+    /// decision resolves it through the ordinary [`Engine::commit`] /
+    /// [`Engine::abort`] paths. The prepared state survives a crash:
+    /// recovery re-registers prepared transactions instead of rolling them
+    /// back, and the reopened engine refuses to quiesce until each is
+    /// resolved.
+    pub fn prepare(&self, txn: TxnId) -> Result<()> {
+        self.txns.set_prepared(txn)?;
+        self.wal.append_flush(&WalRecord::Prepare { txn })?;
+        Ok(())
+    }
+
+    /// Transactions in the prepared (in-doubt) state, sorted — after a crash
+    /// these are the transactions whose fate the 2PC coordinator must drive
+    /// to a decision before the shard can quiesce.
+    pub fn indoubt_txns(&self) -> Vec<TxnId> {
+        self.txns.prepared()
+    }
+
+    /// Re-registers an in-doubt transaction found by crash recovery: its
+    /// pending versions were redone and kept, its write set rebuilt from the
+    /// WAL. The transaction occupies its original id in the table (marked
+    /// prepared) so the normal commit/abort paths can resolve it.
+    pub(crate) fn reinstate_indoubt(
+        &self,
+        txn: TxnId,
+        begin_lsn: Lsn,
+        writes: Vec<(RelId, Vec<u8>)>,
+    ) {
+        self.txns.insert(txn, TxnState { begin_lsn, writes, prepared: true });
     }
 
     /// Aborts `txn`, rolling back its writes (physical removal of its pending

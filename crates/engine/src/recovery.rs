@@ -44,13 +44,19 @@ pub struct RecoveryReport {
     pub undone_versions: usize,
     /// Versions stamped in the re-stamp pass.
     pub restamped: usize,
+    /// Prepared-but-undecided (in-doubt) transactions re-registered into the
+    /// engine for the 2PC coordinator to resolve. Their pending versions
+    /// were kept, not rolled back.
+    pub indoubt: Vec<TxnId>,
 }
 
 #[derive(Default)]
 struct TxnFate {
     begun: bool,
+    begin_lsn: Option<Lsn>,
     commit: Option<Timestamp>,
     aborted: bool,
+    prepared: bool,
     writes: Vec<(RelId, Vec<u8>)>,
 }
 
@@ -89,7 +95,12 @@ pub(crate) fn run(engine: &Engine, unclean: bool) -> Result<RecoveryReport> {
         }
         match rec {
             WalRecord::Begin { txn } => {
-                fates.entry(txn).or_default().begun = true;
+                let fate = fates.entry(txn).or_default();
+                fate.begun = true;
+                fate.begin_lsn = Some(lsn);
+            }
+            WalRecord::Prepare { txn } => {
+                fates.entry(txn).or_default().prepared = true;
             }
             WalRecord::Commit { txn, commit_time } => {
                 fates.entry(txn).or_default().commit = Some(commit_time);
@@ -146,7 +157,10 @@ pub(crate) fn run(engine: &Engine, unclean: bool) -> Result<RecoveryReport> {
     // Deterministic order (by txn id) keeps recovery reproducible.
     let ordered: BTreeMap<TxnId, &TxnFate> = fates.iter().map(|(k, v)| (*k, v)).collect();
     for (txn, fate) in &ordered {
-        let is_loser = fate.begun && fate.commit.is_none() && !fate.aborted;
+        // A prepared transaction with no decision record is not a loser: it
+        // is in-doubt, its fate belongs to the 2PC coordinator, and its
+        // pending versions must survive recovery.
+        let is_loser = fate.begun && fate.commit.is_none() && !fate.aborted && !fate.prepared;
         if !is_loser {
             continue;
         }
@@ -172,6 +186,21 @@ pub(crate) fn run(engine: &Engine, unclean: bool) -> Result<RecoveryReport> {
             seen.push((*rel, key.as_slice()));
             let tree = engine.tree(*rel)?;
             report.restamped += tree.stamp(key, *txn, ct)?;
+        }
+    }
+
+    // --- reinstate in-doubt transactions ---------------------------------------
+    // Before the closing checkpoint, so they appear in its active list (the
+    // next recovery's scan then still covers their Begin records) and so the
+    // engine refuses to quiesce until the coordinator resolves them.
+    for (txn, fate) in &ordered {
+        if fate.prepared && fate.commit.is_none() && !fate.aborted {
+            engine.reinstate_indoubt(
+                *txn,
+                fate.begin_lsn.unwrap_or(Lsn::ZERO),
+                fate.writes.clone(),
+            );
+            report.indoubt.push(*txn);
         }
     }
 

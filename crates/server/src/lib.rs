@@ -30,6 +30,7 @@ use ccdb_common::sync::Mutex;
 use ccdb_common::{ClockRef, Duration, Error, Result, TxnId};
 use ccdb_core::audit::stream::{StreamAuditor, StreamStats};
 use ccdb_core::db::{ComplianceConfig, CompliantDb};
+use ccdb_core::shard::{DistTxn, ShardedDb};
 use ccdb_core::tenant::TenantRegistry;
 use ccdb_metrics::{MetricsServer, Registry, Sample};
 use ccdb_rpc::proto::{read_frame, write_frame, ErrorCode, Request, Response, PROTOCOL_VERSION};
@@ -62,6 +63,16 @@ pub struct ServerConfig {
     /// the disk state, catching in-place tampering); the rest are shallow
     /// log-tail polls that never touch the engine. `1` = every poll deep.
     pub audit_stream_deep_every: u32,
+    /// Shard count. `1` (the default) hosts a multi-tenant registry of
+    /// plain engines; `> 1` hosts one sharded deployment (N engines over
+    /// the shared WORM, cross-shard 2PC) that every session binds to.
+    pub shards: u32,
+    /// Auto-seal: when the streaming auditor's record lag for a tenant or
+    /// shard reaches this, the daemon runs a full sealing audit on it.
+    pub auto_seal_lag: Option<u64>,
+    /// Auto-seal: when this many milliseconds pass without a seal on a
+    /// tenant or shard, the daemon runs a full sealing audit on it.
+    pub auto_seal_ms: Option<u64>,
 }
 
 impl ServerConfig {
@@ -78,13 +89,44 @@ impl ServerConfig {
             reap_interval: StdDuration::from_millis(500),
             audit_stream_interval: None,
             audit_stream_deep_every: 1,
+            shards: 1,
+            auto_seal_lag: None,
+            auto_seal_ms: None,
+        }
+    }
+}
+
+/// What the server hosts: a multi-tenant registry of plain engines, or one
+/// sharded deployment. (A registry *of* sharded deployments is deliberately
+/// out of scope: shards and tenants are siblings in the WORM namespace
+/// tree, and mixing the two axes in one process buys nothing the two
+/// configurations don't.)
+enum Deployment {
+    Tenants(TenantRegistry),
+    Sharded(Arc<ShardedDb>),
+}
+
+impl Deployment {
+    /// Every hosted database with its metrics/daemon label: tenant names
+    /// in tenant mode, `shard-<i>` in sharded mode.
+    fn dbs(&self) -> Vec<(String, Arc<CompliantDb>)> {
+        match self {
+            Deployment::Tenants(reg) => {
+                reg.names().into_iter().filter_map(|n| reg.tenant(&n).map(|db| (n, db))).collect()
+            }
+            Deployment::Sharded(sdb) => sdb
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(i, db)| (format!("shard-{i}"), db.clone()))
+                .collect(),
         }
     }
 }
 
 /// Shared server state.
 struct Inner {
-    tenants: TenantRegistry,
+    deployment: Deployment,
     sessions: SessionTable,
     /// Transactions begun and not yet resolved, across all sessions.
     inflight: AtomicU64,
@@ -94,6 +136,11 @@ struct Inner {
     /// Last-published streaming-audit counters, per tenant (written by the
     /// daemon thread, read by scrape collectors and [`Server::audit_stats`]).
     audit_stats: Mutex<HashMap<String, StreamStats>>,
+    /// Sealing audits triggered by the daemon's auto-seal policy.
+    auto_seals: AtomicU64,
+    /// Auto-seal thresholds (see [`ServerConfig`]).
+    auto_seal_lag: Option<u64>,
+    auto_seal_ms: Option<u64>,
     stop: AtomicBool,
 }
 
@@ -143,14 +190,30 @@ pub struct Server {
 impl Server {
     /// Opens the tenant registry under `config.dir` and starts serving.
     pub fn start(config: ServerConfig, clock: ClockRef) -> Result<Server> {
-        let tenants = TenantRegistry::open(&config.dir, clock, config.compliance.clone())?;
+        let deployment = if config.shards > 1 {
+            Deployment::Sharded(Arc::new(ShardedDb::open(
+                &config.dir,
+                clock,
+                config.compliance.clone(),
+                config.shards,
+            )?))
+        } else {
+            Deployment::Tenants(TenantRegistry::open(
+                &config.dir,
+                clock,
+                config.compliance.clone(),
+            )?)
+        };
         let inner = Arc::new(Inner {
-            tenants,
+            deployment,
             sessions: SessionTable::new(),
             inflight: AtomicU64::new(0),
             max_inflight: config.max_inflight_txns.max(1),
             rejections: AtomicU64::new(0),
             audit_stats: Mutex::new(HashMap::new()),
+            auto_seals: AtomicU64::new(0),
+            auto_seal_lag: config.auto_seal_lag,
+            auto_seal_ms: config.auto_seal_ms,
             stop: AtomicBool::new(false),
         });
 
@@ -211,6 +274,7 @@ impl Server {
                             // re-attached after an error (e.g. a WORM I/O
                             // failure mid-poll leaves the fold poisoned).
                             let mut auditors: HashMap<String, StreamAuditor> = HashMap::new();
+                            let mut last_seal: HashMap<String, std::time::Instant> = HashMap::new();
                             let mut round: u64 = 0;
                             while !daemon_inner.stop.load(Ordering::Relaxed) {
                                 std::thread::sleep(interval);
@@ -218,6 +282,7 @@ impl Server {
                                 audit_daemon_tick(
                                     &daemon_inner,
                                     &mut auditors,
+                                    &mut last_seal,
                                     round.is_multiple_of(deep_every),
                                 );
                             }
@@ -254,9 +319,29 @@ impl Server {
         &self.registry
     }
 
-    /// The tenant registry.
+    /// The tenant registry. Panics in sharded mode (`shards > 1`), which
+    /// hosts a single [`ShardedDb`] instead — see [`Server::sharded`].
     pub fn tenants(&self) -> &TenantRegistry {
-        &self.inner.tenants
+        match &self.inner.deployment {
+            Deployment::Tenants(reg) => reg,
+            Deployment::Sharded(_) => {
+                panic!("sharded deployment has no tenant registry (see Server::sharded)")
+            }
+        }
+    }
+
+    /// The sharded deployment, when the server was started with
+    /// `shards > 1`.
+    pub fn sharded(&self) -> Option<&Arc<ShardedDb>> {
+        match &self.inner.deployment {
+            Deployment::Sharded(sdb) => Some(sdb),
+            Deployment::Tenants(_) => None,
+        }
+    }
+
+    /// Sealing audits triggered by the daemon's auto-seal policy.
+    pub fn auto_seals(&self) -> u64 {
+        self.inner.auto_seals.load(Ordering::Relaxed)
     }
 
     /// Live session count.
@@ -401,6 +486,12 @@ fn register_metrics(registry: &Arc<Registry>, inner: &Arc<Inner>) {
     );
     let i = inner.clone();
     registry.collector_counter(
+        "ccdb_auto_seals_total",
+        "Sealing audits triggered by the daemon's auto-seal policy.",
+        move || vec![Sample::value(i.auto_seals.load(Ordering::Relaxed) as f64)],
+    );
+    let i = inner.clone();
+    registry.collector_counter(
         "ccdb_l_records_total",
         "Compliance-log records appended this epoch, per tenant (audit lag proxy).",
         move || {
@@ -411,14 +502,18 @@ fn register_metrics(registry: &Arc<Registry>, inner: &Arc<Inner>) {
     );
 }
 
-/// One daemon round: poll every tenant's streaming auditor and publish the
-/// counters. Tenants appear lazily (first round after creation) and an
-/// auditor that errors is dropped so the next round re-attaches fresh —
-/// re-seeding from the sealed snapshot is always safe, only the incremental
-/// fold state is lost.
-fn audit_daemon_tick(inner: &Inner, auditors: &mut HashMap<String, StreamAuditor>, deep: bool) {
-    for name in inner.tenants.names() {
-        let Some(db) = inner.tenants.tenant(&name) else { continue };
+/// One daemon round: poll every tenant's (or shard's) streaming auditor,
+/// publish the counters, and apply the auto-seal policy. Databases appear
+/// lazily (first round after creation) and an auditor that errors is
+/// dropped so the next round re-attaches fresh — re-seeding from the sealed
+/// snapshot is always safe, only the incremental fold state is lost.
+fn audit_daemon_tick(
+    inner: &Inner,
+    auditors: &mut HashMap<String, StreamAuditor>,
+    last_seal: &mut HashMap<String, std::time::Instant>,
+    deep: bool,
+) {
+    for (name, db) in inner.deployment.dbs() {
         if !auditors.contains_key(&name) {
             match db.stream_auditor() {
                 Ok(aud) => {
@@ -429,45 +524,78 @@ fn audit_daemon_tick(inner: &Inner, auditors: &mut HashMap<String, StreamAuditor
         }
         let aud = auditors.get_mut(&name).expect("inserted above");
         let outcome = if deep { aud.poll_deep(&db) } else { aud.poll(&db) };
+        let stats = aud.stats();
         match outcome {
             Ok(_alert) => {
                 // Alerts are not consumed here: the counters below carry
                 // tamper_alerts / violations to the scrape endpoint, and
                 // the evidence stays queryable through a real audit.
-                inner.audit_stats.lock().insert(name.clone(), aud.stats());
+                inner.audit_stats.lock().insert(name.clone(), stats);
             }
             Err(_) => {
-                inner.audit_stats.lock().insert(name.clone(), aud.stats());
+                inner.audit_stats.lock().insert(name.clone(), stats);
                 auditors.remove(&name);
+                continue;
             }
+        }
+
+        // Auto-seal policy: a full sealing audit when the stream's record
+        // lag trips the bound, or when too much wall-clock has passed since
+        // the last seal — whichever fires first. A failed attempt (e.g.
+        // quiesce refused because transactions are open) just retries next
+        // round; the epoch roll is observed by the stream auditor like any
+        // operator-initiated audit.
+        let since = last_seal.entry(name.clone()).or_insert_with(std::time::Instant::now);
+        let lag_trip = inner.auto_seal_lag.is_some_and(|bound| stats.lag_records >= bound);
+        let time_trip = inner
+            .auto_seal_ms
+            .is_some_and(|bound| since.elapsed() >= StdDuration::from_millis(bound));
+        if (lag_trip || time_trip) && db.audit().is_ok() {
+            inner.auto_seals.fetch_add(1, Ordering::Relaxed);
+            *since = std::time::Instant::now();
         }
     }
 }
 
 fn per_tenant(inner: &Inner, f: impl Fn(&CompliantDb) -> f64) -> Vec<Sample> {
+    let label = match &inner.deployment {
+        Deployment::Tenants(_) => "tenant",
+        Deployment::Sharded(_) => "shard",
+    };
     inner
-        .tenants
-        .names()
+        .deployment
+        .dbs()
         .into_iter()
-        .filter_map(|name| {
-            inner.tenants.tenant(&name).map(|db| Sample::labelled("tenant", &name, f(&db)))
-        })
+        .map(|(name, db)| Sample::labelled(label, &name, f(&db)))
         .collect()
 }
 
 fn per_audit(inner: &Inner, f: impl Fn(&StreamStats) -> f64) -> Vec<Sample> {
+    let label = match &inner.deployment {
+        Deployment::Tenants(_) => "tenant",
+        Deployment::Sharded(_) => "shard",
+    };
     inner
         .audit_stats
         .lock()
         .iter()
-        .map(|(name, stats)| Sample::labelled("tenant", name, f(stats)))
+        .map(|(name, stats)| Sample::labelled(label, name, f(stats)))
         .collect()
 }
 
-/// Per-connection state once `Hello` has bound a tenant.
+/// What a session's requests execute against. In sharded mode the session
+/// owns its open distributed transactions: the wire handle is the global
+/// transaction id, resolved here to the [`DistTxn`] the coordinator needs.
+enum SessionDb {
+    Plain(Arc<CompliantDb>),
+    Sharded { db: Arc<ShardedDb>, open: HashMap<TxnId, DistTxn> },
+}
+
+/// Per-connection state once `Hello` has bound a tenant (or, in sharded
+/// mode, the deployment).
 struct Session {
     id: u64,
-    db: Arc<CompliantDb>,
+    db: SessionDb,
 }
 
 /// The connection loop: `Hello` handshake, then request/response until
@@ -500,10 +628,19 @@ fn serve_conn(inner: Arc<Inner>, mut stream: TcpStream) {
         }
     }
     // The single cleanup path.
-    if let Some(s) = session {
+    if let Some(mut s) = session {
         if let Some((_tenant, txns)) = inner.sessions.deregister(s.id) {
             for txn in txns {
-                let _ = s.db.abort(txn);
+                match &mut s.db {
+                    SessionDb::Plain(db) => {
+                        let _ = db.abort(txn);
+                    }
+                    SessionDb::Sharded { db, open } => {
+                        if let Some(dtx) = open.remove(&txn) {
+                            let _ = db.abort(dtx);
+                        }
+                    }
+                }
                 inner.release();
             }
         }
@@ -512,6 +649,39 @@ fn serve_conn(inner: Arc<Inner>, mut stream: TcpStream) {
 
 fn err_of(e: Error) -> Response {
     Response::Err { code: ErrorCode::from_error(&e), msg: e.to_string() }
+}
+
+/// A sharded-session request named a transaction handle with no open
+/// distributed transaction behind it (e.g. already resolved).
+fn stale_handle(txn: TxnId) -> Response {
+    Response::Err {
+        code: ErrorCode::InvalidTransaction,
+        msg: format!("{txn:?} has no open distributed transaction"),
+    }
+}
+
+/// Maps a `read_proof` result onto the wire (shared by the plain path and
+/// the shard-routed path).
+fn proof_resp(result: Result<(ccdb_core::SignedHead, Option<ccdb_core::ProvenRead>)>) -> Response {
+    match result {
+        Ok((head, proven)) => {
+            let (value, proof) = match proven {
+                Some(p) => (p.value, Some(p.proof_bytes)),
+                None => (None, None),
+            };
+            Response::ReadProof {
+                epoch: head.head.epoch,
+                value,
+                head: head.head_bytes,
+                sig: head.sig_bytes,
+                pubkey: head.pub_bytes,
+                proof,
+            }
+        }
+        // NotFound covers "no sealed epoch yet" — the client must run
+        // (or wait for) one clean audit before proof-carrying reads.
+        Err(e) => err_of(e),
+    }
 }
 
 fn dispatch(
@@ -536,9 +706,16 @@ fn dispatch(
                 msg: "session already bound".to_string(),
             };
         }
-        let db = match inner.tenants.create_or_open(tenant) {
-            Ok(db) => db,
-            Err(e) => return err_of(e),
+        let db = match &inner.deployment {
+            Deployment::Tenants(reg) => match reg.create_or_open(tenant) {
+                Ok(db) => SessionDb::Plain(db),
+                Err(e) => return err_of(e),
+            },
+            // One deployment, many sessions: the tenant name selects
+            // nothing in sharded mode.
+            Deployment::Sharded(sdb) => {
+                SessionDb::Sharded { db: sdb.clone(), open: HashMap::new() }
+            }
         };
         let reaper_handle = match stream.try_clone() {
             Ok(s) => s,
@@ -548,17 +725,18 @@ fn dispatch(
         *session = Some(Session { id, db });
         return Response::Ok;
     }
-    let Some(s) = session.as_ref() else {
+    let Some(s) = session.as_mut() else {
         return Response::Err {
             code: ErrorCode::NoSession,
             msg: "Hello required before any other request".to_string(),
         };
     };
+    let sid = s.id;
 
     // Transaction-handle requests must use a handle this session owns:
     // sessions cannot observe or resolve each other's transactions.
     let owns = |txn: TxnId| -> Option<Response> {
-        if inner.sessions.owns_txn(s.id, txn) {
+        if inner.sessions.owns_txn(sid, txn) {
             None
         } else {
             Some(Response::Err {
@@ -575,41 +753,82 @@ fn dispatch(
             if let Err(rejection) = inner.admit() {
                 return *rejection;
             }
-            match s.db.begin() {
-                Ok(txn) => {
-                    inner.sessions.track_txn(s.id, txn);
+            match &mut s.db {
+                SessionDb::Plain(db) => match db.begin() {
+                    Ok(txn) => {
+                        inner.sessions.track_txn(sid, txn);
+                        Response::TxnBegun { txn }
+                    }
+                    Err(e) => {
+                        inner.release();
+                        err_of(e)
+                    }
+                },
+                SessionDb::Sharded { db, open } => {
+                    // The wire handle for a distributed transaction is its
+                    // global id; shard-local transactions begin lazily as
+                    // the session's keys route to shards.
+                    let dtx = db.begin();
+                    let txn = TxnId(dtx.gtxn());
+                    open.insert(txn, dtx);
+                    inner.sessions.track_txn(sid, txn);
                     Response::TxnBegun { txn }
-                }
-                Err(e) => {
-                    inner.release();
-                    err_of(e)
                 }
             }
         }
-        Request::Write { txn, rel, key, value } => {
-            owns(txn).unwrap_or_else(|| match s.db.write(txn, rel, &key, &value) {
+        Request::Write { txn, rel, key, value } => owns(txn).unwrap_or_else(|| match &mut s.db {
+            SessionDb::Plain(db) => match db.write(txn, rel, &key, &value) {
                 Ok(()) => Response::Ok,
                 Err(e) => err_of(e),
-            })
-        }
-        Request::Delete { txn, rel, key } => {
-            owns(txn).unwrap_or_else(|| match s.db.delete(txn, rel, &key) {
+            },
+            SessionDb::Sharded { db, open } => match open.get_mut(&txn) {
+                None => stale_handle(txn),
+                Some(dtx) => match db.write(dtx, rel, &key, &value) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => err_of(e),
+                },
+            },
+        }),
+        Request::Delete { txn, rel, key } => owns(txn).unwrap_or_else(|| match &mut s.db {
+            SessionDb::Plain(db) => match db.delete(txn, rel, &key) {
                 Ok(()) => Response::Ok,
                 Err(e) => err_of(e),
-            })
-        }
-        Request::Read { txn, rel, key } => {
-            owns(txn).unwrap_or_else(|| match s.db.read(txn, rel, &key) {
+            },
+            SessionDb::Sharded { db, open } => match open.get_mut(&txn) {
+                None => stale_handle(txn),
+                Some(dtx) => match db.delete(dtx, rel, &key) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => err_of(e),
+                },
+            },
+        }),
+        Request::Read { txn, rel, key } => owns(txn).unwrap_or_else(|| match &mut s.db {
+            SessionDb::Plain(db) => match db.read(txn, rel, &key) {
                 Ok(value) => Response::Value { value },
                 Err(e) => err_of(e),
-            })
-        }
+            },
+            SessionDb::Sharded { db, open } => match open.get_mut(&txn) {
+                None => stale_handle(txn),
+                Some(dtx) => match db.read(dtx, rel, &key) {
+                    Ok(value) => Response::Value { value },
+                    Err(e) => err_of(e),
+                },
+            },
+        }),
         Request::Commit { txn } => owns(txn).unwrap_or_else(|| {
             // Commit consumes the handle even on failure (the engine
             // removes the transaction state on entry), so the admission
             // slot and ownership entry are released unconditionally.
-            let result = s.db.commit(txn);
-            inner.sessions.untrack_txn(s.id, txn);
+            let result = match &mut s.db {
+                SessionDb::Plain(db) => db.commit(txn),
+                SessionDb::Sharded { db, open } => match open.remove(&txn) {
+                    None => {
+                        Err(Error::Invalid(format!("{txn:?} has no open distributed transaction")))
+                    }
+                    Some(dtx) => db.commit(dtx),
+                },
+            };
+            inner.sessions.untrack_txn(sid, txn);
             inner.release();
             match result {
                 Ok(commit_time) => Response::Committed { commit_time },
@@ -617,8 +836,16 @@ fn dispatch(
             }
         }),
         Request::Abort { txn } => owns(txn).unwrap_or_else(|| {
-            let result = s.db.abort(txn);
-            inner.sessions.untrack_txn(s.id, txn);
+            let result = match &mut s.db {
+                SessionDb::Plain(db) => db.abort(txn),
+                SessionDb::Sharded { db, open } => match open.remove(&txn) {
+                    None => {
+                        Err(Error::Invalid(format!("{txn:?} has no open distributed transaction")))
+                    }
+                    Some(dtx) => db.abort(dtx),
+                },
+            };
+            inner.sessions.untrack_txn(sid, txn);
             inner.release();
             match result {
                 Ok(()) => Response::Ok,
@@ -631,85 +858,203 @@ fn dispatch(
             } else {
                 SplitPolicy::TimeSplit { threshold: time_split_threshold }
             };
-            match s.db.engine().rel_id(&name) {
-                Some(rel) => Response::Rel { rel },
-                None => match s.db.create_relation(&name, policy) {
-                    Ok(rel) => Response::Rel { rel },
-                    Err(e) => err_of(e),
+            match &s.db {
+                SessionDb::Plain(db) => match db.engine().rel_id(&name) {
+                    Some(rel) => Response::Rel { rel },
+                    None => match db.create_relation(&name, policy) {
+                        Ok(rel) => Response::Rel { rel },
+                        Err(e) => err_of(e),
+                    },
+                },
+                SessionDb::Sharded { db, .. } => match db.rel_id(&name) {
+                    Some(rel) => Response::Rel { rel },
+                    None => match db.create_relation(&name, policy) {
+                        Ok(rel) => Response::Rel { rel },
+                        Err(e) => err_of(e),
+                    },
                 },
             }
         }
-        Request::RelId { name } => match s.db.engine().rel_id(&name) {
-            Some(rel) => Response::Rel { rel },
-            None => Response::Err { code: ErrorCode::NotFound, msg: format!("relation {name:?}") },
-        },
+        Request::RelId { name } => {
+            let rel = match &s.db {
+                SessionDb::Plain(db) => db.engine().rel_id(&name),
+                SessionDb::Sharded { db, .. } => db.rel_id(&name),
+            };
+            match rel {
+                Some(rel) => Response::Rel { rel },
+                None => {
+                    Response::Err { code: ErrorCode::NotFound, msg: format!("relation {name:?}") }
+                }
+            }
+        }
         Request::SetRetention { txn, name, period_us } => {
-            owns(txn).unwrap_or_else(|| match s.db.set_retention(txn, &name, Duration(period_us)) {
-                Ok(()) => Response::Ok,
-                Err(e) => err_of(e),
+            owns(txn).unwrap_or_else(|| match &s.db {
+                SessionDb::Plain(db) => match db.set_retention(txn, &name, Duration(period_us)) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => err_of(e),
+                },
+                // Retention is a catalog property of every shard; the
+                // broadcast uses shard-local transactions, the session's
+                // handle only gates the request.
+                SessionDb::Sharded { db, .. } => {
+                    match db.set_retention(&name, Duration(period_us)) {
+                        Ok(()) => Response::Ok,
+                        Err(e) => err_of(e),
+                    }
+                }
             })
         }
-        Request::Audit { serial } => {
-            if serial {
-                // Dry-run with the serial single-pass oracle: verdict only,
-                // no epoch advance (differential checks against the real
-                // audit below).
-                let mut cfg = s.db.audit_config();
-                cfg.serial = true;
-                match s.db.audit_outcome_with(cfg) {
-                    Ok(out) => Response::AuditDone {
-                        clean: out.report.is_clean(),
-                        violations: out.report.violations.len() as u32,
-                        tuples_final: out.report.stats.tuples_final,
-                        records_scanned: out.report.stats.records_scanned,
-                    },
-                    Err(e) => err_of(e),
-                }
-            } else {
-                match s.db.audit() {
-                    Ok(report) => Response::AuditDone {
-                        clean: report.is_clean(),
-                        violations: report.violations.len() as u32,
-                        tuples_final: report.stats.tuples_final,
-                        records_scanned: report.stats.records_scanned,
-                    },
-                    Err(e) => err_of(e),
+        Request::Audit { serial } => match &s.db {
+            SessionDb::Plain(db) => {
+                if serial {
+                    // Dry-run with the serial single-pass oracle: verdict
+                    // only, no epoch advance (differential checks against
+                    // the real audit below).
+                    let mut cfg = db.audit_config();
+                    cfg.serial = true;
+                    match db.audit_outcome_with(cfg) {
+                        Ok(out) => Response::AuditDone {
+                            clean: out.report.is_clean(),
+                            violations: out.report.violations.len() as u32,
+                            tuples_final: out.report.stats.tuples_final,
+                            records_scanned: out.report.stats.records_scanned,
+                        },
+                        Err(e) => err_of(e),
+                    }
+                } else {
+                    match db.audit() {
+                        Ok(report) => Response::AuditDone {
+                            clean: report.is_clean(),
+                            violations: report.violations.len() as u32,
+                            tuples_final: report.stats.tuples_final,
+                            records_scanned: report.stats.records_scanned,
+                        },
+                        Err(e) => err_of(e),
+                    }
                 }
             }
-        }
-        Request::Migrate { rel } => match s.db.migrate_to_worm(rel) {
-            Ok(report) => Response::Migrated { tuples: report.tuples_migrated as u64 },
-            Err(e) => err_of(e),
+            SessionDb::Sharded { db, .. } => {
+                if serial {
+                    let mut cfg = db.shards()[0].audit_config();
+                    cfg.serial = true;
+                    match db.audit_dry(cfg) {
+                        Ok((outcomes, cross)) => Response::AuditDone {
+                            clean: cross.is_empty() && outcomes.iter().all(|o| o.report.is_clean()),
+                            violations: (outcomes
+                                .iter()
+                                .map(|o| o.report.violations.len())
+                                .sum::<usize>()
+                                + cross.len()) as u32,
+                            tuples_final: outcomes
+                                .iter()
+                                .map(|o| o.report.stats.tuples_final)
+                                .sum(),
+                            records_scanned: outcomes
+                                .iter()
+                                .map(|o| o.report.stats.records_scanned)
+                                .sum(),
+                        },
+                        Err(e) => err_of(e),
+                    }
+                } else {
+                    match db.audit() {
+                        Ok(dep) => Response::AuditDone {
+                            clean: dep.is_clean(),
+                            violations: (dep
+                                .shard_reports
+                                .iter()
+                                .map(|r| r.violations.len())
+                                .sum::<usize>()
+                                + dep.cross_shard.len())
+                                as u32,
+                            tuples_final: dep
+                                .shard_reports
+                                .iter()
+                                .map(|r| r.stats.tuples_final)
+                                .sum(),
+                            records_scanned: dep
+                                .shard_reports
+                                .iter()
+                                .map(|r| r.stats.records_scanned)
+                                .sum(),
+                        },
+                        Err(e) => err_of(e),
+                    }
+                }
+            }
         },
-        Request::ReadVerified { rel, key } => match s.db.read_proof(rel, &key) {
-            Ok((head, proven)) => {
-                let (value, proof) = match proven {
-                    Some(p) => (p.value, Some(p.proof_bytes)),
-                    None => (None, None),
-                };
-                Response::ReadProof {
-                    epoch: head.head.epoch,
-                    value,
-                    head: head.head_bytes,
-                    sig: head.sig_bytes,
-                    pubkey: head.pub_bytes,
-                    proof,
+        Request::Migrate { rel } => match &s.db {
+            SessionDb::Plain(db) => match db.migrate_to_worm(rel) {
+                Ok(report) => Response::Migrated { tuples: report.tuples_migrated as u64 },
+                Err(e) => err_of(e),
+            },
+            SessionDb::Sharded { db, .. } => {
+                let mut tuples = 0u64;
+                let mut failed = None;
+                for shard in db.shards() {
+                    match shard.migrate_to_worm(rel) {
+                        Ok(report) => tuples += report.tuples_migrated as u64,
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                match failed {
+                    None => Response::Migrated { tuples },
+                    Some(e) => err_of(e),
                 }
             }
-            // NotFound covers "no sealed epoch yet" — the client must run
-            // (or wait for) one clean audit before proof-carrying reads.
-            Err(e) => err_of(e),
         },
-        Request::Stats => {
-            let stats = s.db.engine().stats();
-            Response::Stats {
-                commits: stats.commits,
-                aborts: stats.aborts,
-                active_txns: stats.active_txns,
-                group_commit_batches: stats.group_commit_batches,
-                wal_bytes: stats.wal_bytes,
-                epoch: s.db.epoch(),
+        Request::ReadVerified { rel, key } => match &s.db {
+            SessionDb::Plain(db) => proof_resp(db.read_proof(rel, &key)),
+            // Proof-carrying reads route to the shard owning the key; the
+            // proof verifies against that shard's signed epoch head.
+            SessionDb::Sharded { db, .. } => {
+                let shard = &db.shards()[db.map().shard_of(&key)];
+                proof_resp(shard.read_proof(rel, &key))
             }
-        }
+        },
+        Request::Stats => match &s.db {
+            SessionDb::Plain(db) => {
+                let stats = db.engine().stats();
+                Response::Stats {
+                    commits: stats.commits,
+                    aborts: stats.aborts,
+                    active_txns: stats.active_txns,
+                    group_commit_batches: stats.group_commit_batches,
+                    wal_bytes: stats.wal_bytes,
+                    epoch: db.epoch(),
+                }
+            }
+            SessionDb::Sharded { db, .. } => {
+                // Deployment view: sums across shards, and the *lowest*
+                // shard epoch (the deployment has sealed through epoch E
+                // only once every shard has).
+                let mut commits = 0;
+                let mut aborts = 0;
+                let mut active_txns = 0;
+                let mut group_commit_batches = 0;
+                let mut wal_bytes = 0;
+                let mut epoch = u64::MAX;
+                for shard in db.shards() {
+                    let stats = shard.engine().stats();
+                    commits += stats.commits;
+                    aborts += stats.aborts;
+                    active_txns += stats.active_txns;
+                    group_commit_batches += stats.group_commit_batches;
+                    wal_bytes += stats.wal_bytes;
+                    epoch = epoch.min(shard.epoch());
+                }
+                Response::Stats {
+                    commits,
+                    aborts,
+                    active_txns,
+                    group_commit_batches,
+                    wal_bytes,
+                    epoch,
+                }
+            }
+        },
     }
 }

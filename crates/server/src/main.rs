@@ -15,7 +15,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: ccdb-server --dir <path> [--addr <host:port>] \
          [--metrics-addr <host:port>] [--max-inflight <n>] [--idle-timeout-secs <n>] \
-         [--audit-stream-ms <n>] [--audit-deep-every <n>]"
+         [--audit-stream-ms <n>] [--audit-deep-every <n>] [--shards <n>] \
+         [--auto-seal-lag <records>] [--auto-seal-ms <n>]"
     );
     std::process::exit(2);
 }
@@ -29,6 +30,9 @@ fn main() {
     let mut idle_timeout_secs: u64 = 300;
     let mut audit_stream_ms: Option<u64> = None;
     let mut audit_deep_every: u32 = 1;
+    let mut shards: u32 = 1;
+    let mut auto_seal_lag: Option<u64> = None;
+    let mut auto_seal_ms: Option<u64> = None;
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().unwrap_or_else(|| usage_missing(flag));
         match flag.as_str() {
@@ -48,6 +52,13 @@ fn main() {
             "--audit-deep-every" => {
                 audit_deep_every = value("--audit-deep-every").parse().unwrap_or_else(|_| usage())
             }
+            "--shards" => shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--auto-seal-lag" => {
+                auto_seal_lag = Some(value("--auto-seal-lag").parse().unwrap_or_else(|_| usage()))
+            }
+            "--auto-seal-ms" => {
+                auto_seal_ms = Some(value("--auto-seal-ms").parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -62,6 +73,9 @@ fn main() {
     config.idle_timeout = std::time::Duration::from_secs(idle_timeout_secs);
     config.audit_stream_interval = audit_stream_ms.map(std::time::Duration::from_millis);
     config.audit_stream_deep_every = audit_deep_every;
+    config.shards = shards.max(1);
+    config.auto_seal_lag = auto_seal_lag;
+    config.auto_seal_ms = auto_seal_ms;
 
     let server = match Server::start(config, Arc::new(SystemClock::new())) {
         Ok(s) => s,

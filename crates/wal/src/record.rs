@@ -75,6 +75,12 @@ pub enum WalRecord {
     Commit { txn: TxnId, commit_time: Timestamp },
     /// A transaction aborted (its inserts must be rolled back).
     Abort { txn: TxnId },
+    /// A transaction entered the prepared state of a cross-shard two-phase
+    /// commit: its writes are durable and it may no longer write, but its
+    /// fate (commit or abort) belongs to the coordinator. Recovery keeps a
+    /// prepared transaction's pending versions and re-registers it as
+    /// in-doubt instead of rolling it back.
+    Prepare { txn: TxnId },
     /// A tuple version was written. `end_of_life` marks a deletion version.
     /// Writing the same `(txn, rel, key)` again replaces the pending version
     /// (intra-transaction writes collapse to one version, as transaction-time
@@ -103,6 +109,7 @@ const TAG_UNDO_INSERT: u8 = 5;
 const TAG_CHECKPOINT: u8 = 6;
 const TAG_PAGE: u8 = 7;
 const TAG_REL_META: u8 = 8;
+const TAG_PREPARE: u8 = 9;
 
 const PTAG_INSERT_CELL: u8 = 1;
 const PTAG_REPLACE_CELL: u8 = 2;
@@ -129,6 +136,10 @@ impl WalRecord {
             }
             WalRecord::Abort { txn } => {
                 w.put_u8(TAG_ABORT);
+                w.put_u64(txn.0);
+            }
+            WalRecord::Prepare { txn } => {
+                w.put_u8(TAG_PREPARE);
                 w.put_u64(txn.0);
             }
             WalRecord::Insert { txn, rel, key, end_of_life, value } => {
@@ -213,6 +224,7 @@ impl WalRecord {
                 WalRecord::Commit { txn: TxnId(r.get_u64()?), commit_time: Timestamp(r.get_u64()?) }
             }
             TAG_ABORT => WalRecord::Abort { txn: TxnId(r.get_u64()?) },
+            TAG_PREPARE => WalRecord::Prepare { txn: TxnId(r.get_u64()?) },
             TAG_INSERT => {
                 let txn = TxnId(r.get_u64()?);
                 let rel = RelId(r.get_u32()?);
@@ -288,6 +300,7 @@ impl WalRecord {
             WalRecord::Begin { txn }
             | WalRecord::Commit { txn, .. }
             | WalRecord::Abort { txn }
+            | WalRecord::Prepare { txn }
             | WalRecord::Insert { txn, .. }
             | WalRecord::UndoInsert { txn, .. } => Some(*txn),
             WalRecord::Page { txn, .. } => txn.is_real().then_some(*txn),
@@ -311,6 +324,7 @@ mod tests {
         roundtrip(WalRecord::Begin { txn: TxnId(9) });
         roundtrip(WalRecord::Commit { txn: TxnId(9), commit_time: Timestamp(77) });
         roundtrip(WalRecord::Abort { txn: TxnId(9) });
+        roundtrip(WalRecord::Prepare { txn: TxnId(9) });
         roundtrip(WalRecord::Insert {
             txn: TxnId(9),
             rel: RelId(2),

@@ -98,6 +98,12 @@ fn main() -> ccdb::common::Result<()> {
                 format!("SHREDDED    key={} at {shred_time:?}", String::from_utf8_lossy(&key))
             }
             LogRecord::StartRecovery { time } => format!("START_RECOVERY at {time:?}"),
+            LogRecord::TwoPcPrepare { gtxn, txn, shard, participants } => {
+                format!("2PC_PREPARE gtxn={gtxn} {txn} shard={shard} participants={participants:?}")
+            }
+            LogRecord::TwoPcDecision { gtxn, commit } => {
+                format!("2PC_DECIDE  gtxn={gtxn} {}", if commit { "COMMIT" } else { "ABORT" })
+            }
         };
         println!("{off:>8}  {line}");
     }

@@ -416,6 +416,154 @@ fn streaming_daemon_flags_tampering_on_the_next_poll() {
     assert!(stream.poll_deep(&db).unwrap().is_none(), "re-alerted on an unchanged finding set");
 }
 
+// --- cross-shard attacks ----------------------------------------------------
+//
+// Mala attacks the 2PC protocol itself: decision records dropped or flipped
+// on individual shards, and participants whose outcome silently diverges
+// from the recorded decision. Both the batch auditors and the streaming
+// daemon must raise the typed finding on the affected shard.
+
+fn sharded_setup(tag: &str) -> (ccdb::compliance::ShardedDb, TempDir) {
+    let d = TempDir::new(tag);
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(50)));
+    let db = ccdb::compliance::ShardedDb::open(
+        &d.0,
+        clock,
+        ComplianceConfig {
+            mode: Mode::LogConsistent,
+            regret_interval: Duration::from_mins(5),
+            cache_pages: 128,
+            auditor_seed: [3u8; 32],
+            fsync: false,
+            worm_artifact_retention: None,
+            ..ComplianceConfig::default()
+        },
+        2,
+    )
+    .unwrap();
+    (db, d)
+}
+
+/// Seeds cross-shard traffic, then drives one transaction through the
+/// prepare phase by hand so Mala can sabotage the decision phase.
+fn sharded_prepared(db: &ccdb::compliance::ShardedDb) -> (RelId, u64, Vec<(usize, TxnId)>) {
+    use ccdb::compliance::LogRecord;
+    let rel = db.create_relation("ledger", SplitPolicy::KeyOnly).unwrap();
+    for r in 0..10usize {
+        let mut dtx = db.begin();
+        for k in 0..6usize {
+            let key = format!("seed-{r}-{k}");
+            db.write(&mut dtx, rel, key.as_bytes(), b"v").unwrap();
+        }
+        db.commit(dtx).unwrap();
+    }
+    let mut dtx = db.begin();
+    for k in 0..8usize {
+        let key = format!("victim-{k}");
+        db.write(&mut dtx, rel, key.as_bytes(), b"pending").unwrap();
+    }
+    let gtxn = dtx.gtxn();
+    let parts: Vec<u32> = dtx.writers().iter().map(|s| *s as u32).collect();
+    assert!(parts.len() == 2, "victim txn must span both shards");
+    let mut writers = Vec::new();
+    for s in dtx.writers() {
+        let txn = dtx.local_txn(s).unwrap();
+        db.shards()[s].prepare(txn).unwrap();
+        db.shards()[s]
+            .log_2pc(&LogRecord::TwoPcPrepare {
+                gtxn,
+                txn,
+                shard: s as u32,
+                participants: parts.clone(),
+            })
+            .unwrap();
+        writers.push((s, txn));
+    }
+    (rel, gtxn, writers)
+}
+
+/// Asserts the typed finding on `shard` under the serial batch oracle AND
+/// the streaming daemon's next deep poll.
+fn assert_detected_batch_and_stream(
+    db: &ccdb::compliance::ShardedDb,
+    shard: usize,
+    pred: impl Fn(&Violation) -> bool,
+) {
+    use ccdb::compliance::AuditConfig;
+    let s = &db.shards()[shard];
+    let out = s.audit_outcome_with(AuditConfig::serial()).unwrap();
+    assert!(out.report.violations.iter().any(&pred), "batch missed: {:?}", out.report.violations);
+    let mut stream = s.stream_auditor().unwrap();
+    let alert = stream.poll_deep(s).unwrap().expect("streaming daemon missed the 2PC attack");
+    assert!(alert.violations.iter().any(&pred), "stream alert wrong: {:?}", alert.violations);
+    assert!(stream.stats().tamper_alerts >= 1);
+}
+
+#[test]
+fn cross_shard_dropped_decision_is_detected_by_batch_and_stream() {
+    let (db, _d) = sharded_setup("xs-drop");
+    let (_rel, gtxn, writers) = sharded_prepared(&db);
+    // The decision lands on shard A only; both participants complete as if
+    // the protocol had finished.
+    db.shards()[writers[0].0]
+        .log_2pc(&ccdb::compliance::LogRecord::TwoPcDecision { gtxn, commit: true })
+        .unwrap();
+    for (s, txn) in &writers {
+        db.shards()[*s].commit(*txn).unwrap();
+    }
+    let starved = writers[1].0;
+    assert_detected_batch_and_stream(
+        &db,
+        starved,
+        |v| matches!(v, Violation::TwoPcUndecided { gtxn: g, .. } if *g == gtxn),
+    );
+}
+
+#[test]
+fn cross_shard_flipped_decision_is_detected_by_batch_stream_and_join() {
+    let (db, _d) = sharded_setup("xs-flip");
+    let (_rel, gtxn, writers) = sharded_prepared(&db);
+    use ccdb::compliance::LogRecord;
+    db.shards()[writers[0].0].log_2pc(&LogRecord::TwoPcDecision { gtxn, commit: true }).unwrap();
+    db.shards()[writers[1].0].log_2pc(&LogRecord::TwoPcDecision { gtxn, commit: false }).unwrap();
+    for (s, txn) in &writers {
+        db.shards()[*s].commit(*txn).unwrap();
+    }
+    let flipped = writers[1].0;
+    assert_detected_batch_and_stream(
+        &db,
+        flipped,
+        |v| matches!(v, Violation::TwoPcOutcomeMismatch { gtxn: g, decided_commit: false, .. } if *g == gtxn),
+    );
+    // The deployment-level join sees the decisions disagree.
+    let cross = ccdb::compliance::audit::two_pc_cross_shard_join(&db.books());
+    assert!(
+        cross
+            .iter()
+            .any(|v| matches!(v, Violation::TwoPcDivergentDecision { gtxn: g } if *g == gtxn)),
+        "{cross:?}"
+    );
+}
+
+#[test]
+fn cross_shard_diverged_outcome_is_detected_by_batch_and_stream() {
+    let (db, _d) = sharded_setup("xs-diverge");
+    let (_rel, gtxn, writers) = sharded_prepared(&db);
+    use ccdb::compliance::LogRecord;
+    // Decisions say commit everywhere — one participant silently aborts.
+    for (s, _) in &writers {
+        db.shards()[*s].log_2pc(&LogRecord::TwoPcDecision { gtxn, commit: true }).unwrap();
+    }
+    db.shards()[writers[0].0].commit(writers[0].1).unwrap();
+    db.shards()[writers[1].0].abort(writers[1].1).unwrap();
+    let liar = writers[1].0;
+    assert_detected_batch_and_stream(
+        &db,
+        liar,
+        |v| matches!(v, Violation::TwoPcOutcomeMismatch { gtxn: g, decided_commit: true, .. } if *g == gtxn),
+    );
+}
+
 #[test]
 fn worm_reclamation_after_audits() {
     // "Each snapshot can expire and be deleted from WORM once the next

@@ -63,6 +63,38 @@ fn torture_campaign() {
     );
 }
 
+/// The sharded campaign: seeded cross-shard workloads, 2PC driven to a
+/// seeded partial decision point, then individual-shard (or whole
+/// deployment) crashes. Every in-doubt transaction must resolve to the one
+/// outcome the surviving decision records dictate — identically on all
+/// participants — and every recovery must leave all shards plus the
+/// cross-shard join audit-clean. `CCDB_SHARD_TORTURE_SEEDS` overrides the
+/// campaign size (CI's smoke job runs a handful).
+#[test]
+fn shard_torture_campaign() {
+    let n: u64 =
+        std::env::var("CCDB_SHARD_TORTURE_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(30);
+    let outcomes = ccdb_bench::torture::run_shard_campaign((0..n).map(|i| BASE_SEED + 0x5AD0 + i))
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(outcomes.len() as u64, n);
+    // Both resolution outcomes must actually occur across the campaign:
+    // commits recovered from a surviving decision record AND presumed
+    // aborts where no decision survived.
+    let commits: usize = outcomes.iter().map(|o| o.resolved_commit).sum();
+    let aborts: usize = outcomes.iter().map(|o| o.resolved_abort).sum();
+    if n >= 10 {
+        assert!(commits > 0, "no in-doubt txn resolved to commit — campaign too tame");
+        assert!(aborts > 0, "no in-doubt txn presumed-aborted — campaign too tame");
+    }
+    assert!(outcomes.iter().all(|o| o.audit_clean));
+    println!(
+        "shard torture: {} schedules, {} crash rounds, {commits} resolved-commit, \
+         {aborts} presumed-abort",
+        outcomes.len(),
+        outcomes.iter().map(|o| o.crash_rounds).sum::<usize>(),
+    );
+}
+
 /// The same seed replays to the same outcome — the property every failure
 /// message relies on.
 #[test]
