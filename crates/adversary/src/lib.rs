@@ -22,16 +22,120 @@ use ccdb_btree::IndexEntry;
 use ccdb_common::{Error, PageNo, RelId, Result, Timestamp};
 use ccdb_storage::{Page, PageType, TupleVersion, WriteTime, PAGE_SIZE};
 
+/// Which engine of a deployment Mala attacks. Multi-engine deployments
+/// (tenant namespaces, shards) keep each engine under a well-known
+/// deployment-relative prefix; Mala, being root on the platform, can reach
+/// any of them with the same file editor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MalaTarget {
+    /// A single-engine deployment: `<dir>/engine/`.
+    Root,
+    /// A tenant's engine: `<dir>/tenants/<name>/engine/`.
+    Tenant(String),
+    /// A shard's engine: `<dir>/shards/<i>/engine/`.
+    Shard(u32),
+}
+
+impl MalaTarget {
+    /// The deployment-relative directory prefix the target's engine lives
+    /// under (empty for [`MalaTarget::Root`]).
+    pub fn prefix(&self) -> PathBuf {
+        match self {
+            MalaTarget::Root => PathBuf::new(),
+            MalaTarget::Tenant(name) => Path::new("tenants").join(name),
+            MalaTarget::Shard(i) => Path::new("shards").join(i.to_string()),
+        }
+    }
+}
+
+/// One tamper from Mala's catalogue, as data: campaign fuzzers draw these
+/// from a seeded RNG, apply them with [`Mala::apply`], and keep the applied
+/// sequence as a replayable action trace. Every variant corresponds to a
+/// hand-written attack method below.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TamperAction {
+    /// [`Mala::alter_tuple_value`].
+    AlterTuple { key: Vec<u8>, new_value: Vec<u8> },
+    /// [`Mala::delete_tuple`].
+    DeleteTuple { key: Vec<u8> },
+    /// [`Mala::backdate_insert`].
+    BackdateInsert { rel: RelId, key: Vec<u8>, value: Vec<u8>, fake_time: Timestamp },
+    /// [`Mala::swap_leaf_entries`].
+    SwapLeafEntries,
+    /// [`Mala::corrupt_separator`].
+    CorruptSeparator,
+    /// [`Mala::flip_byte`].
+    FlipByte { offset: u64, mask: u8, fix_checksum: bool },
+    /// The state-reversion round trip: snapshot the page holding `key`,
+    /// alter the tuple, restore the snapshot byte-for-byte. Leaves no local
+    /// trace — the canonical *harmless* tamper.
+    RevertRoundTrip { key: Vec<u8> },
+    /// [`Mala::wipe_local_wal`] (pair with a crash, or the running engine's
+    /// own file handle papers over it).
+    WipeWal,
+}
+
 /// The adversary, bound to the database file on conventional media.
 pub struct Mala {
     db_path: PathBuf,
+    wal_path: PathBuf,
 }
 
 impl Mala {
     /// Targets the database file at `db_path` (usually
-    /// `<dir>/engine/db.pages`).
+    /// `<dir>/engine/db.pages`). The local WAL is assumed to be the
+    /// sibling `wal.log`.
     pub fn new(db_path: impl AsRef<Path>) -> Mala {
-        Mala { db_path: db_path.as_ref().to_path_buf() }
+        let db_path = db_path.as_ref().to_path_buf();
+        let wal_path = db_path.parent().map(|d| d.join("wal.log")).unwrap_or_default();
+        Mala { db_path, wal_path }
+    }
+
+    /// Targets one engine of a (possibly multi-engine) deployment rooted at
+    /// `root`: the root engine itself, a tenant under `tenants/<name>`, or a
+    /// shard under `shards/<i>`.
+    pub fn for_deployment(root: impl AsRef<Path>, target: &MalaTarget) -> Mala {
+        let engine_dir = root.as_ref().join(target.prefix()).join("engine");
+        Mala { db_path: engine_dir.join("db.pages"), wal_path: engine_dir.join("wal.log") }
+    }
+
+    /// The database file under attack.
+    pub fn db_path(&self) -> &Path {
+        &self.db_path
+    }
+
+    /// The local WAL file under attack.
+    pub fn wal_path(&self) -> &Path {
+        &self.wal_path
+    }
+
+    /// Applies one catalogued [`TamperAction`]; returns whether it landed
+    /// (found its victim bytes and changed the file).
+    pub fn apply(&self, action: &TamperAction) -> Result<bool> {
+        match action {
+            TamperAction::AlterTuple { key, new_value } => self.alter_tuple_value(key, new_value),
+            TamperAction::DeleteTuple { key } => self.delete_tuple(key),
+            TamperAction::BackdateInsert { rel, key, value, fake_time } => {
+                self.backdate_insert(*rel, key, value, *fake_time)
+            }
+            TamperAction::SwapLeafEntries => self.swap_leaf_entries(),
+            TamperAction::CorruptSeparator => self.corrupt_separator(),
+            TamperAction::FlipByte { offset, mask, fix_checksum } => {
+                self.flip_byte(*offset, *mask, *fix_checksum)
+            }
+            TamperAction::RevertRoundTrip { key } => {
+                let Some((pgno, image)) = self.snapshot_page_with(key)? else {
+                    return Ok(false);
+                };
+                let altered = self.alter_tuple_value(key, b"transient-tamper")?;
+                self.restore_page(pgno, &image)?;
+                Ok(altered)
+            }
+            TamperAction::WipeWal => {
+                self.wipe_local_wal()?;
+                Ok(true)
+            }
+        }
     }
 
     fn page_count(&self) -> Result<u64> {
@@ -236,6 +340,12 @@ impl Mala {
         fs::write(wal_path.as_ref(), b"").map_err(|e| Error::io("truncating victim WAL", e))
     }
 
+    /// [`Mala::wipe_wal`] against the bound engine's own WAL
+    /// (the `wal.log` sibling of the database file).
+    pub fn wipe_local_wal(&self) -> Result<()> {
+        self.wipe_wal(&self.wal_path)
+    }
+
     /// **Arbitrary single-byte tamper**: XORs one byte at `offset` in the
     /// raw database file (a nonzero mask is enforced so the byte always
     /// changes). With `fix_checksum`, the containing page's checksum is
@@ -372,6 +482,61 @@ mod tests {
         sorted.sort();
         assert_ne!(keys, sorted);
         assert_eq!(keys.len(), 3);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn deployment_targets_resolve_engine_paths() {
+        let root = Path::new("/srv/ccdb");
+        let m = Mala::for_deployment(root, &MalaTarget::Root);
+        assert_eq!(m.db_path(), root.join("engine/db.pages"));
+        assert_eq!(m.wal_path(), root.join("engine/wal.log"));
+        let m = Mala::for_deployment(root, &MalaTarget::Tenant("acme".into()));
+        assert_eq!(m.db_path(), root.join("tenants/acme/engine/db.pages"));
+        assert_eq!(m.wal_path(), root.join("tenants/acme/engine/wal.log"));
+        let m = Mala::for_deployment(root, &MalaTarget::Shard(2));
+        assert_eq!(m.db_path(), root.join("shards/2/engine/db.pages"));
+        assert_eq!(m.wal_path(), root.join("shards/2/engine/wal.log"));
+        // `new` derives the WAL sibling the same way.
+        let m = Mala::new(root.join("shards/0/engine/db.pages"));
+        assert_eq!(m.wal_path(), root.join("shards/0/engine/wal.log"));
+    }
+
+    #[test]
+    fn apply_dispatches_the_catalogue() {
+        let (path, dm) = victim("apply");
+        let pgno = seed_leaf(&dm);
+        let mala = Mala::new(&path);
+        assert!(mala
+            .apply(&TamperAction::AlterTuple { key: b"bravo".to_vec(), new_value: b"x".to_vec() })
+            .unwrap());
+        assert!(mala.apply(&TamperAction::DeleteTuple { key: b"alpha".to_vec() }).unwrap());
+        assert!(!mala.apply(&TamperAction::DeleteTuple { key: b"missing".to_vec() }).unwrap());
+        assert!(mala
+            .apply(&TamperAction::BackdateInsert {
+                rel: RelId(1),
+                key: b"forged".to_vec(),
+                value: b"v".to_vec(),
+                fake_time: Timestamp(10),
+            })
+            .unwrap());
+        assert!(mala.apply(&TamperAction::SwapLeafEntries).unwrap());
+        assert!(mala
+            .apply(&TamperAction::FlipByte { offset: 64, mask: 0x10, fix_checksum: true })
+            .unwrap());
+        let _ = dm.pread(pgno); // file still page-aligned and statable
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn revert_round_trip_leaves_no_trace() {
+        let (path, dm) = victim("revert-rt");
+        let pgno = seed_leaf(&dm);
+        let mala = Mala::new(&path);
+        let before = dm.pread(pgno).unwrap().finalize_for_write().to_vec();
+        assert!(mala.apply(&TamperAction::RevertRoundTrip { key: b"bravo".to_vec() }).unwrap());
+        let after = dm.pread(pgno).unwrap().finalize_for_write().to_vec();
+        assert_eq!(before, after, "reversion must be byte-identical");
         std::fs::remove_file(path).unwrap();
     }
 

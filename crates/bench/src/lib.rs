@@ -27,6 +27,7 @@ use ccdb_common::{Duration, VirtualClock};
 use ccdb_core::{AuditStats, ComplianceConfig, CompliantDb, Mode};
 use ccdb_tpcc::{load, Driver, Tpcc, TpccScale};
 
+pub mod campaign;
 pub mod microbench;
 pub mod torture;
 

@@ -118,6 +118,7 @@ fn record_page(rec: &LogRecord) -> Option<PageNo> {
         | LogRecord::Read { pgno, .. }
         | LogRecord::IndexInsert { pgno, .. }
         | LogRecord::IndexRemove { pgno, .. }
+        | LogRecord::IndexImage { pgno, .. }
         | LogRecord::NewRoot { pgno, .. }
         | LogRecord::Migrate { pgno, .. } => Some(*pgno),
         LogRecord::PageSplit { old, .. } => Some(*old),
@@ -463,7 +464,8 @@ pub(super) fn audit_parallel(a: &Auditor, engine: &Engine, epoch: u64) -> Result
         DTask::Pages(s, e) => {
             let mut fs = FinalScan::new();
             for i in s..e {
-                if let Err(err) = scan_final_page(disk, PageNo(i), states_ref, stamps_ref, &mut fs)
+                if let Err(err) =
+                    scan_final_page(disk, &a.worm, PageNo(i), states_ref, stamps_ref, &mut fs)
                 {
                     return DOut::Failed(err);
                 }

@@ -599,7 +599,14 @@ impl StreamAuditor {
         let disk = engine.disk();
         let mut scan = FinalScan::new();
         for i in 0..disk.page_count() {
-            scan_final_page(disk, PageNo(i), &self.states, &self.stamps, &mut scan)?;
+            scan_final_page(
+                disk,
+                &self.auditor.worm,
+                PageNo(i),
+                &self.states,
+                &self.stamps,
+                &mut scan,
+            )?;
         }
         let FinalScan { h_final, tuples_final, violations: dv, forensics, snapshot_pages } = scan;
         v.extend(dv);

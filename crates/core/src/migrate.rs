@@ -116,10 +116,33 @@ pub fn migrate_relation(
         .and_then(|(name, _)| engine.retention(&name).ok().flatten());
     let mut report = MigrationReport::default();
     for pgno in tree.historical_pages() {
+        let name = migrated_page_name(rel, pgno);
+        // Resuming a migration a crash interrupted: the page is already on
+        // WORM (in whole or in part), so this pass's page read is engine
+        // bookkeeping, not an audited data read — the replayed state its
+        // READ hash would be checked against left the auditing universe
+        // with the first MIGRATE record.
+        let resumed = worm.exists(&name);
+        if resumed {
+            plugin.begin_trusted_reads();
+        }
+        let fetched = engine.pool().fetch(pgno);
+        if resumed {
+            plugin.end_trusted_reads();
+        }
+        let frame = fetched?;
         let (cells, split_time) = {
-            let frame = engine.pool().fetch(pgno)?;
             let page = frame.read();
             if !page.is_historical() {
+                // A previous pass retired this page (the WAL'd Free image
+                // survived the crash) but its `HistoricalRemove` did not.
+                // The MIGRATE record is flushed before the retire, so the
+                // migration itself is durable — finish the bookkeeping.
+                if page.page_type() == ccdb_storage::PageType::Free && worm.exists(&name) {
+                    plugin.note_migrated(pgno);
+                    engine.forget_historical(rel, pgno)?;
+                    continue;
+                }
                 return Err(Error::Invalid(format!(
                     "{pgno} is on the historical list but not flagged historical"
                 )));
@@ -127,7 +150,6 @@ pub fn migrate_relation(
             (page.cells().map(|c| c.to_vec()).collect::<Vec<_>>(), page.aux())
         };
         let content_hash = page_content_hash(&cells);
-        let name = migrated_page_name(rel, pgno);
         let mp = MigratedPage { pgno, rel, split_time, cells };
         let file_retention = match retention {
             Some(rho) => mp
@@ -141,9 +163,42 @@ pub fn migrate_relation(
                 .unwrap_or(Timestamp::MAX),
             None => Timestamp::MAX,
         };
-        let f = worm.create(&name, file_retention)?;
-        worm.append(&f, &mp.encode())?;
-        worm.seal(&name)?;
+        let encoded = mp.encode();
+        if worm.exists(&name) {
+            // A previous pass copied this page but crashed before its
+            // retire became durable. The copy is immutable, so resume
+            // instead of recreating: the existing bytes must be a prefix
+            // of (or exactly) what we would write — historical pages never
+            // change — then the tail is appended and the file sealed. The
+            // (possibly duplicate) MIGRATE record below re-asserts the
+            // migration; the auditor tolerates re-assertions of an
+            // already-verified copy.
+            let meta = worm.stat(&name)?;
+            let existing = worm.read_all(&name)?;
+            if meta.sealed {
+                if existing != encoded {
+                    return Err(Error::Invalid(format!(
+                        "sealed WORM copy {name:?} does not match the live page it claims to hold"
+                    )));
+                }
+            } else {
+                if !encoded.starts_with(&existing) {
+                    return Err(Error::Invalid(format!(
+                        "partial WORM copy {name:?} is not a prefix of the live page content"
+                    )));
+                }
+                if existing.len() < encoded.len() {
+                    let f = worm.handle(&name)?;
+                    worm.append(&f, &encoded[existing.len()..])?;
+                }
+                worm.extend_retention(&name, file_retention)?;
+                worm.seal(&name)?;
+            }
+        } else {
+            let f = worm.create(&name, file_retention)?;
+            worm.append(&f, &encoded)?;
+            worm.seal(&name)?;
+        }
         // The MIGRATE record must be durable before the live copy dies.
         plugin.logger().append_flush(&LogRecord::Migrate {
             pgno,

@@ -237,7 +237,19 @@ impl CompliancePlugin {
             st.pristine_inner.remove(&pgno);
             return Ok(());
         }
-        let old = st.pristine_inner.remove(&pgno).unwrap_or_default();
+        let Some(old) = st.pristine_inner.remove(&pgno) else {
+            // No baseline at all: in steady state every internal page is
+            // primed at creation (split/new-root hooks) or on pread, so this
+            // page was rebuilt by crash-recovery redo from its WAL images
+            // and the entry deltas it took between its creation record and
+            // the crash never reached L. Per-entry diffs cannot retract the
+            // stale entries L still carries (an INDEX_INSERT's duplicate
+            // tolerance has no authoritative "drop the rest"), so log the
+            // full content as an image that *replaces* the replayed state.
+            self.logger.append(&LogRecord::IndexImage { pgno, cells: new_cells.clone() })?;
+            st.pristine_inner.insert(pgno, new_cells);
+            return Ok(());
+        };
         let mut old_counts: HashMap<&[u8], i64> = HashMap::new();
         for c in &old {
             *old_counts.entry(c.as_slice()).or_default() += 1;

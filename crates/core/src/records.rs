@@ -116,6 +116,19 @@ pub enum LogRecord {
         /// Its initial entry cells.
         cells: Vec<Vec<u8>>,
     },
+    /// Authoritative full content of internal page `pgno`, replacing
+    /// whatever the replay held for it. Emitted at the first post-recovery
+    /// pwrite of an internal page the plugin has no pristine baseline for:
+    /// crash recovery rebuilt the page from its WAL images, so the entry
+    /// deltas it accumulated between its creation record and the crash were
+    /// never logged, and per-entry `INDEX_INSERT`/`INDEX_REMOVE` records
+    /// cannot retract the stale entries `L` still carries.
+    IndexImage {
+        /// The internal page.
+        pgno: PageNo,
+        /// Its complete entry cells.
+        cells: Vec<Vec<u8>>,
+    },
     /// A historical page was migrated to WORM: its full content now lives in
     /// `worm_file`, and its tuples leave the auditing universe once the
     /// migration is verified.
@@ -197,6 +210,7 @@ const T_SHREDDED: u8 = 12;
 const T_START_RECOVERY: u8 = 13;
 const T_2PC_PREPARE: u8 = 14;
 const T_2PC_DECISION: u8 = 15;
+const T_IDX_IMAGE: u8 = 16;
 
 fn put_cells(w: &mut ByteWriter, cells: &[Vec<u8>]) {
     w.put_u32(cells.len() as u32);
@@ -294,6 +308,11 @@ impl LogRecord {
                 w.put_u64(pgno.0);
                 put_cells(&mut w, cells);
             }
+            LogRecord::IndexImage { pgno, cells } => {
+                w.put_u8(T_IDX_IMAGE);
+                w.put_u64(pgno.0);
+                put_cells(&mut w, cells);
+            }
             LogRecord::Migrate { pgno, rel, worm_file, content_hash } => {
                 w.put_u8(T_MIGRATE);
                 w.put_u64(pgno.0);
@@ -375,6 +394,9 @@ impl LogRecord {
                 pgno: PageNo(r.get_u64()?),
                 cells: get_cells(&mut r)?,
             },
+            T_IDX_IMAGE => {
+                LogRecord::IndexImage { pgno: PageNo(r.get_u64()?), cells: get_cells(&mut r)? }
+            }
             T_MIGRATE => LogRecord::Migrate {
                 pgno: PageNo(r.get_u64()?),
                 rel: RelId(r.get_u32()?),
@@ -497,6 +519,7 @@ mod tests {
             LogRecord::IndexInsert { pgno: PageNo(8), cell: b"e".to_vec() },
             LogRecord::IndexRemove { pgno: PageNo(8), cell: b"e".to_vec() },
             LogRecord::NewRoot { rel: RelId(2), pgno: PageNo(9), cells: vec![b"x".to_vec()] },
+            LogRecord::IndexImage { pgno: PageNo(9), cells: vec![b"y".to_vec(), b"z".to_vec()] },
             LogRecord::Migrate {
                 pgno: PageNo(6),
                 rel: RelId(2),

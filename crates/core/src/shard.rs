@@ -321,6 +321,73 @@ impl ShardedDb {
         Ok(())
     }
 
+    /// Places a litigation hold on every shard. Keys route by content, so a
+    /// hold's prefix may cover tuples on any shard — each shard records the
+    /// hold in its own (version-tracked, audited) holds relation.
+    pub fn place_hold(&self, hold: &crate::shred::Hold) -> Result<()> {
+        for db in &self.shards {
+            let txn = db.begin()?;
+            db.place_hold(txn, hold)?;
+            db.commit(txn)?;
+        }
+        Ok(())
+    }
+
+    /// Releases a litigation hold on every shard.
+    pub fn release_hold(&self, hold_id: &str) -> Result<()> {
+        for db in &self.shards {
+            let txn = db.begin()?;
+            db.release_hold(txn, hold_id)?;
+            db.commit(txn)?;
+        }
+        Ok(())
+    }
+
+    /// The holds active on the deployment (read from the first shard; every
+    /// shard carries the same hold set when holds are managed through
+    /// [`ShardedDb::place_hold`] / [`ShardedDb::release_hold`]).
+    pub fn active_holds(&self) -> Result<Vec<crate::shred::Hold>> {
+        match self.shards.first() {
+            Some(db) => db.active_holds(),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Runs the auditable vacuum on every shard, summing the reports.
+    pub fn vacuum(&self) -> Result<crate::shred::VacuumReport> {
+        let mut total = crate::shred::VacuumReport::default();
+        for db in &self.shards {
+            let r = db.vacuum()?;
+            total.shredded += r.shredded;
+            total.held += r.held;
+            total.revacuumed += r.revacuumed;
+        }
+        Ok(total)
+    }
+
+    /// Re-migrates expired WORM-resident pages back to conventional media
+    /// on every shard (so the next [`ShardedDb::vacuum`] can shred them).
+    /// Returns the total pages re-migrated.
+    pub fn remigrate_expired(&self) -> Result<usize> {
+        let mut total = 0;
+        for db in &self.shards {
+            total += db.remigrate_expired()?;
+        }
+        Ok(total)
+    }
+
+    /// Migrates `rel`'s historical (time-split) pages to WORM on every
+    /// shard, summing the reports.
+    pub fn migrate_to_worm(&self, rel: RelId) -> Result<crate::migrate::MigrationReport> {
+        let mut total = crate::migrate::MigrationReport::default();
+        for db in &self.shards {
+            let r = db.migrate_to_worm(rel)?;
+            total.pages_migrated += r.pages_migrated;
+            total.tuples_migrated += r.tuples_migrated;
+        }
+        Ok(total)
+    }
+
     // --- distributed transactions ----------------------------------------
 
     /// Begins a distributed transaction. Shard-local transactions are begun
@@ -779,6 +846,46 @@ mod tests {
         let mut r = db.begin();
         assert_eq!(db.read(&mut r, rel, b"acct-0007").unwrap().unwrap(), b"v1");
         db.commit(r).unwrap();
+        let audit = db.audit().unwrap();
+        assert!(audit.is_clean(), "dirty: {:?}", audit.all_violations());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deployment_holds_and_vacuum_span_every_shard() {
+        use crate::shred::Hold;
+        let dir = tmp("lifecycle");
+        let clk = Arc::new(VirtualClock::ticking(Duration::from_micros(50)));
+        let db = ShardedDb::open(&dir, clk.clone(), cfg(), 2).unwrap();
+        let rel = db.create_relation("events", SplitPolicy::KeyOnly).unwrap();
+        db.set_retention("events", Duration::from_mins(60)).unwrap();
+        // Enough keys to land on both shards, including held ones.
+        for i in 0..64u32 {
+            let mut dtx = db.begin();
+            let k = format!("ev-{i:04}");
+            db.write(&mut dtx, rel, k.as_bytes(), b"payload").unwrap();
+            db.commit(dtx).unwrap();
+        }
+        db.place_hold(&Hold {
+            id: "docket-9".into(),
+            rel_name: "events".into(),
+            key_prefix: b"ev-000".to_vec(),
+        })
+        .unwrap();
+        assert_eq!(db.active_holds().unwrap().len(), 1);
+        // Everything expires; the hold spares its prefix on every shard.
+        clk.advance(Duration::from_mins(120));
+        let report = db.vacuum().unwrap();
+        assert!(report.shredded > 0, "nothing shredded: {report:?}");
+        assert!(report.held > 0, "hold spared nothing: {report:?}");
+        let mut r = db.begin();
+        assert_eq!(db.read(&mut r, rel, b"ev-0007").unwrap().unwrap(), b"payload");
+        assert_eq!(db.read(&mut r, rel, b"ev-0040").unwrap(), None);
+        db.commit(r).unwrap();
+        db.release_hold("docket-9").unwrap();
+        assert!(db.active_holds().unwrap().is_empty());
+        let report = db.vacuum().unwrap();
+        assert!(report.shredded > 0, "post-release vacuum shredded nothing");
         let audit = db.audit().unwrap();
         assert!(audit.is_clean(), "dirty: {:?}", audit.all_violations());
         let _ = std::fs::remove_dir_all(&dir);

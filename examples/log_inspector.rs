@@ -91,6 +91,9 @@ fn main() -> ccdb::common::Result<()> {
             LogRecord::IndexInsert { pgno, .. } => format!("IDX_INSERT  {pgno:?}"),
             LogRecord::IndexRemove { pgno, .. } => format!("IDX_REMOVE  {pgno:?}"),
             LogRecord::NewRoot { pgno, .. } => format!("NEW_ROOT    {pgno:?}"),
+            LogRecord::IndexImage { pgno, cells } => {
+                format!("IDX_IMAGE   {pgno:?} ({} cells, post-recovery)", cells.len())
+            }
             LogRecord::Migrate { pgno, worm_file, .. } => {
                 format!("MIGRATE     {pgno:?} -> worm:{worm_file}")
             }

@@ -1,0 +1,249 @@
+//! Long-horizon compliance lifecycle simulations: deterministic scenarios
+//! spanning *years* of virtual time, where retention expiry, auditable
+//! vacuum/shred cycles, time-split WORM migration, and litigation holds
+//! overlap the way they do in production — and every step must stay
+//! audit-clean under all three auditors.
+//!
+//! These are the hand-written companions to the seeded campaigns in
+//! `tests/campaign.rs`: each scenario pins one specific interleaving the
+//! paper's policy layer must get right.
+
+use std::sync::Arc;
+
+use ccdb::btree::SplitPolicy;
+use ccdb::common::{Duration, VirtualClock};
+use ccdb::compliance::{AuditConfig, ComplianceConfig, CompliantDb, Hold, Mode, ShardedDb};
+
+struct TempDir(std::path::PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!("ccdb-lifecycle-{}-{}", std::process::id(), tag));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn config() -> ComplianceConfig {
+    ComplianceConfig {
+        mode: Mode::LogConsistent,
+        regret_interval: Duration::from_mins(5),
+        cache_pages: 128,
+        auditor_seed: [7u8; 32],
+        fsync: false,
+        ..ComplianceConfig::default()
+    }
+}
+
+const DAY: u64 = 1440; // minutes
+
+/// All three auditors agree, and the verdict is clean.
+fn assert_clean_everywhere(db: &CompliantDb, context: &str) {
+    let serial = db.audit_outcome_with(AuditConfig::serial()).unwrap();
+    let par = db.audit_outcome_with(AuditConfig::default().with_threads(2)).unwrap();
+    assert_eq!(
+        serial.report.violations, par.report.violations,
+        "{context}: serial/parallel verdict split"
+    );
+    assert_eq!(serial.tuple_hash, par.tuple_hash, "{context}: completeness-hash split");
+    assert!(serial.report.is_clean(), "{context}: audit dirty: {:?}", serial.report.violations);
+    let mut stream = db.stream_auditor().unwrap();
+    let alert = stream.poll_deep(db).unwrap();
+    assert!(alert.is_none(), "{context}: streaming false alarm: {alert:?}");
+}
+
+/// Five years of quarterly operations: every quarter writes a batch of
+/// retained records, ages them past the 90-day retention, migrates
+/// time-split history to WORM, pulls expired WORM pages back, and shreds.
+/// Every quarter must audit clean, old quarters' records must actually be
+/// gone, and the most recent quarter's must survive.
+#[test]
+fn years_of_quarterly_expiry_shred_migration_audits_clean() {
+    let dir = TempDir::new("quarters");
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(30)));
+    let db = CompliantDb::open(&dir.0, clock.clone(), config()).unwrap();
+    let events = db.create_relation("events", SplitPolicy::TimeSplit { threshold: 0.5 }).unwrap();
+    let txn = db.begin().unwrap();
+    db.set_retention(txn, "events", Duration::from_mins(90 * DAY)).unwrap();
+    db.commit(txn).unwrap();
+
+    let mut total_shredded = 0usize;
+    let mut total_migrated = 0usize;
+    for quarter in 0..20u32 {
+        // The quarter's batch of records — overwrite-heavy (six revisions
+        // per filing) so the time-split policy produces historical pages
+        // for the migrator to take.
+        for rev in 0..12u32 {
+            for r in 0..12u32 {
+                let txn = db.begin().unwrap();
+                db.write(
+                    txn,
+                    events,
+                    format!("q{quarter:02}-r{r:02}").as_bytes(),
+                    format!("filing-{quarter}-{r}-rev{rev:<60}").as_bytes(),
+                )
+                .unwrap();
+                db.commit(txn).unwrap();
+            }
+            // Stamp between revision rounds so superseded versions count as
+            // dead and overflowing leaves time-split instead of key-split.
+            db.engine().run_stamper().unwrap();
+        }
+        // A quarter of virtual time passes; the previous quarters' records
+        // cross the 90-day retention horizon.
+        clock.advance(Duration::from_mins(91 * DAY));
+        db.tick().unwrap();
+        total_migrated += db.migrate_to_worm(events).unwrap().pages_migrated;
+        db.remigrate_expired().unwrap();
+        total_shredded += db.vacuum().unwrap().shredded;
+        let report = db.audit().unwrap();
+        assert!(report.is_clean(), "quarter {quarter} audit dirty: {:?}", report.violations);
+    }
+    assert!(total_shredded > 0, "five years of quarters never shredded anything");
+    assert!(total_migrated > 0, "five years of quarters never migrated a page to WORM");
+    // Every quarter aged past the 90-day horizon before its vacuum, so all
+    // of the history is gone...
+    assert_eq!(db.engine().read_latest(events, b"q00-r00").unwrap(), None);
+    assert_eq!(db.engine().read_latest(events, b"q10-r05").unwrap(), None);
+    assert_eq!(db.engine().read_latest(events, b"q19-r00").unwrap(), None);
+    // ...while a record still inside its retention window survives the
+    // next shred pass untouched.
+    let txn = db.begin().unwrap();
+    db.write(txn, events, b"q20-fresh", b"current-filing").unwrap();
+    db.commit(txn).unwrap();
+    db.vacuum().unwrap();
+    assert_eq!(
+        db.engine().read_latest(events, b"q20-fresh").unwrap().as_deref(),
+        Some(&b"current-filing"[..])
+    );
+    assert_clean_everywhere(&db, "after five virtual years");
+}
+
+/// The ISSUE's named scenario: a litigation hold placed *before* the
+/// records expire, overlapping several shred cycles. The held records must
+/// survive every one of them byte-for-byte while unheld neighbours are
+/// shredded around them; after release the next shred takes them, and the
+/// post-release audit is clean.
+#[test]
+fn hold_placed_before_expiry_survives_overlapping_shred_cycles() {
+    let dir = TempDir::new("hold-overlap");
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(30)));
+    let db = CompliantDb::open(&dir.0, clock.clone(), config()).unwrap();
+    let events = db.create_relation("events", SplitPolicy::TimeSplit { threshold: 0.5 }).unwrap();
+    let txn = db.begin().unwrap();
+    db.set_retention(txn, "events", Duration::from_mins(30 * DAY)).unwrap();
+    db.commit(txn).unwrap();
+
+    for i in 0..30u32 {
+        let txn = db.begin().unwrap();
+        db.write(txn, events, format!("doc-{i:03}").as_bytes(), format!("body-{i}").as_bytes())
+            .unwrap();
+        db.commit(txn).unwrap();
+    }
+    // The hold lands while everything is still well inside retention.
+    let hold =
+        Hold { id: "docket-442".into(), rel_name: "events".into(), key_prefix: b"doc-00".to_vec() };
+    let txn = db.begin().unwrap();
+    db.place_hold(txn, &hold).unwrap();
+    db.commit(txn).unwrap();
+
+    // Three shred cycles, each another month further past expiry. The ten
+    // held documents (doc-000..doc-009) must survive all of them.
+    for cycle in 0..3u32 {
+        clock.advance(Duration::from_mins(35 * DAY));
+        db.tick().unwrap();
+        let report = db.vacuum().unwrap();
+        if cycle == 0 {
+            assert_eq!(report.shredded, 20, "first cycle should shred the unheld 20");
+        }
+        assert_eq!(report.held, 10, "cycle {cycle}: hold no longer sparing its documents");
+        for i in 0..10u32 {
+            let key = format!("doc-{i:03}");
+            assert_eq!(
+                db.engine().read_latest(events, key.as_bytes()).unwrap().as_deref(),
+                Some(format!("body-{i}").as_bytes()),
+                "cycle {cycle}: held {key} lost"
+            );
+        }
+        assert_eq!(db.engine().read_latest(events, b"doc-015").unwrap(), None);
+        let audit = db.audit().unwrap();
+        assert!(audit.is_clean(), "cycle {cycle} audit dirty: {:?}", audit.violations);
+    }
+
+    // Release; the very next shred cycle may now take the held documents,
+    // and doing so must still audit clean (the auditor evaluates the hold
+    // as of the shred, not as of the audit).
+    let txn = db.begin().unwrap();
+    db.release_hold(txn, "docket-442").unwrap();
+    db.commit(txn).unwrap();
+    let report = db.vacuum().unwrap();
+    assert_eq!(report.shredded, 10, "post-release shred should take the ex-held documents");
+    assert_eq!(report.held, 0);
+    assert_eq!(db.engine().read_latest(events, b"doc-003").unwrap(), None);
+    assert_clean_everywhere(&db, "after post-release shred");
+}
+
+/// The sharded deployment runs the same lifecycle through the deployment
+/// passthroughs: holds span every shard, vacuum reports aggregate across
+/// shards, held keys survive wherever they hash, and the cross-shard join
+/// stays clean for years.
+#[test]
+fn sharded_lifecycle_holds_span_shards_across_years() {
+    let dir = TempDir::new("sharded-years");
+    let clock = Arc::new(VirtualClock::ticking(Duration::from_micros(30)));
+    let db = ShardedDb::open(&dir.0, clock.clone(), config(), 2).unwrap();
+    let events = db.create_relation("events", SplitPolicy::TimeSplit { threshold: 0.5 }).unwrap();
+    db.set_retention("events", Duration::from_mins(60 * DAY)).unwrap();
+
+    for i in 0..40u32 {
+        let mut dtx = db.begin();
+        db.write(&mut dtx, events, format!("rec-{i:03}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
+        db.commit(dtx).unwrap();
+    }
+    let hold =
+        Hold { id: "docket-7".into(), rel_name: "events".into(), key_prefix: b"rec-01".to_vec() };
+    db.place_hold(&hold).unwrap();
+
+    // Two years in annual shred cycles: the held decade (rec-010..rec-019,
+    // hashed across both shards) survives each one.
+    for year in 0..2u32 {
+        clock.advance(Duration::from_mins(365 * DAY));
+        db.tick().unwrap();
+        db.remigrate_expired().unwrap();
+        let report = db.vacuum().unwrap();
+        assert_eq!(report.held, 10, "year {year}: deployment-wide hold stopped sparing");
+        for i in 10..20u32 {
+            let key = format!("rec-{i:03}");
+            let shard = db.map().shard_of(key.as_bytes());
+            assert_eq!(
+                db.shards()[shard].engine().read_latest(events, key.as_bytes()).unwrap().as_deref(),
+                Some(format!("v{i}").as_bytes()),
+                "year {year}: held {key} lost on shard {shard}"
+            );
+        }
+        let audit = db.audit().unwrap();
+        assert!(audit.is_clean(), "year {year} audit dirty: {:?}", audit.all_violations());
+    }
+    let gone = db.map().shard_of(b"rec-030");
+    assert_eq!(db.shards()[gone].engine().read_latest(events, b"rec-030").unwrap(), None);
+
+    // Release and shred the rest; the deployment-level dry run must agree
+    // across serial and parallel strategies and stay clean.
+    db.release_hold("docket-7").unwrap();
+    let report = db.vacuum().unwrap();
+    assert_eq!(report.shredded, 10);
+    let (serial, cross_s) = db.audit_dry(AuditConfig::serial()).unwrap();
+    let (par, cross_p) = db.audit_dry(AuditConfig::default().with_threads(2)).unwrap();
+    assert!(cross_s.is_empty(), "cross-shard join dirty: {cross_s:?}");
+    assert_eq!(cross_s, cross_p, "cross-shard verdict split");
+    for (i, (s, p)) in serial.iter().zip(par.iter()).enumerate() {
+        assert_eq!(s.report.violations, p.report.violations, "shard {i} verdict split");
+        assert!(s.report.is_clean(), "shard {i} dirty: {:?}", s.report.violations);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based campaign verdict unity: for **arbitrary** seeded
+//! campaign schedules — any interleaving of workload, virtual years,
+//! holds, shred cycles, WORM migration, crashes, and Mala tampering the
+//! generator can produce — the three auditors (serial oracle, parallel
+//! pipeline, streaming daemon) must never split their verdict, and every
+//! campaign must end detected or harmless.
+//!
+//! The campaign runner itself enforces verdict identity per engine and
+//! fails the seed on any split, so this suite's property is simply that
+//! `run_campaign_schedule` never reports such a failure over a widened,
+//! shifted seed space (distinct from the default suite's fixed block, so
+//! the two runs don't retread the same schedules). Gated behind the
+//! non-default `proptest` cargo feature; each case's seed is in the
+//! failure for deterministic replay.
+
+#![cfg(feature = "proptest")]
+
+use ccdb::common::SplitMix64;
+use ccdb_bench::campaign::run_campaign_schedule;
+
+fn cases() -> u64 {
+    std::env::var("CCDB_PROP_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(48)
+}
+
+/// Arbitrary campaign schedules (seeds drawn from a meta-RNG across the
+/// full u64 space) never split the three-auditor verdict and never end
+/// effective-but-undetected.
+#[test]
+fn arbitrary_campaigns_never_split_the_verdict() {
+    let meta_seed: u64 = std::env::var("CCDB_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x9E37_79B9_7F4A_7C15);
+    let mut meta = SplitMix64::seed_from_u64(meta_seed);
+    let mut detected = 0u64;
+    let mut tampered = 0u64;
+    for case in 0..cases() {
+        let seed = meta.gen_range(0..u64::MAX);
+        let outcome = run_campaign_schedule(seed).unwrap_or_else(|e| {
+            panic!("case {case} (meta seed {meta_seed}): {e}");
+        });
+        tampered += (outcome.tampers_landed > 0) as u64;
+        detected += outcome.detected as u64;
+        // Verdict-identity is enforced inside the runner; double-check the
+        // detected flag is consistent with the agreed violation list.
+        assert_eq!(
+            outcome.detected,
+            !outcome.violations.is_empty(),
+            "case {case}, seed {seed}: detected flag disagrees with violations"
+        );
+    }
+    println!(
+        "prop campaigns: {} cases, {tampered} tampered, {detected} detected (meta {meta_seed})",
+        cases()
+    );
+}
